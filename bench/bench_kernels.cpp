@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks for the numeric kernels the paper's
+// methodology leans on: sparse LU (the SPICE baseline's inner loop),
+// Cholesky + block-Lanczos reduction (SyMPVL), the diagonalized reduced-
+// system Newton step (rank-m Woodbury), and the full cluster analysis.
+#include <benchmark/benchmark.h>
+
+#include "cells/cell_library.h"
+#include "linalg/cholesky.h"
+#include "linalg/ordering.h"
+#include "linalg/sparse_lu.h"
+#include "mor/reduced_sim.h"
+#include "mor/sympvl.h"
+#include "netlist/rc_network.h"
+#include "extract/extractor.h"
+#include "util/prng.h"
+
+namespace xtv {
+namespace {
+
+SparseMatrix grid_matrix(std::size_t k) {
+  const std::size_t n = k * k;
+  TripletList t(n, n);
+  auto id = [k](std::size_t r, std::size_t c) { return r * k + c; };
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      double deg = 0.0;
+      auto stamp = [&](std::size_t other) {
+        t.add(id(r, c), other, -1.0);
+        deg += 1.0;
+      };
+      if (r > 0) stamp(id(r - 1, c));
+      if (r + 1 < k) stamp(id(r + 1, c));
+      if (c > 0) stamp(id(r, c - 1));
+      if (c + 1 < k) stamp(id(r, c + 1));
+      t.add(id(r, c), id(r, c), deg + 0.01);
+    }
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const SparseMatrix m = grid_matrix(k);
+  const auto order = min_degree_order(m);
+  for (auto _ : state) {
+    SparseLu lu(m, order);
+    benchmark::DoNotOptimize(lu.factor_nnz());
+  }
+  state.SetLabel(std::to_string(k * k) + " nodes");
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const SparseMatrix m = grid_matrix(k);
+  SparseLu lu(m, min_degree_order(m));
+  Vector b(k * k, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(8)->Arg(16)->Arg(32);
+
+RcNetwork bench_cluster(int stages) {
+  Extractor ex(Technology::default_250nm());
+  RcNetwork net = ex.extract_parallel3(stages * 100e-6);
+  for (std::size_t p = 0; p < net.port_count(); ++p)
+    net.stamp_port_conductance(p, p % 2 == 0 ? 1e-3 : 1e-9);
+  return net;
+}
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  RcNetwork net = bench_cluster(static_cast<int>(state.range(0)));
+  const DenseMatrix g = net.g_matrix();
+  for (auto _ : state) {
+    Cholesky chol(g);
+    benchmark::DoNotOptimize(chol.size());
+  }
+  state.SetLabel(std::to_string(g.rows()) + " nodes");
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SympvlReduce(benchmark::State& state) {
+  RcNetwork net = bench_cluster(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ReducedModel model = sympvl_reduce(net);
+    benchmark::DoNotOptimize(model.order());
+  }
+}
+BENCHMARK(BM_SympvlReduce)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_ReducedTransient(benchmark::State& state) {
+  RcNetwork net = bench_cluster(10);
+  ReducedModel model = sympvl_reduce(net);
+  for (auto _ : state) {
+    ReducedSimulator sim(model);
+    sim.set_input(2, SourceWave::ramp(0.0, 3e-3, 0.3e-9, 0.1e-9));
+    ReducedSimOptions opt;
+    opt.tstop = 3e-9;
+    opt.dt = static_cast<double>(state.range(0)) * 1e-12;
+    benchmark::DoNotOptimize(sim.run(opt).steps);
+  }
+  state.SetLabel("dt=" + std::to_string(state.range(0)) + "ps");
+}
+BENCHMARK(BM_ReducedTransient)->Arg(1)->Arg(4);
+
+void BM_MinDegreeOrder(benchmark::State& state) {
+  const SparseMatrix m = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_degree_order(m).size());
+  }
+}
+BENCHMARK(BM_MinDegreeOrder)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace xtv
+
+BENCHMARK_MAIN();

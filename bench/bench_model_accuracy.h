@@ -1,0 +1,130 @@
+// Shared sweep for Tables 3 and 4: rising-glitch accuracy of a driver
+// model against transistor-level SPICE across the cell library and a range
+// of interconnect lengths (the paper used >60 lengths from 10 to 5000 um
+// and ~400 cases over 53 cell types at Vdd = 3.0).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/glitch_analyzer.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace xtv::bench {
+
+struct AccuracyCase {
+  std::string victim_cell;
+  double length = 0.0;
+  double golden_peak = 0.0;  ///< transistor-level rising glitch (V)
+  double model_peak = 0.0;   ///< model-under-test rising glitch (V)
+  double error_pct = 0.0;    ///< (model - golden) / golden * 100
+};
+
+struct AccuracySweepResult {
+  std::vector<AccuracyCase> cases;
+  double golden_cpu = 0.0;
+  double model_cpu = 0.0;
+};
+
+/// Runs the sweep: every library cell as the victim holder, lengths cycled
+/// per cell from `lengths_um`. The aggressor is a strong buffer rising
+/// next to the low-held victim (rising glitch, as in the paper's tables).
+inline AccuracySweepResult run_model_accuracy(Context& ctx,
+                                              DriverModelKind model_kind,
+                                              const std::vector<double>& lengths_um) {
+  GlitchAnalyzer analyzer(ctx.extractor, ctx.chars);
+  AccuracySweepResult result;
+
+  for (std::size_t c = 0; c < ctx.library.size(); ++c) {
+    const std::string victim_cell = ctx.library.at(c).name();
+    for (double len_um : lengths_um) {
+      const double len = len_um * units::um;
+      VictimSpec victim;
+      victim.route = {len, 0.0};
+      victim.driver_cell = victim_cell;
+      victim.held_high = false;  // rising glitch: aggressors pull it up
+      victim.receiver_cap = 10e-15;
+
+      AggressorSpec agg;
+      agg.route = {len, 0.0};
+      agg.driver_cell = "BUF_X8";
+      agg.rising = true;
+      agg.input_slew = 0.1e-9;
+      agg.receiver_cap = 10e-15;
+      agg.run = {0, 0, 0.9 * len, 0.0, 0.05 * len, 0.05 * len};
+
+      GlitchAnalysisOptions opt;
+      opt.align_aggressors = false;
+      opt.tstop = 3e-9;
+      opt.dt = 4e-12;
+
+      AccuracyCase acase;
+      acase.victim_cell = victim_cell;
+      acase.length = len;
+
+      opt.driver_model = DriverModelKind::kTransistor;
+      const GlitchResult golden = analyzer.analyze_spice(victim, {agg}, opt);
+      acase.golden_peak = golden.peak;
+      result.golden_cpu += golden.cpu_seconds;
+
+      opt.driver_model = model_kind;
+      const GlitchResult model = analyzer.analyze(victim, {agg}, opt);
+      acase.model_peak = model.peak;
+      result.model_cpu += model.cpu_seconds;
+
+      if (std::fabs(acase.golden_peak) < 0.05) continue;  // no real glitch
+      acase.error_pct =
+          100.0 * (acase.model_peak - acase.golden_peak) / acase.golden_peak;
+      result.cases.push_back(acase);
+    }
+  }
+  return result;
+}
+
+/// Prints the paper-style per-magnitude-bin error summary.
+inline void print_binned_errors(const AccuracySweepResult& result) {
+  struct Bin {
+    double lo, hi;
+  };
+  const Bin bins[] = {{0.05, 0.3}, {0.3, 0.6}, {0.6, 1.2}, {1.2, 3.5}};
+  AsciiTable table({"peak glitch (V)", "cases", "avg err %", "std err %",
+                    "min err %", "max err %"});
+  for (const Bin& bin : bins) {
+    SummaryStats stats;
+    for (const auto& c : result.cases)
+      if (c.golden_peak >= bin.lo && c.golden_peak < bin.hi)
+        stats.add(c.error_pct);
+    if (stats.count() == 0) continue;
+    char range[48];
+    std::snprintf(range, sizeof(range), "%.2f - %.2f", bin.lo, bin.hi);
+    table.add_row({range, std::to_string(stats.count()),
+                   AsciiTable::num(stats.mean(), 1),
+                   AsciiTable::num(stats.stddev(), 1),
+                   AsciiTable::num(stats.min(), 1),
+                   AsciiTable::num(stats.max(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  SummaryStats all;
+  std::size_t within10 = 0, over50 = 0;
+  for (const auto& c : result.cases) {
+    all.add(std::fabs(c.error_pct));
+    if (std::fabs(c.error_pct) <= 10.0) ++within10;
+    if (std::fabs(c.error_pct) > 50.0) ++over50;
+  }
+  std::printf("\n%zu cases | mean |err| %.1f%% | within 10%%: %.0f%% of cases | "
+              ">50%% error: %zu cases\n",
+              all.count(), all.mean(),
+              100.0 * static_cast<double>(within10) /
+                  static_cast<double>(std::max<std::size_t>(all.count(), 1)),
+              over50);
+  std::printf("cpu: golden %.1f s, model %.1f s (speed-up %.1fx)\n",
+              result.golden_cpu, result.model_cpu,
+              result.golden_cpu / std::max(result.model_cpu, 1e-9));
+}
+
+}  // namespace xtv::bench

@@ -1,0 +1,68 @@
+// Pruning ablation (paper Section 3's cluster statistics): sweep the
+// coupling-ratio threshold over the DSP design and report how the average
+// analyzed-cluster size and retained-coupling count respond, plus the
+// effect of the driver-strength ("cell and context information")
+// weighting. The paper's production numbers: ~105-net clusters before
+// pruning, 2-5 nets after.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "chipgen/dsp_chip.h"
+#include "core/pruning.h"
+
+using namespace xtv;
+
+int main() {
+  bench::Context ctx;
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 1500;
+  const ChipDesign design = generate_dsp_chip(ctx.library, chip_opt);
+  {
+    std::vector<std::string> cells;
+    for (const auto& net : design.nets) cells.push_back(net.driver_cell);
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+    ctx.warm_cells(cells);
+  }
+  const auto summaries = chip_net_summaries(design, ctx.extractor, ctx.chars);
+
+  std::printf("== Pruning ablation: coupling-ratio threshold sweep ==\n");
+  std::printf("design: %zu nets, %zu coupling runs\n\n", design.nets.size(),
+              design.couplings.size());
+
+  AsciiTable table({"threshold", "strength wt", "couplings kept",
+                    "avg cluster before", "avg cluster after", "max after"});
+  bool shrinks = true;
+  for (bool weighted : {true, false}) {
+    double prev_after = 1e9;
+    for (double th : {0.01, 0.02, 0.05, 0.08, 0.12, 0.20}) {
+      PruningOptions opt;
+      opt.ratio_threshold = th;
+      opt.use_driver_strength = weighted;
+      const PruneResult res = prune_couplings(summaries, opt);
+      table.add_row({AsciiTable::num(th, 2), weighted ? "yes" : "no",
+                     std::to_string(res.stats.couplings_after),
+                     AsciiTable::num(res.stats.avg_cluster_before, 1),
+                     AsciiTable::num(res.stats.avg_cluster_after, 2),
+                     std::to_string(res.stats.max_cluster_after)});
+      if (res.stats.avg_cluster_after > prev_after + 1e-9) shrinks = false;
+      prev_after = res.stats.avg_cluster_after;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The default operating point (threshold 0.05) must land in the paper's
+  // 2-5 net band.
+  const PruneResult nominal = prune_couplings(summaries, {});
+  std::printf("nominal (threshold %.2f): avg cluster %.1f -> %.2f nets\n",
+              PruningOptions{}.ratio_threshold,
+              nominal.stats.avg_cluster_before,
+              nominal.stats.avg_cluster_after);
+  const bool pass = shrinks && nominal.stats.avg_cluster_after >= 2.0 &&
+                    nominal.stats.avg_cluster_after <= 6.0 &&
+                    nominal.stats.avg_cluster_before > 20.0;
+  std::printf("paper shape check — dense clusters collapse to the 2-5-net "
+              "band at the nominal threshold: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

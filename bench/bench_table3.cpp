@@ -1,0 +1,27 @@
+// Table 3: timing-library-based (linear resistor) driver model vs
+// transistor-level SPICE, rising glitch errors (Vdd = 3.0). The paper's
+// point: the linear model's errors are large — "for high-confidence
+// analysis, more accurate driving cell model is needed".
+#include <cstdio>
+
+#include "bench_model_accuracy.h"
+
+using namespace xtv;
+
+int main() {
+  bench::Context ctx;
+  std::vector<std::string> all_cells;
+  for (std::size_t i = 0; i < ctx.library.size(); ++i)
+    all_cells.push_back(ctx.library.at(i).name());
+  ctx.warm_cells(all_cells);
+
+  std::printf("== Table 3: timing-library (linear resistor) cell model vs "
+              "SPICE, rising glitch (Vdd = 3.0) ==\n\n");
+
+  const std::vector<double> lengths_um = {10,   50,   150,  400,
+                                          1000, 2000, 3500, 5000};
+  const bench::AccuracySweepResult result = bench::run_model_accuracy(
+      ctx, DriverModelKind::kLinearResistor, lengths_um);
+  bench::print_binned_errors(result);
+  return result.cases.empty() ? 1 : 0;
+}

@@ -1,0 +1,26 @@
+// Table 4: non-linear cell model vs transistor-level SPICE, rising glitch
+// (Vdd = 3.0). The paper reports ~400 cases over 53 cells, >85% of cases
+// within 10% of full SPICE, and only two cases above 50% (overestimates).
+#include <cstdio>
+
+#include "bench_model_accuracy.h"
+
+using namespace xtv;
+
+int main() {
+  bench::Context ctx;
+  std::vector<std::string> all_cells;
+  for (std::size_t i = 0; i < ctx.library.size(); ++i)
+    all_cells.push_back(ctx.library.at(i).name());
+  ctx.warm_cells(all_cells);
+
+  std::printf("== Table 4: non-linear cell model vs SPICE, rising glitch "
+              "(Vdd = 3.0) ==\n\n");
+
+  const std::vector<double> lengths_um = {10,   50,   150,  400,
+                                          1000, 2000, 3500, 5000};
+  const bench::AccuracySweepResult result = bench::run_model_accuracy(
+      ctx, DriverModelKind::kNonlinearTable, lengths_um);
+  bench::print_binned_errors(result);
+  return result.cases.empty() ? 1 : 0;
+}

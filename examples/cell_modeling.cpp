@@ -1,0 +1,77 @@
+// Cell pre-characterization walkthrough (paper Section 4): pick a cell,
+// run the one-time characterization against the transistor netlist, and
+// inspect everything it produces — NLDM timing tables, the deduced linear
+// drive resistance, the non-linear I(Vin, Vout) surface, and the dynamic
+// warp calibration. Also exports the cell's transistor netlist as a SPICE
+// deck.
+//
+// Build & run:  ./build/examples/cell_modeling [CELL_NAME]
+#include <cstdio>
+#include <string>
+
+#include "cells/cell_library.h"
+#include "cells/characterize.h"
+#include "netlist/spice_deck.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace xtv;
+
+int main(int argc, char** argv) {
+  const std::string cell_name = argc > 1 ? argv[1] : "NAND2_X4";
+  const Technology tech = Technology::default_250nm();
+  CellLibrary library(tech);
+  const CellMaster& master = library.by_name(cell_name);
+
+  std::printf("== %s: %s, drive X%g, %s ==\n", master.name().c_str(),
+              family_name(master.family()).c_str(), master.drive(),
+              master.inverting() ? "inverting" : "non-inverting");
+  std::printf("switching pin %s; input cap %.2f fF\n",
+              master.switching_pin().c_str(),
+              master.input_cap(master.switching_pin()) / units::fF);
+
+  // Export the transistor netlist (on a standalone bench) as a SPICE deck.
+  {
+    Circuit bench;
+    const int vdd = bench.add_node("vdd");
+    std::map<std::string, int> pins;
+    for (const auto& pin : master.input_pins()) pins[pin] = bench.add_node(pin);
+    pins[master.output_pin()] = bench.add_node(master.output_pin());
+    master.instantiate(bench, pins, vdd);
+    std::printf("\n-- transistor netlist (SPICE deck) --\n%s\n",
+                write_spice_deck(bench, master.name()).c_str());
+  }
+
+  std::printf("characterizing (one-time task)...\n");
+  const CellModel model = characterize_cell(master, tech);
+
+  std::printf("\n-- NLDM delay table, output rising (ns) --\n");
+  AsciiTable delays({"slew \\ load", "5 fF", "20 fF", "80 fF", "240 fF"});
+  for (double slew : model.rise.delay.x_axis()) {
+    std::vector<std::string> row = {AsciiTable::num_scaled(slew, units::ns, "ns", 2)};
+    for (double load : model.rise.delay.y_axis())
+      row.push_back(AsciiTable::num(model.rise.delay.lookup(slew, load) / units::ns, 3));
+    delays.add_row(row);
+  }
+  std::printf("%s", delays.to_string().c_str());
+
+  std::printf("\nlinear drive resistance (Section 4.1 model): rise %.0f ohm, "
+              "fall %.0f ohm\n", model.drive_resistance_rise,
+              model.drive_resistance_fall);
+  std::printf("intrinsic output cap: %.2f fF\n", model.output_cap / units::fF);
+
+  std::printf("\n-- I(Vin, Vout) surface sample (mA), Section 4.2 model --\n");
+  AsciiTable surface({"Vin \\ Vout", "0.0 V", "0.75 V", "1.5 V", "2.25 V", "3.0 V"});
+  for (double vin : {0.0, 0.75, 1.5, 2.25, 3.0}) {
+    std::vector<std::string> row = {AsciiTable::num(vin, 2)};
+    for (double vout : {0.0, 0.75, 1.5, 2.25, 3.0})
+      row.push_back(AsciiTable::num(model.iv_surface.lookup(vin, vout) * 1e3, 3));
+    surface.add_row(row);
+  }
+  std::printf("%s", surface.to_string().c_str());
+
+  const CellModel::Warp warp = model.warp(true, 0.2e-9, 40e-15);
+  std::printf("\ndynamic warp @ (0.2 ns, 40 fF), output rising: "
+              "shift %.1f ps, stretch %.2f\n", warp.shift / units::ps, warp.stretch);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Chip-level crosstalk audit — the paper's end-to-end methodology on a
+// synthetic DSP-class design: generate the design, build the chip-level
+// coupling database, prune it into clusters, analyze every victim with the
+// MOR engine under timing-window and logic-correlation filtering, and
+// report glitch violations.
+//
+// Build & run:  ./build/examples/chip_audit [net_count]
+#include <cstdio>
+#include <cstdlib>
+
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace xtv;
+
+int main(int argc, char** argv) {
+  const Technology tech = Technology::default_250nm();
+  CellLibrary library(tech);
+  CharacterizedLibrary chars(library);
+  chars.load("xtv_cells.cache");
+  Extractor extractor(tech);
+
+  DspChipOptions chip_options;
+  chip_options.net_count = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 800;
+  std::printf("generating DSP-like design: %zu nets...\n", chip_options.net_count);
+  const ChipDesign design = generate_dsp_chip(library, chip_options);
+
+  std::size_t buses = 0, latches = 0;
+  for (const auto& net : design.nets) {
+    if (!net.bus_drivers.empty()) ++buses;
+    if (net.latch_input) ++latches;
+  }
+  std::printf("  %zu coupling runs, %zu tri-state buses, %zu latch inputs, "
+              "%zu complementary pairs\n",
+              design.couplings.size(), buses, latches,
+              design.complementary_pairs.size());
+
+  ChipVerifier verifier(extractor, chars);
+  VerifierOptions options;
+  options.glitch_threshold = 0.10;          // flag peaks above 10% of Vdd
+  options.glitch.align_aggressors = true;   // worst-case alignment search
+  options.glitch.tstop = 4e-9;
+
+  Timer timer;
+  const VerificationReport report = verifier.verify(design, options);
+  std::printf("\n%s", report.to_string().c_str());
+
+  // Distribution of glitch magnitudes across the chip.
+  Histogram hist(0.0, 1.0, 10);
+  for (const auto& f : report.findings) hist.add(f.peak_fraction);
+  std::printf("\nglitch peak distribution (fraction of Vdd):\n%s",
+              hist.to_ascii(40, 2).c_str());
+
+  SummaryStats orders;
+  for (const auto& f : report.findings)
+    orders.add(static_cast<double>(f.reduced_order));
+  std::printf("\nreduced model orders: %s\n", orders.to_string(1).c_str());
+  std::printf("wall time: %.1f s for %zu analyzed victims\n", timer.elapsed(),
+              report.victims_analyzed);
+  chars.save("xtv_cells.cache");
+  return 0;
+}

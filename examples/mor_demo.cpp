@@ -1,0 +1,66 @@
+// SyMPVL model-order reduction walkthrough (paper Section 3): extract a
+// coupled interconnect cluster, reduce it, and verify the reduced model's
+// headline properties — block moment matching (matrix-Padé), provable
+// passivity, and transfer-function convergence with order.
+//
+// Build & run:  ./build/examples/mor_demo
+#include <cstdio>
+
+#include "extract/extractor.h"
+#include "linalg/dense_lu.h"
+#include "mor/sympvl.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace xtv;
+
+int main() {
+  const Technology tech = Technology::default_250nm();
+  Extractor extractor(tech);
+
+  // The paper's Figure-1 structure: a victim between two aggressors.
+  RcNetwork net = extractor.extract_parallel3(1000 * units::um);
+  for (std::size_t p = 0; p < net.port_count(); ++p)
+    net.stamp_port_conductance(p, p % 2 == 0 ? 1e-3 : 1e-9);
+  const DenseMatrix g = net.g_matrix();
+  const DenseMatrix c = net.c_matrix();
+  const DenseMatrix b = net.b_matrix();
+  std::printf("cluster: %d nodes, %zu ports, %zu R, %zu C\n", net.node_count(),
+              net.port_count(), net.resistors().size(), net.capacitors().size());
+
+  // Reduce at increasing orders and report moment/transfer accuracy.
+  AsciiTable table({"order", "moment-0 err", "moment-1 err", "H(1GHz) err",
+                    "min eig(T)", "passive"});
+  for (std::size_t q : {6u, 12u, 24u, 48u}) {
+    SympvlOptions opt;
+    opt.max_order = q;
+    const ReducedModel model = sympvl_reduce(g, c, b, opt);
+
+    auto rel_err = [](const DenseMatrix& approx, const DenseMatrix& exact) {
+      return approx.max_abs_diff(exact) / (exact.frobenius_norm() + 1e-300);
+    };
+    const double m0 = rel_err(model.moment(0), exact_moment(g, c, b, 0));
+    const double m1 = rel_err(model.moment(1), exact_moment(g, c, b, 1));
+
+    // Exact transfer at s = 2*pi*1GHz (real-axis evaluation).
+    const double s = 6.283e9;
+    const std::size_t n = g.rows();
+    DenseMatrix gs(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) gs(i, j) = g(i, j) + s * c(i, j);
+    const DenseMatrix h_exact = matmul_at_b(b, DenseLu(gs).solve(b));
+    const double h_err = rel_err(model.transfer(s), h_exact);
+
+    char sci[3][32];
+    std::snprintf(sci[0], sizeof(sci[0]), "%.1e", m0);
+    std::snprintf(sci[1], sizeof(sci[1]), "%.1e", m1);
+    std::snprintf(sci[2], sizeof(sci[2]), "%.1e", h_err);
+    table.add_row({std::to_string(model.order()), sci[0], sci[1], sci[2],
+                   AsciiTable::num(model.min_t_eigenvalue() * 1e12, 4) + "e-12",
+                   model.is_passive() ? "yes" : "NO"});
+  }
+  std::printf("\n== SyMPVL order sweep ==\n%s", table.to_string().c_str());
+  std::printf("\nEvery reduced model is symmetric PSD (T >= 0): stable and "
+              "passive by construction, per the paper's refs [3][4].\n");
+  return 0;
+}

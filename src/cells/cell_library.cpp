@@ -1,0 +1,293 @@
+#include "cells/cell_library.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/mosfet_eval.h"
+
+namespace xtv {
+
+std::string family_name(CellFamily family) {
+  switch (family) {
+    case CellFamily::kInv: return "INV";
+    case CellFamily::kBuf: return "BUF";
+    case CellFamily::kNand2: return "NAND2";
+    case CellFamily::kNand3: return "NAND3";
+    case CellFamily::kNor2: return "NOR2";
+    case CellFamily::kNor3: return "NOR3";
+    case CellFamily::kAoi21: return "AOI21";
+    case CellFamily::kOai21: return "OAI21";
+    case CellFamily::kTribuf: return "TRIBUF";
+    case CellFamily::kDff: return "DFF";
+    case CellFamily::kDlat: return "DLAT";
+    case CellFamily::kDly: return "DLY";
+  }
+  return "?";
+}
+
+CellMaster::CellMaster(CellFamily family, double drive, const Technology& tech)
+    : family_(family), drive_(drive), tech_(tech) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_X%g", drive);
+  name_ = family_name(family) + buf;
+  build_template(tech);
+}
+
+void CellMaster::add_inverter(const std::string& in, const std::string& out,
+                              double wn, double wp) {
+  mosfets_.push_back({MosType::kNmos, out, in, "GND", wn});
+  mosfets_.push_back({MosType::kPmos, out, in, "VDD", wp});
+}
+
+void CellMaster::build_template(const Technology& tech) {
+  const double wn = drive_ * tech.wn_unit;
+  const double wp = tech.beta_ratio * wn;
+  output_ = "Y";
+  switch (family_) {
+    case CellFamily::kInv: {
+      inputs_ = {"A"};
+      add_inverter("A", "Y", wn, wp);
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kBuf: {
+      inputs_ = {"A"};
+      const double w1 = std::max(0.5, drive_ / 3.0) * tech.wn_unit;
+      add_inverter("A", "i1", w1, tech.beta_ratio * w1);
+      add_inverter("i1", "Y", wn, wp);
+      inverting_ = false;
+      break;
+    }
+    case CellFamily::kNand2: {
+      inputs_ = {"A", "B"};
+      ties_["B"] = true;  // non-controlling for NAND
+      mosfets_.push_back({MosType::kNmos, "Y", "A", "i1", 2 * wn});
+      mosfets_.push_back({MosType::kNmos, "i1", "B", "GND", 2 * wn});
+      mosfets_.push_back({MosType::kPmos, "Y", "A", "VDD", wp});
+      mosfets_.push_back({MosType::kPmos, "Y", "B", "VDD", wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kNand3: {
+      inputs_ = {"A", "B", "C"};
+      ties_["B"] = true;
+      ties_["C"] = true;
+      mosfets_.push_back({MosType::kNmos, "Y", "A", "i1", 3 * wn});
+      mosfets_.push_back({MosType::kNmos, "i1", "B", "i2", 3 * wn});
+      mosfets_.push_back({MosType::kNmos, "i2", "C", "GND", 3 * wn});
+      for (const char* g : {"A", "B", "C"})
+        mosfets_.push_back({MosType::kPmos, "Y", g, "VDD", wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kNor2: {
+      inputs_ = {"A", "B"};
+      ties_["B"] = false;  // non-controlling for NOR
+      mosfets_.push_back({MosType::kNmos, "Y", "A", "GND", wn});
+      mosfets_.push_back({MosType::kNmos, "Y", "B", "GND", wn});
+      mosfets_.push_back({MosType::kPmos, "Y", "A", "i1", 2 * wp});
+      mosfets_.push_back({MosType::kPmos, "i1", "B", "VDD", 2 * wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kNor3: {
+      inputs_ = {"A", "B", "C"};
+      ties_["B"] = false;
+      ties_["C"] = false;
+      for (const char* g : {"A", "B", "C"})
+        mosfets_.push_back({MosType::kNmos, "Y", g, "GND", wn});
+      mosfets_.push_back({MosType::kPmos, "Y", "A", "i1", 3 * wp});
+      mosfets_.push_back({MosType::kPmos, "i1", "B", "i2", 3 * wp});
+      mosfets_.push_back({MosType::kPmos, "i2", "C", "VDD", 3 * wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kAoi21: {
+      // Y = !(A*B + C)
+      inputs_ = {"A", "B", "C"};
+      ties_["B"] = true;   // A*B controlled by A
+      ties_["C"] = false;  // C branch off
+      mosfets_.push_back({MosType::kNmos, "Y", "A", "i1", 2 * wn});
+      mosfets_.push_back({MosType::kNmos, "i1", "B", "GND", 2 * wn});
+      mosfets_.push_back({MosType::kNmos, "Y", "C", "GND", wn});
+      mosfets_.push_back({MosType::kPmos, "i2", "A", "VDD", 2 * wp});
+      mosfets_.push_back({MosType::kPmos, "i2", "B", "VDD", 2 * wp});
+      mosfets_.push_back({MosType::kPmos, "Y", "C", "i2", 2 * wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kOai21: {
+      // Y = !((A+B) * C)
+      inputs_ = {"A", "B", "C"};
+      ties_["B"] = false;  // A+B controlled by A
+      ties_["C"] = true;   // series NMOS on, parallel PMOS off
+      mosfets_.push_back({MosType::kNmos, "Y", "A", "i1", 2 * wn});
+      mosfets_.push_back({MosType::kNmos, "Y", "B", "i1", 2 * wn});
+      mosfets_.push_back({MosType::kNmos, "i1", "C", "GND", 2 * wn});
+      mosfets_.push_back({MosType::kPmos, "i2", "A", "VDD", 2 * wp});
+      mosfets_.push_back({MosType::kPmos, "Y", "B", "i2", 2 * wp});
+      mosfets_.push_back({MosType::kPmos, "Y", "C", "VDD", wp});
+      inverting_ = true;
+      break;
+    }
+    case CellFamily::kTribuf: {
+      // Standard tri-state: NAND(A,EN) gates the PMOS, NOR(A,!EN) gates
+      // the NMOS. Y = A when EN = 1, Hi-Z when EN = 0.
+      inputs_ = {"A", "EN"};
+      enable_ = "EN";
+      ties_["EN"] = true;  // characterized enabled
+      const double wi = std::max(0.5, drive_ / 3.0) * tech.wn_unit;
+      const double wpi = tech.beta_ratio * wi;
+      // enb = !EN
+      add_inverter("EN", "enb", wi, wpi);
+      // np = NAND(A, EN)
+      mosfets_.push_back({MosType::kNmos, "np", "A", "i1", 2 * wi});
+      mosfets_.push_back({MosType::kNmos, "i1", "EN", "GND", 2 * wi});
+      mosfets_.push_back({MosType::kPmos, "np", "A", "VDD", wpi});
+      mosfets_.push_back({MosType::kPmos, "np", "EN", "VDD", wpi});
+      // nn = NOR(A, enb)
+      mosfets_.push_back({MosType::kNmos, "nn", "A", "GND", wi});
+      mosfets_.push_back({MosType::kNmos, "nn", "enb", "GND", wi});
+      mosfets_.push_back({MosType::kPmos, "nn", "A", "i2", 2 * wpi});
+      mosfets_.push_back({MosType::kPmos, "i2", "enb", "VDD", 2 * wpi});
+      // Output stage.
+      mosfets_.push_back({MosType::kPmos, "Y", "np", "VDD", wp});
+      mosfets_.push_back({MosType::kNmos, "Y", "nn", "GND", wn});
+      inverting_ = false;
+      break;
+    }
+    case CellFamily::kDff:
+    case CellFamily::kDlat: {
+      // Structural input-stage + output-stage model (see header comment).
+      inputs_ = {"D"};
+      output_ = "Q";
+      const double wi = std::max(0.5, drive_ / 2.0) * tech.wn_unit;
+      add_inverter("D", "i1", wi, tech.beta_ratio * wi);
+      add_inverter("i1", "Q", wn, wp);
+      inverting_ = false;
+      break;
+    }
+    case CellFamily::kDly: {
+      inputs_ = {"A"};
+      const double wi = 0.5 * tech.wn_unit;
+      add_inverter("A", "i1", wi, tech.beta_ratio * wi);
+      add_inverter("i1", "i2", wi, tech.beta_ratio * wi);
+      add_inverter("i2", "i3", wi, tech.beta_ratio * wi);
+      add_inverter("i3", "Y", wn, wp);
+      inverting_ = false;
+      break;
+    }
+  }
+}
+
+bool CellMaster::tie_high(const std::string& pin) const {
+  const auto it = ties_.find(pin);
+  if (it == ties_.end())
+    throw std::runtime_error("CellMaster: pin '" + pin + "' has no tie level");
+  return it->second;
+}
+
+void CellMaster::instantiate(Circuit& dst,
+                             const std::map<std::string, int>& pin_nodes,
+                             int vdd) const {
+  // Deduplicate model cards by value.
+  auto model_index = [&](const MosModel& card) {
+    for (std::size_t i = 0; i < dst.models().size(); ++i) {
+      const MosModel& m = dst.models()[i];
+      if (m.type == card.type && m.vt0 == card.vt0 && m.kp == card.kp &&
+          m.lambda == card.lambda && m.cox == card.cox && m.cov == card.cov &&
+          m.cj == card.cj)
+        return static_cast<int>(i);
+    }
+    return dst.add_model(card);
+  };
+  const int nm = model_index(tech_.nmos);
+  const int pm = model_index(tech_.pmos);
+
+  std::map<std::string, int> nodes = pin_nodes;
+  nodes["VDD"] = vdd;
+  nodes["GND"] = Circuit::ground();
+  auto resolve = [&](const std::string& sym) {
+    const auto it = nodes.find(sym);
+    if (it != nodes.end()) return it->second;
+    const int fresh = dst.add_node();
+    nodes[sym] = fresh;
+    return fresh;
+  };
+  // Validate required pins are provided.
+  for (const auto& pin : inputs_)
+    if (!pin_nodes.count(pin))
+      throw std::runtime_error("CellMaster::instantiate: missing pin " + pin);
+  if (!pin_nodes.count(output_))
+    throw std::runtime_error("CellMaster::instantiate: missing pin " + output_);
+
+  for (const auto& spec : mosfets_) {
+    const int d = resolve(spec.d);
+    const int g = resolve(spec.g);
+    const int s = resolve(spec.s);
+    dst.add_mosfet(d, g, s, spec.type == MosType::kNmos ? nm : pm, spec.w,
+                   tech_.lmin);
+  }
+}
+
+double CellMaster::input_cap(const std::string& pin) const {
+  double total = 0.0;
+  for (const auto& spec : mosfets_) {
+    if (spec.g != pin) continue;
+    const MosModel& card = spec.type == MosType::kNmos ? tech_.nmos : tech_.pmos;
+    const MosfetCaps caps = mosfet_caps(card, spec.w, tech_.lmin);
+    total += caps.cgs + caps.cgd;
+  }
+  return total;
+}
+
+double CellMaster::output_cap() const {
+  double total = 0.0;
+  for (const auto& spec : mosfets_) {
+    const MosModel& card = spec.type == MosType::kNmos ? tech_.nmos : tech_.pmos;
+    const MosfetCaps caps = mosfet_caps(card, spec.w, tech_.lmin);
+    if (spec.d == output_) total += caps.cdb + caps.cgd;
+    // Source-connected output (possible in swapped layouts): junction only.
+    else if (spec.s == output_) total += caps.cdb;
+  }
+  return total;
+}
+
+CellLibrary::CellLibrary(const Technology& tech) : tech_(tech) {
+  auto add_family = [&](CellFamily family, std::initializer_list<double> drives) {
+    for (double d : drives) masters_.emplace_back(family, d, tech_);
+  };
+  add_family(CellFamily::kInv, {1, 2, 4, 8, 16, 32});
+  add_family(CellFamily::kBuf, {1, 2, 4, 8, 16});
+  add_family(CellFamily::kNand2, {1, 2, 4, 8, 16});
+  add_family(CellFamily::kNand3, {1, 2, 4, 8});
+  add_family(CellFamily::kNor2, {1, 2, 4, 8, 16});
+  add_family(CellFamily::kNor3, {1, 2, 4, 8});
+  add_family(CellFamily::kAoi21, {1, 2, 4, 8});
+  add_family(CellFamily::kOai21, {1, 2, 4, 8});
+  add_family(CellFamily::kTribuf, {1, 2, 4, 8, 16});
+  add_family(CellFamily::kDff, {1, 2, 4, 8});
+  add_family(CellFamily::kDlat, {1, 2, 4, 8});
+  add_family(CellFamily::kDly, {1, 2, 4});
+}
+
+const CellMaster& CellLibrary::by_name(const std::string& name) const {
+  const int i = find(name);
+  if (i < 0) throw std::runtime_error("CellLibrary: unknown cell " + name);
+  return masters_[static_cast<std::size_t>(i)];
+}
+
+int CellLibrary::find(const std::string& name) const {
+  for (std::size_t i = 0; i < masters_.size(); ++i)
+    if (masters_[i].name() == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<const CellMaster*> CellLibrary::family(CellFamily family) const {
+  std::vector<const CellMaster*> out;
+  for (const auto& m : masters_)
+    if (m.family() == family) out.push_back(&m);
+  return out;
+}
+
+}  // namespace xtv

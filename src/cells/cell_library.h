@@ -1,0 +1,125 @@
+// Parametric transistor-level standard-cell library.
+//
+// The paper characterizes "50 different types of 0.25 µm cells" (Table 3)
+// / "53 different 0.25 µm cells" (Table 4). We generate an equivalent
+// library from structural templates (INV/BUF/NAND/NOR/AOI/OAI/TRIBUF/
+// DFF/DLAT/DLY families x drive strengths), each instantiable as a
+// Level-1 transistor netlist — the same netlists serve as the
+// transistor-level golden reference and as the source for cell
+// pre-characterization.
+//
+// Sequential cells (DFF/DLAT) are modeled structurally as input-stage +
+// output-stage only (clocking is not exercised by crosstalk analysis; what
+// matters is the input pin load they present as receivers and the drive of
+// their output stage as aggressor/victim drivers).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/tech.h"
+#include "netlist/circuit.h"
+
+namespace xtv {
+
+enum class CellFamily {
+  kInv,
+  kBuf,
+  kNand2,
+  kNand3,
+  kNor2,
+  kNor3,
+  kAoi21,
+  kOai21,
+  kTribuf,
+  kDff,
+  kDlat,
+  kDly,
+};
+
+/// Human-readable family name ("INV", "NAND2", ...).
+std::string family_name(CellFamily family);
+
+/// One cell type (master): family + drive strength.
+class CellMaster {
+ public:
+  CellMaster(CellFamily family, double drive, const Technology& tech);
+
+  const std::string& name() const { return name_; }           ///< e.g. "NAND2_X4"
+  CellFamily family() const { return family_; }
+  double drive() const { return drive_; }
+
+  /// Input pin names in canonical order; the first is the timing-
+  /// characterized (switching) pin.
+  const std::vector<std::string>& input_pins() const { return inputs_; }
+  /// The switching input used for characterization.
+  const std::string& switching_pin() const { return inputs_.front(); }
+  /// Output pin name ("Y", or "Q" for sequentials).
+  const std::string& output_pin() const { return output_; }
+  /// True if output falls when the switching pin rises.
+  bool inverting() const { return inverting_; }
+  /// Tri-state cells expose an enable pin ("EN"); empty otherwise.
+  const std::string& enable_pin() const { return enable_; }
+
+  /// Non-controlling tie level for a side (non-switching) input: true =
+  /// tie to Vdd. Enable pins tie to their asserted level.
+  bool tie_high(const std::string& pin) const;
+
+  /// Instantiates the transistor netlist into `dst`. `pin_nodes` must map
+  /// every input pin and the output pin to existing nodes; `vdd` is the
+  /// supply node. Internal nodes are created fresh.
+  void instantiate(Circuit& dst, const std::map<std::string, int>& pin_nodes,
+                   int vdd) const;
+
+  /// Analytic input pin capacitance estimate (sum of gate caps on the pin).
+  double input_cap(const std::string& pin) const;
+
+  /// Sum of drain parasitics on the output node (intrinsic output cap).
+  double output_cap() const;
+
+ private:
+  struct MosSpec {
+    MosType type;
+    std::string d, g, s;  // symbolic node names: pins, "VDD", "GND", internal
+    double w;             // meters
+  };
+
+  void build_template(const Technology& tech);
+  void add_inverter(const std::string& in, const std::string& out, double wn,
+                    double wp);
+
+  CellFamily family_;
+  double drive_;
+  std::string name_;
+  std::vector<std::string> inputs_;
+  std::string output_;
+  std::string enable_;
+  bool inverting_ = true;
+  std::map<std::string, bool> ties_;
+  std::vector<MosSpec> mosfets_;
+  Technology tech_;
+};
+
+/// The full generated library (53 masters, matching the paper's count).
+class CellLibrary {
+ public:
+  explicit CellLibrary(const Technology& tech = Technology::default_250nm());
+
+  std::size_t size() const { return masters_.size(); }
+  const CellMaster& at(std::size_t i) const { return masters_.at(i); }
+  /// Lookup by name; throws std::runtime_error if absent.
+  const CellMaster& by_name(const std::string& name) const;
+  /// Index lookup by name; -1 if absent.
+  int find(const std::string& name) const;
+  const Technology& tech() const { return tech_; }
+
+  /// All masters in a family (ascending drive).
+  std::vector<const CellMaster*> family(CellFamily family) const;
+
+ private:
+  Technology tech_;
+  std::vector<CellMaster> masters_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,342 @@
+#include "cells/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "spice/simulator.h"
+
+namespace xtv {
+
+namespace {
+
+// Builds the measurement bench: supply, tied side pins, input source node,
+// output node. Returns (input node, output node) and instantiates the cell.
+struct Bench {
+  Circuit circuit;
+  int in = 0;
+  int out = 0;
+};
+
+Bench make_bench(const CellMaster& master, const Technology& tech) {
+  Bench b;
+  const int vdd = b.circuit.add_node("vdd");
+  b.circuit.add_vsource(vdd, Circuit::ground(), SourceWave::dc(tech.vdd));
+  b.in = b.circuit.add_node("in");
+  b.out = b.circuit.add_node("out");
+
+  std::map<std::string, int> pins;
+  pins[master.switching_pin()] = b.in;
+  pins[master.output_pin()] = b.out;
+  for (const auto& pin : master.input_pins()) {
+    if (pin == master.switching_pin()) continue;
+    const int tied = b.circuit.add_node("tie_" + pin);
+    b.circuit.add_vsource(tied, Circuit::ground(),
+                          SourceWave::dc(master.tie_high(pin) ? tech.vdd : 0.0));
+    pins[pin] = tied;
+  }
+  master.instantiate(b.circuit, pins, vdd);
+  return b;
+}
+
+struct TimingPoint {
+  double delay = 0.0;
+  double slew = 0.0;
+};
+
+TimingPoint measure_timing(const CellMaster& master, const Technology& tech,
+                           bool output_rising, double input_slew, double load,
+                           double dt) {
+  Bench b = make_bench(master, tech);
+  const bool input_rising = master.inverting() ? !output_rising : output_rising;
+  const double t0 = 0.2e-9;
+  b.circuit.add_vsource(b.in, Circuit::ground(),
+                        input_rising
+                            ? SourceWave::ramp(0.0, tech.vdd, t0, input_slew)
+                            : SourceWave::ramp(tech.vdd, 0.0, t0, input_slew));
+  b.circuit.add_capacitor(b.out, Circuit::ground(), load);
+
+  Simulator sim(b.circuit);
+  TransientOptions opt;
+  opt.tstop = t0 + input_slew + 6e-9;
+  opt.dt = std::max(dt, opt.tstop / 4000.0);
+  const TransientResult res = sim.transient(opt, {b.in, b.out});
+
+  const auto delay = measure_delay(res.probes[0], input_rising, res.probes[1],
+                                   output_rising, 0.0, tech.vdd);
+  const auto slew = res.probes[1].slew_10_90(0.0, tech.vdd, output_rising);
+  if (!delay || !slew)
+    throw std::runtime_error("characterize: " + master.name() +
+                             " did not complete its output transition");
+  TimingPoint p;
+  p.delay = *delay;
+  p.slew = *slew;
+  return p;
+}
+
+}  // namespace
+
+CellModel characterize_cell(const CellMaster& master, const Technology& tech,
+                            const CharacterizeOptions& options) {
+  CellModel model;
+  model.cell = master.name();
+  model.input_cap = master.input_cap(master.switching_pin());
+  model.output_cap = master.output_cap();
+
+  // --- Timing tables (Section 4.1's "cell timing library"). ---
+  const auto& slews = options.input_slews;
+  const auto& loads = options.load_caps;
+  for (bool rising : {true, false}) {
+    std::vector<double> delay_z(slews.size() * loads.size());
+    std::vector<double> slew_z(slews.size() * loads.size());
+    for (std::size_t i = 0; i < slews.size(); ++i) {
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        const TimingPoint p = measure_timing(master, tech, rising, slews[i],
+                                             loads[j], options.sim_dt);
+        delay_z[i * loads.size() + j] = p.delay;
+        slew_z[i * loads.size() + j] = p.slew;
+      }
+    }
+    TimingTable table{Table2D(slews, loads, delay_z), Table2D(slews, loads, slew_z)};
+    if (rising)
+      model.rise = table;
+    else
+      model.fall = table;
+  }
+
+  // --- Linear drive resistance from the library data (Section 4.1):
+  //     delay ~ delay0 + ln(2) * R * Cload  =>  R = ddelay/dC / ln 2,
+  //     taken at the fastest input slew over the outer load pair. ---
+  auto drive_r = [&](const TimingTable& t) {
+    const double d_lo = t.delay.lookup(slews.front(), loads.front());
+    const double d_hi = t.delay.lookup(slews.front(), loads.back());
+    return (d_hi - d_lo) / (loads.back() - loads.front()) / std::log(2.0);
+  };
+  model.drive_resistance_rise = drive_r(model.rise);
+  model.drive_resistance_fall = drive_r(model.fall);
+
+  // --- Non-linear cell model (Section 4.2): quasi-static output current
+  //     surface I(Vin, Vout), measured with a forcing source at the output.
+  const int n = options.iv_grid;
+  std::vector<double> vin_axis(static_cast<std::size_t>(n));
+  std::vector<double> vout_axis(static_cast<std::size_t>(n));
+  const double lo = -0.5;
+  const double hi = tech.vdd + 0.5;
+  for (int k = 0; k < n; ++k) {
+    vin_axis[static_cast<std::size_t>(k)] = lo + (hi - lo) * k / (n - 1);
+    vout_axis[static_cast<std::size_t>(k)] = lo + (hi - lo) * k / (n - 1);
+  }
+  std::vector<double> iv(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Bench b = make_bench(master, tech);
+      b.circuit.add_vsource(b.in, Circuit::ground(),
+                            SourceWave::dc(vin_axis[static_cast<std::size_t>(i)]));
+      // The forcing source is the last vsource added; its branch current
+      // (pos -> through source -> neg) equals the current the cell injects
+      // into the output node.
+      b.circuit.add_vsource(b.out, Circuit::ground(),
+                            SourceWave::dc(vout_axis[static_cast<std::size_t>(j)]));
+      Simulator sim(b.circuit);
+      const Simulator::DcResult dc = sim.dc_full();
+      iv[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(j)] = dc.vsource_currents.back();
+    }
+  }
+  model.iv_surface = Table2D(vin_axis, vout_axis, std::move(iv));
+
+  // --- Dynamic calibration: replay the quasi-static surface as a scalar
+  //     ODE and solve, at every (input slew, load) grid point, for the
+  //     input warp (shift, stretch) that reconciles it with the cell's own
+  //     delay/output-slew tables. Multi-stage cells get stretch >> 1;
+  //     single-stage cells stay near (0, 1).
+  for (bool rising : {true, false}) {
+    const bool input_rising = master.inverting() ? !rising : rising;
+    const TimingTable& table = rising ? model.rise : model.fall;
+
+    std::vector<double> shift_z(slews.size() * loads.size(), 0.0);
+    std::vector<double> stretch_z(slews.size() * loads.size(), 1.0);
+
+    for (std::size_t si = 0; si < slews.size(); ++si) {
+      for (std::size_t lj = 0; lj < loads.size(); ++lj) {
+        const double in_slew = slews[si];
+        const double cload = loads[lj] + model.output_cap;
+
+        // Integrate C dV/dt = I(vin(t), V); returns {50% delay, 10-90 slew}.
+        auto qs_response = [&](double slew_eff)
+            -> std::pair<std::optional<double>, std::optional<double>> {
+          const double t0 = 0.1e-9;
+          const double t_end = t0 + slew_eff + 10e-9;
+          const double dt = 0.5e-12;
+          const double settle = rising ? 0.99 * tech.vdd : 0.01 * tech.vdd;
+          double v = rising ? 0.0 : tech.vdd;
+          Waveform win, wout;
+          for (double t = 0.0; t <= t_end; t += dt) {
+            const double frac = std::clamp((t - t0) / slew_eff, 0.0, 1.0);
+            const double vin =
+                input_rising ? frac * tech.vdd : (1.0 - frac) * tech.vdd;
+            win.append(t, vin);
+            wout.append(t, v);
+            v += dt * model.iv_surface.lookup(vin, v) / cload;
+            if (frac >= 1.0 && (rising ? v > settle : v < settle)) break;
+          }
+          return {measure_delay(win, input_rising, wout, rising, 0.0, tech.vdd),
+                  wout.slew_10_90(0.0, tech.vdd, rising)};
+        };
+
+        const double target_slew = table.output_slew.lookup(in_slew, loads[lj]);
+        const auto base = qs_response(in_slew);
+        if (!base.first || !base.second) continue;  // leave (0, 1)
+
+        double stretch = 1.0;
+        if (*base.second < target_slew) {
+          double m_lo = 1.0, m_hi = 2.0;
+          while (m_hi < 64.0) {
+            const auto r = qs_response(in_slew * m_hi);
+            if (r.second && *r.second >= target_slew) break;
+            m_hi *= 2.0;
+          }
+          for (int it = 0; it < 12; ++it) {
+            const double mid = 0.5 * (m_lo + m_hi);
+            const auto r = qs_response(in_slew * mid);
+            if (r.second && *r.second < target_slew)
+              m_lo = mid;
+            else
+              m_hi = mid;
+          }
+          stretch = 0.5 * (m_lo + m_hi);
+        }
+        // Both delays are 50%-to-50% and the runtime warp anchors the
+        // stretch at the input midpoint, so the shift is simply the
+        // table-vs-quasi-static delay difference.
+        const auto warped = qs_response(in_slew * stretch);
+        const double shift =
+            warped.first
+                ? table.delay.lookup(in_slew, loads[lj]) - *warped.first
+                : 0.0;
+        shift_z[si * loads.size() + lj] = shift;
+        stretch_z[si * loads.size() + lj] = stretch;
+      }
+    }
+    if (rising) {
+      model.warp_shift_rise = Table2D(slews, loads, std::move(shift_z));
+      model.warp_stretch_rise = Table2D(slews, loads, std::move(stretch_z));
+    } else {
+      model.warp_shift_fall = Table2D(slews, loads, std::move(shift_z));
+      model.warp_stretch_fall = Table2D(slews, loads, std::move(stretch_z));
+    }
+  }
+  return model;
+}
+
+CellModel::Warp CellModel::warp(bool output_rising, double input_slew,
+                                double load) const {
+  Warp w;
+  const Table2D& shift = output_rising ? warp_shift_rise : warp_shift_fall;
+  const Table2D& stretch = output_rising ? warp_stretch_rise : warp_stretch_fall;
+  if (shift.x_size() == 0 || stretch.x_size() == 0) return w;
+  w.shift = shift.lookup(input_slew, load);
+  w.stretch = std::max(stretch.lookup(input_slew, load), 1.0);
+  return w;
+}
+
+CharacterizedLibrary::CharacterizedLibrary(const CellLibrary& library,
+                                           const CharacterizeOptions& options)
+    : library_(library), options_(options) {}
+
+namespace {
+
+void write_table(std::ostream& out, const std::string& name, const Table2D& t) {
+  out << "table " << name << ' ' << t.x_size() << ' ' << t.y_size() << '\n';
+  out.precision(17);
+  for (double x : t.x_axis()) out << x << ' ';
+  out << '\n';
+  for (double y : t.y_axis()) out << y << ' ';
+  out << '\n';
+  for (std::size_t i = 0; i < t.x_size(); ++i)
+    for (std::size_t j = 0; j < t.y_size(); ++j) out << t.z_at(i, j) << ' ';
+  out << '\n';
+}
+
+Table2D read_table(std::istream& in, const std::string& expect_name) {
+  std::string tag, name;
+  std::size_t nx = 0, ny = 0;
+  in >> tag >> name >> nx >> ny;
+  if (tag != "table" || name != expect_name || nx == 0 || ny == 0)
+    throw std::runtime_error("cell cache: bad table header (expected " +
+                             expect_name + ")");
+  std::vector<double> xs(nx), ys(ny), z(nx * ny);
+  for (double& v : xs) in >> v;
+  for (double& v : ys) in >> v;
+  for (double& v : z) in >> v;
+  if (!in) throw std::runtime_error("cell cache: truncated table " + expect_name);
+  return Table2D(std::move(xs), std::move(ys), std::move(z));
+}
+
+}  // namespace
+
+std::size_t CharacterizedLibrary::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cell cache: cannot write " + path);
+  out << "xtv-cellmodels-v3 " << cache_.size() << '\n';
+  out.precision(17);
+  for (const auto& [name, m] : cache_) {
+    out << "cell " << name << '\n';
+    out << m.input_cap << ' ' << m.output_cap << ' '
+        << m.drive_resistance_rise << ' ' << m.drive_resistance_fall << '\n';
+    write_table(out, "rise_delay", m.rise.delay);
+    write_table(out, "rise_slew", m.rise.output_slew);
+    write_table(out, "fall_delay", m.fall.delay);
+    write_table(out, "fall_slew", m.fall.output_slew);
+    write_table(out, "iv", m.iv_surface);
+    write_table(out, "warp_shift_rise", m.warp_shift_rise);
+    write_table(out, "warp_shift_fall", m.warp_shift_fall);
+    write_table(out, "warp_stretch_rise", m.warp_stretch_rise);
+    write_table(out, "warp_stretch_fall", m.warp_stretch_fall);
+  }
+  return cache_.size();
+}
+
+std::size_t CharacterizedLibrary::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string magic;
+  std::size_t count = 0;
+  in >> magic >> count;
+  if (magic != "xtv-cellmodels-v3") return 0;  // stale/foreign cache: ignore
+  for (std::size_t k = 0; k < count; ++k) {
+    std::string tag, name;
+    in >> tag >> name;
+    if (tag != "cell") throw std::runtime_error("cell cache: expected cell record");
+    CellModel m;
+    m.cell = name;
+    in >> m.input_cap >> m.output_cap >> m.drive_resistance_rise >>
+        m.drive_resistance_fall;
+    m.rise.delay = read_table(in, "rise_delay");
+    m.rise.output_slew = read_table(in, "rise_slew");
+    m.fall.delay = read_table(in, "fall_delay");
+    m.fall.output_slew = read_table(in, "fall_slew");
+    m.iv_surface = read_table(in, "iv");
+    m.warp_shift_rise = read_table(in, "warp_shift_rise");
+    m.warp_shift_fall = read_table(in, "warp_shift_fall");
+    m.warp_stretch_rise = read_table(in, "warp_stretch_rise");
+    m.warp_stretch_fall = read_table(in, "warp_stretch_fall");
+    if (!in) throw std::runtime_error("cell cache: truncated record " + name);
+    cache_.insert_or_assign(name, std::move(m));
+  }
+  return count;
+}
+
+const CellModel& CharacterizedLibrary::model(const std::string& cell_name) {
+  const auto it = cache_.find(cell_name);
+  if (it != cache_.end()) return it->second;
+  const CellMaster& master = library_.by_name(cell_name);
+  auto [ins, ok] =
+      cache_.emplace(cell_name, characterize_cell(master, library_.tech(), options_));
+  (void)ok;
+  return ins->second;
+}
+
+}  // namespace xtv

@@ -1,0 +1,123 @@
+// Cell pre-characterization (paper Section 4).
+//
+// Runs the transistor-level cell netlists through the SPICE-class engine to
+// produce, per cell:
+//   * NLDM-style timing tables: delay and output slew vs (input slew, load)
+//     — the "cell timing library" of Section 4.1;
+//   * an effective linear drive resistance deduced from that timing data —
+//     the Table-3 linear-resistor driver model;
+//   * the non-linear cell model of Section 4.2: a DC output-current surface
+//     I(Vin, Vout) (quasi-static) plus intrinsic output capacitance — the
+//     "simple yet non-linear" driver used in Table 4 / Figures 6-7.
+// Characterization is a one-time task per library; results are cached by
+// cell name inside CharacterizedLibrary.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell_library.h"
+#include "cells/table2d.h"
+
+namespace xtv {
+
+/// NLDM-style lookup: x axis = input slew (s), y axis = load cap (F).
+struct TimingTable {
+  Table2D delay;       ///< 50%-to-50% delay (s)
+  Table2D output_slew; ///< 10%-90% output transition (s)
+};
+
+/// Everything derived from one cell master.
+struct CellModel {
+  std::string cell;            ///< master name
+  double input_cap = 0.0;      ///< switching-pin load the cell presents (F)
+  double output_cap = 0.0;     ///< intrinsic drain cap at the output (F)
+
+  TimingTable rise;            ///< output rising
+  TimingTable fall;            ///< output falling
+
+  /// Effective linear drive resistances deduced from the timing tables
+  /// (R = d(delay)/d(Cload) / ln 2), per output direction.
+  double drive_resistance_rise = 0.0;
+  double drive_resistance_fall = 0.0;
+
+  /// Quasi-static output current surface: lookup(vin, vout) = current the
+  /// cell injects INTO its output node with the switching pin at vin (V)
+  /// and the output held at vout (V); other pins at their non-controlling
+  /// ties, enable asserted.
+  Table2D iv_surface;
+
+  /// Dynamic calibration of the quasi-static surface (per output
+  /// direction): multi-stage cells (BUF/TRIBUF/DFF/...) have internal
+  /// stages the DC surface cannot see, so their real output transition is
+  /// later and slower than the quasi-static response — by an amount that
+  /// depends on input slew AND load. The switching input wave fed to the
+  /// surface is warped by
+  ///   t' = t_start + shift + (t - t_start) * stretch,
+  /// where (shift, stretch) are characterized over the same (input slew,
+  /// load) grid as the timing tables, by replaying the surface as a scalar
+  /// ODE and matching the cell's own delay/output-slew tables. ~ (0, 1)
+  /// everywhere for single-stage cells.
+  Table2D warp_shift_rise;    ///< s
+  Table2D warp_shift_fall;
+  Table2D warp_stretch_rise;  ///< unitless, >= 1
+  Table2D warp_stretch_fall;
+
+  /// Input-warp parameters for a switching driver instance.
+  struct Warp {
+    double shift = 0.0;
+    double stretch = 1.0;
+  };
+  /// Looks up the warp for an output transition of the given direction at
+  /// an instance's input slew and total driven load (wire + receivers +
+  /// coupling, excluding the model's own output_cap).
+  Warp warp(bool output_rising, double input_slew, double load) const;
+};
+
+struct CharacterizeOptions {
+  std::vector<double> input_slews = {0.05e-9, 0.2e-9, 0.8e-9};
+  std::vector<double> load_caps = {5e-15, 20e-15, 80e-15, 240e-15};
+  int iv_grid = 25;            ///< points per axis of the I-V surface
+  double sim_dt = 2e-12;       ///< transient step for timing runs
+};
+
+/// Characterizes a single master. Throws if a timing measurement fails
+/// (e.g. the output never completes its transition within the window).
+CellModel characterize_cell(const CellMaster& master, const Technology& tech,
+                            const CharacterizeOptions& options = {});
+
+/// A cell library plus lazily-computed models, cached by name.
+/// Characterization is the paper's "one-time task": the cache can be
+/// persisted to disk and reloaded, so repeated tool runs skip it.
+class CharacterizedLibrary {
+ public:
+  explicit CharacterizedLibrary(const CellLibrary& library,
+                                const CharacterizeOptions& options = {});
+
+  /// Returns (characterizing on first use) the model for a master.
+  const CellModel& model(const std::string& cell_name);
+  const CellLibrary& library() const { return library_; }
+
+  /// True if a model is already cached (no characterization would run).
+  bool has_model(const std::string& cell_name) const {
+    return cache_.count(cell_name) > 0;
+  }
+
+  /// Writes every cached model to `path` (text format). Returns the number
+  /// of models written.
+  std::size_t save(const std::string& path) const;
+
+  /// Loads models from `path` into the cache (overwriting duplicates).
+  /// Returns the number loaded; 0 if the file does not exist. Throws on a
+  /// malformed file.
+  std::size_t load(const std::string& path);
+
+ private:
+  const CellLibrary& library_;
+  CharacterizeOptions options_;
+  std::map<std::string, CellModel> cache_;
+};
+
+}  // namespace xtv

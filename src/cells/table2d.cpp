@@ -1,0 +1,70 @@
+#include "cells/table2d.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xtv {
+
+Table2D::Table2D(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<double> z)
+    : xs_(std::move(xs)), ys_(std::move(ys)), z_(std::move(z)) {
+  if (xs_.empty() || ys_.empty() || z_.size() != xs_.size() * ys_.size())
+    throw std::runtime_error("Table2D: inconsistent dimensions");
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    if (xs_[i] <= xs_[i - 1]) throw std::runtime_error("Table2D: x not increasing");
+  for (std::size_t j = 1; j < ys_.size(); ++j)
+    if (ys_[j] <= ys_[j - 1]) throw std::runtime_error("Table2D: y not increasing");
+}
+
+void Table2D::locate(const std::vector<double>& axis, double v, std::size_t& k,
+                     double& frac) {
+  if (axis.size() == 1) {
+    k = 0;
+    frac = 0.0;
+    return;
+  }
+  if (v <= axis.front()) {
+    k = 0;
+    frac = 0.0;
+    return;
+  }
+  if (v >= axis.back()) {
+    k = axis.size() - 2;
+    frac = 1.0;
+    return;
+  }
+  const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+  k = static_cast<std::size_t>(it - axis.begin()) - 1;
+  frac = (v - axis[k]) / (axis[k + 1] - axis[k]);
+}
+
+double Table2D::lookup(double x, double y) const {
+  std::size_t i = 0, j = 0;
+  double fx = 0.0, fy = 0.0;
+  locate(xs_, x, i, fx);
+  locate(ys_, y, j, fy);
+  const std::size_t i1 = std::min(i + 1, xs_.size() - 1);
+  const std::size_t j1 = std::min(j + 1, ys_.size() - 1);
+  const double z00 = z_at(i, j);
+  const double z01 = z_at(i, j1);
+  const double z10 = z_at(i1, j);
+  const double z11 = z_at(i1, j1);
+  return (1 - fx) * ((1 - fy) * z00 + fy * z01) +
+         fx * ((1 - fy) * z10 + fy * z11);
+}
+
+double Table2D::d_dy(double x, double y) const {
+  if (ys_.size() == 1) return 0.0;
+  std::size_t i = 0, j = 0;
+  double fx = 0.0, fy = 0.0;
+  locate(xs_, x, i, fx);
+  locate(ys_, y, j, fy);
+  const std::size_t i1 = std::min(i + 1, xs_.size() - 1);
+  const double dy = ys_[j + 1] - ys_[j];
+  const double slope0 = (z_at(i, j + 1) - z_at(i, j)) / dy;
+  const double slope1 = (z_at(i1, j + 1) - z_at(i1, j)) / dy;
+  return (1 - fx) * slope0 + fx * slope1;
+}
+
+}  // namespace xtv

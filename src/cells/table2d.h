@@ -1,0 +1,46 @@
+// 2-D lookup table with bilinear interpolation — the storage format for
+// both NLDM-style timing tables (delay/slew vs input-slew x load) and the
+// non-linear cell model's output-current surface I(Vin, Vout)
+// (paper Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xtv {
+
+/// Rectangular-grid table z(x, y). Axes must be strictly increasing;
+/// lookups clamp to the grid boundary (standard library-characterization
+/// semantics).
+class Table2D {
+ public:
+  Table2D() = default;
+
+  /// `z` is row-major over (x index, y index): z[i * ys.size() + j].
+  Table2D(std::vector<double> xs, std::vector<double> ys, std::vector<double> z);
+
+  std::size_t x_size() const { return xs_.size(); }
+  std::size_t y_size() const { return ys_.size(); }
+  const std::vector<double>& x_axis() const { return xs_; }
+  const std::vector<double>& y_axis() const { return ys_; }
+  double z_at(std::size_t i, std::size_t j) const { return z_[i * ys_.size() + j]; }
+
+  /// Bilinear interpolation, clamped to the grid.
+  double lookup(double x, double y) const;
+
+  /// Partial derivative dz/dy at (x, y) from the interpolation cell (the
+  /// conductance of a current surface).
+  double d_dy(double x, double y) const;
+
+ private:
+  /// Finds the cell [k, k+1) containing v (clamped) on an axis; also
+  /// returns the interpolation fraction in [0, 1].
+  static void locate(const std::vector<double>& axis, double v, std::size_t& k,
+                     double& frac);
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> z_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,25 @@
+#include "cells/tech.h"
+
+namespace xtv {
+
+Technology Technology::default_250nm() {
+  Technology t;
+  t.nmos.type = MosType::kNmos;
+  t.nmos.vt0 = 0.50;
+  t.nmos.kp = 110e-6;
+  t.nmos.lambda = 0.05;
+  t.nmos.cox = 6e-3;
+  t.nmos.cov = 3e-10;
+  t.nmos.cj = 1.2e-3;
+
+  t.pmos.type = MosType::kPmos;
+  t.pmos.vt0 = 0.55;
+  t.pmos.kp = 45e-6;
+  t.pmos.lambda = 0.06;
+  t.pmos.cox = 6e-3;
+  t.pmos.cov = 3e-10;
+  t.pmos.cj = 1.2e-3;
+  return t;
+}
+
+}  // namespace xtv

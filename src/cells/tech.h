@@ -1,0 +1,33 @@
+// 0.25 µm-class technology parameters.
+//
+// The paper's experiments run on a TI 0.25 µm process at Vdd = 3.0 V
+// (Tables 3/4 say "Vdd = 3.0"). These values are representative textbook
+// numbers for that node — the methodology results (model-vs-SPICE error
+// shapes, speed-ups) do not depend on matching a specific foundry deck.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace xtv {
+
+struct Technology {
+  double vdd = 3.0;             ///< supply (V)
+  double lmin = 0.25e-6;        ///< minimum channel length (m)
+  double wn_unit = 0.8e-6;      ///< X1 NMOS width (m)
+  double beta_ratio = 2.0;      ///< PMOS/NMOS width ratio for equal drive
+
+  MosModel nmos;                ///< level-1 NMOS card
+  MosModel pmos;                ///< level-1 PMOS card
+
+  /// Interconnect rules (representative 0.25 µm intermediate metal).
+  double wire_r_per_m = 0.175e6;     ///< series resistance (ohm/m) at min width
+  double wire_cg_per_m = 40e-12;     ///< ground (area+fringe) cap (F/m)
+  double wire_cc_per_m = 80e-12;     ///< lateral coupling cap (F/m) at min spacing
+  double min_spacing = 0.4e-6;       ///< minimum line spacing (m)
+  double min_width = 0.4e-6;         ///< minimum line width (m)
+
+  /// Default technology instance.
+  static Technology default_250nm();
+};
+
+}  // namespace xtv

@@ -1,0 +1,79 @@
+#include "cells/transistor_driver.h"
+
+#include <cmath>
+
+#include "spice/simulator.h"
+
+namespace xtv {
+
+TransistorDcDriver::TransistorDcDriver(const CellMaster& master,
+                                       const Technology& tech, SourceWave input,
+                                       double grid_step)
+    : master_(master), tech_(tech), input_(std::move(input)), step_(grid_step) {
+  if (step_ <= 0.0)
+    throw std::runtime_error("TransistorDcDriver: grid step must be positive");
+}
+
+double TransistorDcDriver::grid_current(long gi, long gj) const {
+  const auto key = std::make_pair(gi, gj);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // Build the DC bench for this grid point and solve the cell netlist.
+  Circuit bench;
+  const int vdd = bench.add_node("vdd");
+  bench.add_vsource(vdd, Circuit::ground(), SourceWave::dc(tech_.vdd));
+  const int in = bench.add_node("in");
+  bench.add_vsource(in, Circuit::ground(),
+                    SourceWave::dc(static_cast<double>(gi) * step_));
+  const int out = bench.add_node("out");
+  std::map<std::string, int> pins{{master_.switching_pin(), in},
+                                  {master_.output_pin(), out}};
+  for (const auto& pin : master_.input_pins()) {
+    if (pin == master_.switching_pin()) continue;
+    const int tied = bench.add_node();
+    bench.add_vsource(tied, Circuit::ground(),
+                      SourceWave::dc(master_.tie_high(pin) ? tech_.vdd : 0.0));
+    pins[pin] = tied;
+  }
+  master_.instantiate(bench, pins, vdd);
+  bench.add_vsource(out, Circuit::ground(),
+                    SourceWave::dc(static_cast<double>(gj) * step_));
+  Simulator sim(bench);
+  // The forcing source is the last one added; its branch current is the
+  // current the cell injects into the output node.
+  const double i = sim.dc_full().vsource_currents.back();
+  cache_.emplace(key, i);
+  return i;
+}
+
+double TransistorDcDriver::solve_current(double vin, double vout) const {
+  // Bilinear interpolation between the four surrounding grid solves.
+  const double fi = vin / step_;
+  const double fj = vout / step_;
+  const long i0 = static_cast<long>(std::floor(fi));
+  const long j0 = static_cast<long>(std::floor(fj));
+  const double ti = fi - static_cast<double>(i0);
+  const double tj = fj - static_cast<double>(j0);
+  const double c00 = grid_current(i0, j0);
+  const double c01 = grid_current(i0, j0 + 1);
+  const double c10 = grid_current(i0 + 1, j0);
+  const double c11 = grid_current(i0 + 1, j0 + 1);
+  return (1 - ti) * ((1 - tj) * c00 + tj * c01) +
+         ti * ((1 - tj) * c10 + tj * c11);
+}
+
+double TransistorDcDriver::current(double v, double t) const {
+  return solve_current(input_.value(t), v);
+}
+
+double TransistorDcDriver::conductance(double v, double t) const {
+  const double vin = input_.value(t);
+  // Central difference on the interpolated surface (one grid step wide —
+  // consistent with the interpolation error).
+  return (solve_current(vin, v + 0.5 * step_) -
+          solve_current(vin, v - 0.5 * step_)) /
+         step_;
+}
+
+}  // namespace xtv

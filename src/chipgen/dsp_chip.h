@@ -1,0 +1,82 @@
+// Synthetic DSP-like design generator.
+//
+// Stand-in for the paper's proprietary TI DSP case study: a deterministic
+// generator that produces a chip-level routed design with the structural
+// features the evaluation exercises — thousands of nets in crowded routing
+// channels (dense pre-pruning coupling graphs, ~100-net clusters),
+// tri-state buses with multiple drivers, latch-input victim nets
+// (Figures 6/7 pick 101 of these), complementary flip-flop output pairs
+// (logic correlation), and per-net switching windows (timing correlation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cells/cell_library.h"
+#include "cells/characterize.h"
+#include "core/pruning.h"
+#include "extract/extractor.h"
+#include "sta/timing.h"
+
+namespace xtv {
+
+/// One routed chip net with its driver and load bookkeeping.
+struct ChipNet {
+  std::size_t id = 0;
+  NetRoute route;
+  std::size_t track = 0;       ///< routing track index
+  double start = 0.0;          ///< position of the driver end along the track (m)
+
+  std::string driver_cell;     ///< master driving the net (strongest, for buses)
+  std::vector<std::string> bus_drivers;  ///< all tri-state drivers (empty = point-to-point)
+  double receiver_cap = 0.0;   ///< total input cap of the fanout
+  bool latch_input = false;    ///< feeds a DFF/DLAT D-pin (Fig 6/7 victims)
+  double input_slew = 0.2e-9;  ///< transition slew at the driver input
+  TimingWindow window;         ///< switching window within the cycle
+};
+
+/// A lateral coupling between two chip nets (window geometry included).
+struct ChipCoupling {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double overlap = 0.0;
+  double spacing = 0.0;
+  double offset_a = 0.0;
+  double offset_b = 0.0;
+};
+
+struct ChipDesign {
+  std::vector<ChipNet> nets;
+  std::vector<ChipCoupling> couplings;
+  LogicCorrelation correlations;
+  std::vector<std::pair<std::size_t, std::size_t>> complementary_pairs;
+  double clock_period = 5e-9;
+};
+
+struct DspChipOptions {
+  std::uint64_t seed = 1999;     ///< DATE '99
+  std::size_t net_count = 1500;
+  std::size_t tracks = 48;       ///< routing tracks per channel model
+  double chip_span = 2e-3;       ///< channel length (m)
+  double min_net_len = 50e-6;
+  double max_net_len = 1.2e-3;
+  std::size_t bus_count = 20;    ///< tri-state bus nets
+  std::size_t bus_drivers = 4;   ///< tri-state drivers per bus
+  double latch_fraction = 0.15;  ///< fraction of nets feeding latches
+  double clock_period = 5e-9;    ///< 200 MHz-class DSP
+};
+
+/// Generates the design. Deterministic in the seed.
+ChipDesign generate_dsp_chip(const CellLibrary& library,
+                             const DspChipOptions& options = {});
+
+/// Builds the pruning database from a design: lumped ground caps and wire
+/// resistance from the extractor rules, effective driver resistances from
+/// the characterized models (tri-state buses use the strongest driver, the
+/// paper's conservative rule).
+std::vector<NetSummary> chip_net_summaries(const ChipDesign& design,
+                                           const Extractor& extractor,
+                                           CharacterizedLibrary& chars);
+
+}  // namespace xtv

@@ -1,0 +1,47 @@
+#include "core/analytic_estimates.h"
+
+#include <algorithm>
+
+namespace xtv {
+
+double devgan_noise_bound(double r_victim, double cc, double slew_rate,
+                          double vdd) {
+  const double bound = r_victim * cc * slew_rate;
+  return std::clamp(bound, 0.0, vdd);
+}
+
+double devgan_noise_bound(const VictimSpec& victim, const AggressorSpec& agg,
+                          const Extractor& extractor,
+                          CharacterizedLibrary& chars) {
+  const Technology& tech = extractor.tech();
+  const CellModel& vic_model = chars.model(victim.driver_cell);
+  const double r_hold = victim.held_high ? vic_model.drive_resistance_rise
+                                         : vic_model.drive_resistance_fall;
+  // Shared wire resistance up to the middle of the coupling window.
+  const double r_wire =
+      extractor.r_per_m(victim.route.width) *
+      std::min(agg.run.offset_a + 0.5 * agg.run.overlap, victim.route.length);
+
+  const CellModel& agg_model = chars.model(agg.driver_cell);
+  const double load = extractor.route_ground_cap(agg.route) + agg.receiver_cap +
+                      extractor.run_coupling_cap(agg.run);
+  const TimingTable& table = agg.rising ? agg_model.rise : agg_model.fall;
+  const double out_slew =
+      std::max(table.output_slew.lookup(agg.input_slew, load), 1e-12);
+  // 10-90 slew covers 80% of the swing: dV/dt = 0.8 Vdd / t_slew.
+  const double slew_rate = 0.8 * tech.vdd / out_slew;
+
+  return devgan_noise_bound(r_hold + r_wire,
+                            extractor.run_coupling_cap(agg.run), slew_rate,
+                            tech.vdd);
+}
+
+double sakurai_delay50(double rd, double rw, double cw, double cl) {
+  return 0.377 * rw * cw + 0.693 * (rd * cw + rd * cl + rw * cl);
+}
+
+double sakurai_rise90(double rd, double rw, double cw, double cl) {
+  return 1.02 * rw * cw + 2.21 * (rd * cw + rd * cl + rw * cl);
+}
+
+}  // namespace xtv

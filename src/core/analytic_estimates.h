@@ -1,0 +1,49 @@
+// Closed-form crosstalk and delay estimates from the paper's reference
+// list, used as a fast conservative screening layer ahead of the MOR
+// analysis:
+//
+//  * Devgan's coupled-noise upper bound (ICCAD'97, the paper's ref. [7]):
+//    for a victim held through resistance R against an aggressor ramping
+//    with slew rate mu through coupling capacitance Cc, the victim
+//    excursion never exceeds mu * Cc * R_total — exact in the limit of an
+//    aggressor much slower than the victim's RC, conservative otherwise.
+//
+//  * Sakurai's distributed-RC delay expressions (Trans. ED 1993, the
+//    paper's ref. [18]): 50% delay of a driver + distributed line + load,
+//    t50 = 0.377 Rw Cw + 0.693 (Rd Cw + Rd CL + Rw CL).
+//
+// The ChipVerifier can use the Devgan bound to skip clusters that cannot
+// possibly violate the noise margin (VerifierOptions::use_noise_screen),
+// which is exactly the role such estimates played in production flows.
+#pragma once
+
+#include "cells/characterize.h"
+#include "core/cluster.h"
+#include "extract/extractor.h"
+
+namespace xtv {
+
+/// Devgan-style upper bound on the victim glitch peak (volts, positive).
+/// `r_victim` is the victim's holding resistance (driver) plus the shared
+/// wire resistance to the coupling region; `cc` the total coupling cap;
+/// `slew_rate` the aggressor's output dV/dt (V/s). Clamped to `vdd`.
+double devgan_noise_bound(double r_victim, double cc, double slew_rate,
+                          double vdd);
+
+/// Convenience wrapper: computes the bound for a victim/aggressor spec
+/// pair using extractor rules and the characterized driver models
+/// (aggressor slew from its timing table at its load).
+double devgan_noise_bound(const VictimSpec& victim, const AggressorSpec& agg,
+                          const Extractor& extractor,
+                          CharacterizedLibrary& chars);
+
+/// Sakurai 50% delay of a driver (resistance rd) driving a distributed RC
+/// line (total rw, cw) into a load cl:
+///   t50 = 0.377 rw cw + 0.693 (rd cw + rd cl + rw cl).
+double sakurai_delay50(double rd, double rw, double cw, double cl);
+
+/// Sakurai 90% rise time of the same structure:
+///   t90 = 1.02 rw cw + 2.21 (rd cw + rd cl + rw cl).
+double sakurai_rise90(double rd, double rw, double cw, double cl);
+
+}  // namespace xtv

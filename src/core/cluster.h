@@ -1,0 +1,41 @@
+// Cluster descriptions for crosstalk analysis.
+//
+// After pruning, a cluster is one victim net plus its significant
+// aggressors (paper: 2-12 aggressors post-pruning on the DSP design).
+// These specs carry everything the analyzers need: routed geometry,
+// coupling windows, driver cells, transition parameters, and loads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "extract/extractor.h"
+#include "sta/timing.h"
+
+namespace xtv {
+
+/// The quiet victim of a glitch analysis (or the switching net of a
+/// coupled-delay analysis).
+struct VictimSpec {
+  NetRoute route;
+  std::string driver_cell;     ///< master name of the driving cell
+  bool held_high = true;       ///< quiet level for glitch analysis
+  double receiver_cap = 10e-15;///< capacitive load at the far end
+  TimingWindow window = TimingWindow::of(0.0, 1e-9);  ///< sensitive window
+};
+
+/// One switching aggressor.
+struct AggressorSpec {
+  NetRoute route;
+  std::string driver_cell;
+  bool rising = true;          ///< direction of the aggressor OUTPUT transition
+  double input_slew = 0.2e-9;  ///< slew of the transition at the driver input
+  double receiver_cap = 10e-15;
+  CouplingRun run;             ///< geometry vs the victim (net ids are
+                               ///< assigned by the analyzer: victim=0,
+                               ///< aggressor k = k+1)
+  TimingWindow window = TimingWindow::of(0.0, 1e-9);  ///< switching window
+  std::size_t net_id = 0;      ///< chip-level net id (for correlation lookups)
+};
+
+}  // namespace xtv

@@ -1,0 +1,175 @@
+#include "core/delay_analyzer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xtv {
+
+DelayAnalyzer::DelayAnalyzer(const Extractor& extractor,
+                             CharacterizedLibrary& chars)
+    : extractor_(extractor), chars_(chars) {}
+
+CoupledDelayResult DelayAnalyzer::analyze(const VictimSpec& victim,
+                                          bool victim_rising,
+                                          std::vector<AggressorSpec> aggressors,
+                                          const DelayAnalysisOptions& options) {
+  CoupledDelayResult out;
+  out.delay_decoupled = run_scenario(victim, victim_rising, aggressors,
+                                     /*decouple=*/true, /*move=*/false,
+                                     /*same=*/false, options);
+  out.delay_coupled = run_scenario(victim, victim_rising, aggressors,
+                                   /*decouple=*/false, /*move=*/true,
+                                   /*same=*/false, options);
+  out.delay_same_dir = run_scenario(victim, victim_rising, aggressors,
+                                    /*decouple=*/false, /*move=*/true,
+                                    /*same=*/true, options);
+  return out;
+}
+
+double DelayAnalyzer::run_scenario(const VictimSpec& victim, bool victim_rising,
+                                   const std::vector<AggressorSpec>& aggressors,
+                                   bool decouple, bool aggressors_move,
+                                   bool same_direction,
+                                   const DelayAnalysisOptions& options) {
+  const double vdd = extractor_.tech().vdd;
+
+  // --- Cluster geometry (victim = net 0). ---
+  std::vector<NetRoute> nets;
+  nets.push_back(victim.route);
+  std::vector<CouplingRun> runs;
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    nets.push_back(aggressors[k].route);
+    CouplingRun run = aggressors[k].run;
+    run.net_a = 0;
+    run.net_b = k + 1;
+    runs.push_back(run);
+  }
+  RcNetwork network = extractor_.extract_cluster(nets, runs);
+  network.add_capacitor(network.port_node(ClusterPorts::receiver(0)),
+                        RcNetwork::kGround, victim.receiver_cap);
+  for (std::size_t k = 0; k < aggressors.size(); ++k)
+    network.add_capacitor(network.port_node(ClusterPorts::receiver(k + 1)),
+                          RcNetwork::kGround, aggressors[k].receiver_cap);
+
+  const double kGminPort = 1e-9;
+  network.stamp_port_conductance(ClusterPorts::receiver(0), kGminPort);
+  for (std::size_t k = 0; k < aggressors.size(); ++k)
+    network.stamp_port_conductance(ClusterPorts::receiver(k + 1), kGminPort);
+
+  const bool nonlinear = options.driver_model == DriverModelKind::kNonlinearTable;
+
+  const CellModel& vic_model = chars_.model(victim.driver_cell);
+  double vic_r = options.fixed_resistance;
+  if (options.driver_model == DriverModelKind::kLinearResistor)
+    vic_r = victim_rising ? vic_model.drive_resistance_rise
+                          : vic_model.drive_resistance_fall;
+  network.stamp_port_conductance(ClusterPorts::driver(0),
+                                 nonlinear ? kGminPort : 1.0 / vic_r);
+
+  std::vector<double> agg_r(aggressors.size(), options.fixed_resistance);
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const bool agg_rising = same_direction ? victim_rising : !victim_rising;
+    if (options.driver_model == DriverModelKind::kLinearResistor) {
+      const CellModel& m = chars_.model(aggressors[k].driver_cell);
+      agg_r[k] = agg_rising ? m.drive_resistance_rise : m.drive_resistance_fall;
+    }
+    network.stamp_port_conductance(ClusterPorts::driver(k + 1),
+                                   nonlinear ? kGminPort : 1.0 / agg_r[k]);
+  }
+
+  if (decouple) network = network.decoupled_copy();
+
+  // --- Reduce and excite. ---
+  ReducedModel model = sympvl_reduce(network, true, options.mor);
+  ReducedSimulator sim(model);
+
+  const double t0 = options.victim_switch_time;
+  auto out_ramp = [&](const CellModel& m, bool rising, double slew_in,
+                      double load) {
+    const TimingTable& t = rising ? m.rise : m.fall;
+    const double slew = t.output_slew.lookup(slew_in, load);
+    return rising ? SourceWave::ramp(0.0, vdd, t0, slew)
+                  : SourceWave::ramp(vdd, 0.0, t0, slew);
+  };
+  const double vic_load =
+      extractor_.route_ground_cap(victim.route) + victim.receiver_cap;
+
+  SourceWave vic_ramp =
+      out_ramp(vic_model, victim_rising, options.victim_input_slew, vic_load);
+  if (nonlinear) {
+    const CellMaster& master = chars_.library().by_name(victim.driver_cell);
+    const bool in_rising = master.inverting() ? !victim_rising : victim_rising;
+    const SourceWave input =
+        in_rising ? SourceWave::ramp(0.0, vdd, t0, options.victim_input_slew)
+                  : SourceWave::ramp(vdd, 0.0, t0, options.victim_input_slew);
+    sim.set_termination(
+        ClusterPorts::driver(0),
+        std::make_shared<NonlinearTableDriver>(
+            std::make_shared<CellModel>(vic_model), input,
+            vic_model.warp(victim_rising, options.victim_input_slew, vic_load)));
+  } else {
+    std::vector<std::pair<double, double>> pts;
+    for (const auto& [t, v] : vic_ramp.breakpoints())
+      pts.emplace_back(t, v / vic_r);
+    sim.set_input(ClusterPorts::driver(0), SourceWave::pwl(std::move(pts)));
+  }
+
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const bool agg_rising = same_direction ? victim_rising : !victim_rising;
+    const AggressorSpec& agg = aggressors[k];
+    const CellModel& m = chars_.model(agg.driver_cell);
+    const double load =
+        extractor_.route_ground_cap(agg.route) + agg.receiver_cap;
+    const double hold_level = agg_rising ? 0.0 : vdd;  // pre-transition level
+    if (nonlinear) {
+      const CellMaster& master = chars_.library().by_name(agg.driver_cell);
+      const bool in_rising = master.inverting() ? !agg_rising : agg_rising;
+      SourceWave input = SourceWave::dc(master.inverting()
+                                            ? (hold_level > 0 ? 0.0 : vdd)
+                                            : hold_level);
+      if (aggressors_move)
+        input = in_rising
+                    ? SourceWave::ramp(0.0, vdd, t0, agg.input_slew)
+                    : SourceWave::ramp(vdd, 0.0, t0, agg.input_slew);
+      sim.set_termination(
+          ClusterPorts::driver(k + 1),
+          std::make_shared<NonlinearTableDriver>(
+              std::make_shared<CellModel>(m), input,
+              aggressors_move ? std::optional<CellModel::Warp>(
+                                    m.warp(agg_rising, agg.input_slew, load))
+                              : std::nullopt));
+    } else {
+      SourceWave vout = aggressors_move
+                            ? out_ramp(m, agg_rising, agg.input_slew, load)
+                            : SourceWave::dc(hold_level);
+      std::vector<std::pair<double, double>> pts;
+      for (const auto& [t, v] : vout.breakpoints())
+        pts.emplace_back(t, v / agg_r[k]);
+      sim.set_input(ClusterPorts::driver(k + 1),
+                    pts.size() == 1 ? SourceWave::dc(pts.front().second)
+                                    : SourceWave::pwl(std::move(pts)));
+    }
+  }
+
+  ReducedSimOptions ropt;
+  ropt.tstop = options.tstop;
+  ropt.dt = options.dt;
+  const ReducedSimResult res = sim.run(ropt);
+
+  // Interconnect delay: driver-port 50% crossing to receiver-port 50%.
+  const double mid = 0.5 * vdd;
+  const Waveform& wd = res.port_voltages[ClusterPorts::driver(0)];
+  const Waveform& wr = res.port_voltages[ClusterPorts::receiver(0)];
+  const auto td = wd.crossing_time(mid, victim_rising, t0 * 0.5);
+  if (!td)
+    throw std::runtime_error("DelayAnalyzer: victim driver never crossed 50%");
+  // The receiver crossing is searched independently: with same-direction
+  // aggressor switching the far end can cross BEFORE the driver end
+  // (negative interconnect delay — the optimistic case of Table 2).
+  const auto tr = wr.crossing_time(mid, victim_rising, t0 * 0.5);
+  if (!tr)
+    throw std::runtime_error("DelayAnalyzer: victim receiver never crossed 50%");
+  return *tr - *td;
+}
+
+}  // namespace xtv

@@ -1,0 +1,58 @@
+// Coupled-delay analysis (paper Section 2, Table 2).
+//
+// Measures the interconnect delay of a switching victim in two worlds:
+// "decoupled" (coupling caps grounded at both ends — the classic lumped-
+// load assumption) and "coupled" with aggressors switching, worst case
+// being the opposite direction to the victim (Miller amplification) and
+// optimistic being the same direction. The deterioration between the two
+// is the signal-integrity timing effect the paper quantifies.
+#pragma once
+
+#include "cells/characterize.h"
+#include "core/cluster.h"
+#include "core/glitch_analyzer.h"
+
+namespace xtv {
+
+struct DelayAnalysisOptions {
+  DriverModelKind driver_model = DriverModelKind::kLinearResistor;
+  double fixed_resistance = 1e3;
+  double tstop = 6e-9;
+  double dt = 2e-12;
+  double victim_input_slew = 0.1e-9;
+  double victim_switch_time = 0.5e-9;
+  SympvlOptions mor;
+};
+
+/// Victim 50%-crossing interconnect delay (driver-end ramp start to
+/// receiver-end crossing) for one victim transition direction.
+struct CoupledDelayResult {
+  double delay_decoupled = 0.0;  ///< coupling caps grounded
+  double delay_coupled = 0.0;    ///< aggressors switching opposite (worst)
+  double delay_same_dir = 0.0;   ///< aggressors switching with the victim
+};
+
+class DelayAnalyzer {
+ public:
+  DelayAnalyzer(const Extractor& extractor, CharacterizedLibrary& chars);
+
+  /// Analyzes the victim switching in direction `victim_rising`, with every
+  /// aggressor switching simultaneously. Aggressor `rising` flags in the
+  /// specs are ignored — directions are forced opposite/same per scenario.
+  CoupledDelayResult analyze(const VictimSpec& victim, bool victim_rising,
+                             std::vector<AggressorSpec> aggressors,
+                             const DelayAnalysisOptions& options);
+
+ private:
+  /// One scenario run on the MOR path; `decouple` grounds coupling caps,
+  /// `aggressors_move` selects whether aggressors switch at all.
+  double run_scenario(const VictimSpec& victim, bool victim_rising,
+                      const std::vector<AggressorSpec>& aggressors,
+                      bool decouple, bool aggressors_move, bool same_direction,
+                      const DelayAnalysisOptions& options);
+
+  const Extractor& extractor_;
+  CharacterizedLibrary& chars_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,416 @@
+#include "core/glitch_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace xtv {
+
+namespace {
+
+/// Input tie level that makes `cell` hold its output at `held_high`.
+double victim_input_level(const CellMaster& cell, bool held_high, double vdd) {
+  const bool input_high = cell.inverting() ? !held_high : held_high;
+  return input_high ? vdd : 0.0;
+}
+
+/// Direction of the aggressor INPUT transition for a given output direction.
+bool aggressor_input_rising(const CellMaster& cell, bool output_rising) {
+  return cell.inverting() ? !output_rising : output_rising;
+}
+
+}  // namespace
+
+GlitchAnalyzer::GlitchAnalyzer(const Extractor& extractor,
+                               CharacterizedLibrary& chars)
+    : extractor_(extractor), chars_(chars) {}
+
+GlitchAnalyzer::BuiltCluster GlitchAnalyzer::build_cluster(
+    const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
+    const GlitchAnalysisOptions& options) {
+  std::vector<NetRoute> nets;
+  nets.push_back(victim.route);
+  std::vector<CouplingRun> runs;
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    nets.push_back(aggressors[k].route);
+    CouplingRun run = aggressors[k].run;
+    run.net_a = 0;
+    run.net_b = k + 1;
+    runs.push_back(run);
+  }
+
+  BuiltCluster built;
+  built.network = extractor_.extract_cluster(nets, runs);
+  RcNetwork& net = built.network;
+
+  // Receiver loads at the far ends.
+  net.add_capacitor(net.port_node(ClusterPorts::receiver(0)), RcNetwork::kGround,
+                    victim.receiver_cap);
+  for (std::size_t k = 0; k < aggressors.size(); ++k)
+    net.add_capacitor(net.port_node(ClusterPorts::receiver(k + 1)),
+                      RcNetwork::kGround, aggressors[k].receiver_cap);
+
+  const double kGminPort = 1e-9;
+  // Receiver ports: regularization only (capacitive terminations, paper §3).
+  net.stamp_port_conductance(ClusterPorts::receiver(0), kGminPort);
+  for (std::size_t k = 0; k < aggressors.size(); ++k)
+    net.stamp_port_conductance(ClusterPorts::receiver(k + 1), kGminPort);
+
+  // Victim driver.
+  const CellModel& vic_model = chars_.model(victim.driver_cell);
+  switch (options.driver_model) {
+    case DriverModelKind::kLinearResistor:
+      built.victim_drive_r = victim.held_high ? vic_model.drive_resistance_rise
+                                              : vic_model.drive_resistance_fall;
+      break;
+    case DriverModelKind::kFixedResistor:
+      built.victim_drive_r = options.fixed_resistance;
+      break;
+    case DriverModelKind::kNonlinearTable:
+    case DriverModelKind::kTransistor:
+      built.victim_drive_r = 0.0;  // nonlinear termination handles holding
+      break;
+  }
+  net.stamp_port_conductance(ClusterPorts::driver(0),
+                             built.victim_drive_r > 0.0
+                                 ? 1.0 / built.victim_drive_r
+                                 : kGminPort);
+  if (options.driver_model == DriverModelKind::kNonlinearTable)
+    net.add_capacitor(net.port_node(ClusterPorts::driver(0)), RcNetwork::kGround,
+                      vic_model.output_cap);
+
+  // Aggressor drivers.
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const AggressorSpec& agg = aggressors[k];
+    const CellModel& model = chars_.model(agg.driver_cell);
+    double r = 0.0;
+    switch (options.driver_model) {
+      case DriverModelKind::kLinearResistor:
+        r = agg.rising ? model.drive_resistance_rise : model.drive_resistance_fall;
+        break;
+      case DriverModelKind::kFixedResistor:
+        r = options.fixed_resistance;
+        break;
+      case DriverModelKind::kNonlinearTable:
+      case DriverModelKind::kTransistor:
+        r = 0.0;
+        break;
+    }
+    built.agg_drive_r.push_back(r);
+    net.stamp_port_conductance(ClusterPorts::driver(k + 1),
+                               r > 0.0 ? 1.0 / r : kGminPort);
+    if (options.driver_model == DriverModelKind::kNonlinearTable)
+      net.add_capacitor(net.port_node(ClusterPorts::driver(k + 1)),
+                        RcNetwork::kGround, model.output_cap);
+  }
+  return built;
+}
+
+SourceWave GlitchAnalyzer::aggressor_output_ramp(const AggressorSpec& agg,
+                                                 double switch_time,
+                                                 const GlitchAnalysisOptions& options) {
+  const CellModel& model = chars_.model(agg.driver_cell);
+  const double vdd = extractor_.tech().vdd;
+  // Load the driver sees: its wire plus receiver plus coupling to victim.
+  const double load = extractor_.route_ground_cap(agg.route) + agg.receiver_cap +
+                      extractor_.run_coupling_cap(agg.run);
+  const TimingTable& table = agg.rising ? model.rise : model.fall;
+  const double delay = table.delay.lookup(agg.input_slew, load);
+  const double slew = table.output_slew.lookup(agg.input_slew, load);
+  const double start = std::max(switch_time + delay - 0.5 * slew, 0.0);
+  (void)options;
+  return agg.rising ? SourceWave::ramp(0.0, vdd, start, slew)
+                    : SourceWave::ramp(vdd, 0.0, start, slew);
+}
+
+std::vector<double> GlitchAnalyzer::align_switch_times(
+    const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
+    const GlitchAnalysisOptions& options) {
+  std::vector<double> times(aggressors.size(), options.default_switch_time);
+  if (!options.align_aggressors || aggressors.size() <= 1) {
+    for (std::size_t k = 0; k < aggressors.size(); ++k) {
+      const TimingWindow& w = aggressors[k].window;
+      if (w.valid)
+        times[k] = std::clamp(options.default_switch_time, w.start, w.end);
+    }
+    return times;
+  }
+
+  // Single-aggressor probe runs: find each aggressor's victim-peak latency.
+  // Probes always run on the (cheap) MOR path; the transistor abstraction
+  // is probed with its nonlinear table model.
+  GlitchAnalysisOptions probe = options;
+  probe.align_aggressors = false;
+  if (probe.driver_model == DriverModelKind::kTransistor)
+    probe.driver_model = DriverModelKind::kNonlinearTable;
+  std::vector<double> latency(aggressors.size(), 0.0);
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    AggressorSpec solo = aggressors[k];
+    solo.window = TimingWindow::of(probe.default_switch_time,
+                                   probe.default_switch_time);
+    const GlitchResult r = analyze(victim, {solo}, probe);
+    // Time of the victim's peak relative to the aggressor's switch time.
+    double t_peak = probe.default_switch_time;
+    double best = 0.0;
+    const Waveform& w = r.victim_wave;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double dev = std::fabs(w.value(i) - w.first_value());
+      if (dev > best) {
+        best = dev;
+        t_peak = w.time(i);
+      }
+    }
+    latency[k] = t_peak - probe.default_switch_time;
+  }
+
+  // Common peak time: the earliest every aggressor can reach within its
+  // window; each switch time is then clamped into its own window.
+  double t_star = 0.0;
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const TimingWindow& w = aggressors[k].window;
+    const double earliest = (w.valid ? w.start : 0.0) + latency[k];
+    t_star = std::max(t_star, earliest);
+  }
+  t_star = std::max(t_star, options.default_switch_time);
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const TimingWindow& w = aggressors[k].window;
+    double s = t_star - latency[k];
+    if (w.valid) s = std::clamp(s, w.start, w.end);
+    times[k] = std::max(s, 0.0);
+  }
+  return times;
+}
+
+GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
+                                     const std::vector<AggressorSpec>& aggressors,
+                                     const GlitchAnalysisOptions& options) {
+  if (options.driver_model == DriverModelKind::kTransistor)
+    throw std::runtime_error(
+        "GlitchAnalyzer::analyze: transistor drivers need the SPICE path");
+
+  const std::vector<double> switch_times =
+      align_switch_times(victim, aggressors, options);
+
+  BuiltCluster built = build_cluster(victim, aggressors, options);
+  const double vdd = extractor_.tech().vdd;
+
+  Timer timer;
+  ReducedModel model = sympvl_reduce(built.network, true, options.mor);
+  ReducedSimulator sim(model);
+
+  // Victim driver.
+  const CellModel& vic_model = chars_.model(victim.driver_cell);
+  std::shared_ptr<const OnePortDevice> victim_holder;
+  if (options.driver_model == DriverModelKind::kNonlinearTable) {
+    const double vin = victim_input_level(
+        chars_.library().by_name(victim.driver_cell), victim.held_high, vdd);
+    victim_holder = std::make_shared<NonlinearTableDriver>(
+        std::make_shared<CellModel>(vic_model), SourceWave::dc(vin));
+    sim.set_termination(ClusterPorts::driver(0), victim_holder);
+  } else if (victim.held_high && built.victim_drive_r > 0.0) {
+    // Norton equivalent of the Thevenin holder to Vdd.
+    sim.set_input(ClusterPorts::driver(0),
+                  SourceWave::dc(vdd / built.victim_drive_r));
+  }
+
+  // Aggressor drivers.
+  for (std::size_t k = 0; k < aggressors.size(); ++k) {
+    const AggressorSpec& agg = aggressors[k];
+    const std::size_t port = ClusterPorts::driver(k + 1);
+    if (options.driver_model == DriverModelKind::kNonlinearTable) {
+      const CellMaster& master = chars_.library().by_name(agg.driver_cell);
+      const CellModel& model = chars_.model(agg.driver_cell);
+      const bool in_rising = aggressor_input_rising(master, agg.rising);
+      const SourceWave input =
+          in_rising ? SourceWave::ramp(0.0, vdd, switch_times[k], agg.input_slew)
+                    : SourceWave::ramp(vdd, 0.0, switch_times[k], agg.input_slew);
+      const double load = extractor_.route_ground_cap(agg.route) +
+                          agg.receiver_cap +
+                          extractor_.run_coupling_cap(agg.run);
+      sim.set_termination(port, std::make_shared<NonlinearTableDriver>(
+                                    std::make_shared<CellModel>(model), input,
+                                    model.warp(agg.rising, agg.input_slew, load)));
+    } else {
+      const double g = 1.0 / built.agg_drive_r[k];
+      const SourceWave vout =
+          aggressor_output_ramp(agg, switch_times[k], options);
+      // Norton injection: i(t) = Vout(t) * g.
+      std::vector<std::pair<double, double>> pts;
+      for (const auto& [t, v] : vout.breakpoints()) pts.emplace_back(t, v * g);
+      sim.set_input(port, pts.size() == 1 ? SourceWave::dc(pts.front().second)
+                                          : SourceWave::pwl(std::move(pts)));
+    }
+  }
+
+  ReducedSimOptions ropt;
+  ropt.tstop = options.tstop;
+  ropt.dt = options.dt;
+  const ReducedSimResult res = sim.run(ropt);
+
+  GlitchResult out;
+  out.cpu_seconds = timer.elapsed();
+  out.reduced_order = model.order();
+  out.victim_wave = res.port_voltages[ClusterPorts::receiver(0)];
+  out.peak = out.victim_wave.peak_deviation();
+  out.peak_at_driver =
+      res.port_voltages[ClusterPorts::driver(0)].peak_deviation();
+  if (!aggressors.empty())
+    out.aggressor_wave = res.port_voltages[ClusterPorts::receiver(1)];
+  out.switch_times = switch_times;
+
+  // Electromigration audit: reconstruct the victim holder's current from
+  // its port-voltage waveform through the (memoryless) driver model.
+  if (victim_holder) {
+    const Waveform& vd = res.port_voltages[ClusterPorts::driver(0)];
+    Waveform current;
+    for (std::size_t i = 0; i < vd.size(); ++i)
+      current.append(vd.time(i),
+                     victim_holder->current(vd.value(i), vd.time(i)));
+    out.victim_driver_rms_current = current.rms();
+    out.victim_driver_peak_current =
+        std::max(std::fabs(current.max_value()), std::fabs(current.min_value()));
+  }
+  return out;
+}
+
+GlitchResult GlitchAnalyzer::analyze_spice(const VictimSpec& victim,
+                                           const std::vector<AggressorSpec>& aggressors,
+                                           const GlitchAnalysisOptions& options) {
+  const std::vector<double> switch_times =
+      align_switch_times(victim, aggressors, options);
+
+  // For apples-to-apples engine comparisons the SPICE path uses the exact
+  // circuit of the MOR path. Transistor drivers bring their own junction
+  // caps and conductances, so their cluster is built with bare (gmin-only)
+  // ports and no model output caps.
+  GlitchAnalysisOptions build_opts = options;
+  if (options.driver_model == DriverModelKind::kTransistor) {
+    build_opts.driver_model = DriverModelKind::kFixedResistor;
+    build_opts.fixed_resistance = 1e18;  // gmin-class stamp, no model caps
+  }
+  BuiltCluster built = build_cluster(victim, aggressors, build_opts);
+
+  const double vdd = extractor_.tech().vdd;
+  Circuit ckt;
+  std::vector<int> port_nodes;
+  for (std::size_t p = 0; p < built.network.port_count(); ++p)
+    port_nodes.push_back(ckt.add_node("port" + std::to_string(p)));
+  built.network.export_to(ckt, port_nodes);
+
+  const int vic_drv = port_nodes[ClusterPorts::driver(0)];
+  const int vic_rcv = port_nodes[ClusterPorts::receiver(0)];
+
+  Timer timer;
+  switch (options.driver_model) {
+    case DriverModelKind::kLinearResistor:
+    case DriverModelKind::kFixedResistor: {
+      if (victim.held_high && built.victim_drive_r > 0.0)
+        ckt.add_isource(Circuit::ground(), vic_drv,
+                        SourceWave::dc(vdd / built.victim_drive_r));
+      for (std::size_t k = 0; k < aggressors.size(); ++k) {
+        const double g = 1.0 / built.agg_drive_r[k];
+        const SourceWave vout =
+            aggressor_output_ramp(aggressors[k], switch_times[k], options);
+        std::vector<std::pair<double, double>> pts;
+        for (const auto& [t, v] : vout.breakpoints()) pts.emplace_back(t, v * g);
+        ckt.add_isource(Circuit::ground(),
+                        port_nodes[ClusterPorts::driver(k + 1)],
+                        pts.size() == 1 ? SourceWave::dc(pts.front().second)
+                                        : SourceWave::pwl(std::move(pts)));
+      }
+      break;
+    }
+    case DriverModelKind::kNonlinearTable: {
+      const double vin = victim_input_level(
+          chars_.library().by_name(victim.driver_cell), victim.held_high, vdd);
+      ckt.add_termination(vic_drv, std::make_shared<NonlinearTableDriver>(
+                                       std::make_shared<CellModel>(
+                                           chars_.model(victim.driver_cell)),
+                                       SourceWave::dc(vin)));
+      for (std::size_t k = 0; k < aggressors.size(); ++k) {
+        const AggressorSpec& agg = aggressors[k];
+        const CellMaster& master = chars_.library().by_name(agg.driver_cell);
+        const CellModel& model = chars_.model(agg.driver_cell);
+        const bool in_rising = aggressor_input_rising(master, agg.rising);
+        const SourceWave input =
+            in_rising
+                ? SourceWave::ramp(0.0, vdd, switch_times[k], agg.input_slew)
+                : SourceWave::ramp(vdd, 0.0, switch_times[k], agg.input_slew);
+        const double load = extractor_.route_ground_cap(agg.route) +
+                            agg.receiver_cap +
+                            extractor_.run_coupling_cap(agg.run);
+        ckt.add_termination(
+            port_nodes[ClusterPorts::driver(k + 1)],
+            std::make_shared<NonlinearTableDriver>(
+                std::make_shared<CellModel>(model), input,
+                model.warp(agg.rising, agg.input_slew, load)));
+      }
+      break;
+    }
+    case DriverModelKind::kTransistor: {
+      const int vdd_node = ckt.add_node("vdd");
+      ckt.add_vsource(vdd_node, Circuit::ground(), SourceWave::dc(vdd));
+      auto tie_side_pins = [&](const CellMaster& master,
+                               std::map<std::string, int>& pins) {
+        for (const auto& pin : master.input_pins()) {
+          if (pins.count(pin)) continue;
+          const int tied = ckt.add_node();
+          ckt.add_vsource(tied, Circuit::ground(),
+                          SourceWave::dc(master.tie_high(pin) ? vdd : 0.0));
+          pins[pin] = tied;
+        }
+      };
+      // Victim holder cell.
+      {
+        const CellMaster& master = chars_.library().by_name(victim.driver_cell);
+        const int in = ckt.add_node("vic_in");
+        ckt.add_vsource(in, Circuit::ground(),
+                        SourceWave::dc(victim_input_level(master, victim.held_high, vdd)));
+        std::map<std::string, int> pins{{master.switching_pin(), in},
+                                        {master.output_pin(), vic_drv}};
+        tie_side_pins(master, pins);
+        master.instantiate(ckt, pins, vdd_node);
+      }
+      // Aggressor driver cells with switching inputs.
+      for (std::size_t k = 0; k < aggressors.size(); ++k) {
+        const AggressorSpec& agg = aggressors[k];
+        const CellMaster& master = chars_.library().by_name(agg.driver_cell);
+        const bool in_rising = aggressor_input_rising(master, agg.rising);
+        const int in = ckt.add_node("agg_in" + std::to_string(k));
+        ckt.add_vsource(in, Circuit::ground(),
+                        in_rising
+                            ? SourceWave::ramp(0.0, vdd, switch_times[k], agg.input_slew)
+                            : SourceWave::ramp(vdd, 0.0, switch_times[k], agg.input_slew));
+        std::map<std::string, int> pins{
+            {master.switching_pin(), in},
+            {master.output_pin(), port_nodes[ClusterPorts::driver(k + 1)]}};
+        tie_side_pins(master, pins);
+        master.instantiate(ckt, pins, vdd_node);
+      }
+      break;
+    }
+  }
+
+  Simulator sim(ckt);
+  TransientOptions topt;
+  topt.tstop = options.tstop;
+  topt.dt = options.dt;
+  topt.exploit_linearity = options.spice_exploit_linearity;
+  const TransientResult res = sim.transient(
+      topt, {vic_rcv, vic_drv,
+             aggressors.empty() ? vic_rcv
+                                : port_nodes[ClusterPorts::receiver(1)]});
+
+  GlitchResult out;
+  out.cpu_seconds = timer.elapsed();
+  out.victim_wave = res.probes[0];
+  out.peak = out.victim_wave.peak_deviation();
+  out.peak_at_driver = res.probes[1].peak_deviation();
+  if (!aggressors.empty()) out.aggressor_wave = res.probes[2];
+  out.switch_times = switch_times;
+  return out;
+}
+
+}  // namespace xtv

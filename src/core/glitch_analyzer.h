@@ -1,0 +1,110 @@
+// Crosstalk glitch analysis of one cluster — the tool's central operation.
+//
+// Two engines analyze the *same* cluster:
+//   * the MOR path (the paper's contribution): extract -> SyMPVL reduce ->
+//     reduced transient with the chosen driver model;
+//   * the SPICE path (the golden reference): extract -> export the full RC
+//     circuit -> nonlinear transient, with drivers either at the same
+//     abstraction (for apples-to-apples engine comparison, Figure 3) or as
+//     full transistor-level cell netlists (Figures 6/7, Tables 3/4).
+//
+// Worst-case aggressor alignment follows the paper's methodology: each
+// aggressor's individual victim-response peak is found first (superposition
+// holds in the linear interconnect), switch times are then chosen inside
+// the aggressors' timing windows so the peaks coincide inside the victim's
+// sensitive window, and logic correlations veto impossible combinations.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cells/characterize.h"
+#include "cells/driver_models.h"
+#include "core/cluster.h"
+#include "mor/reduced_sim.h"
+#include "spice/simulator.h"
+#include "spice/waveform.h"
+
+namespace xtv {
+
+/// Driver abstraction used for an analysis run.
+enum class DriverModelKind {
+  kLinearResistor,   ///< Section 4.1: timing-library resistance + ramp source
+  kFixedResistor,    ///< a caller-specified resistance (Figure 3 uses 1 kOhm)
+  kNonlinearTable,   ///< Section 4.2: pre-characterized I(Vin, Vout) surface
+  kTransistor,       ///< full cell netlist (SPICE path only)
+};
+
+struct GlitchAnalysisOptions {
+  DriverModelKind driver_model = DriverModelKind::kNonlinearTable;
+  double fixed_resistance = 1e3;   ///< used by kFixedResistor
+  double tstop = 4e-9;
+  double dt = 2e-12;
+  SympvlOptions mor;               ///< reduction controls (MOR path)
+  bool align_aggressors = true;    ///< worst-case peak alignment pass
+  /// Allow the golden engine to reuse factorizations on linear circuits
+  /// (set false to benchmark classic refactor-every-step SPICE behavior).
+  bool spice_exploit_linearity = true;
+  double default_switch_time = 0.5e-9;  ///< aggressor input start when not aligned
+};
+
+struct GlitchResult {
+  double peak = 0.0;            ///< signed victim glitch peak (V) at the receiver
+  double peak_at_driver = 0.0;  ///< signed peak at the victim driver end
+  Waveform victim_wave;         ///< receiver-end victim waveform
+  Waveform aggressor_wave;      ///< first aggressor's receiver waveform
+  double cpu_seconds = 0.0;
+  std::size_t reduced_order = 0;  ///< MOR path only
+  std::vector<double> switch_times;  ///< chosen aggressor input start times
+
+  /// Victim driver current during the event (electromigration audit, MOR
+  /// path with the nonlinear model only; zero otherwise): the current the
+  /// holding cell sources/sinks while fighting the glitch.
+  double victim_driver_rms_current = 0.0;   ///< A (RMS over the window)
+  double victim_driver_peak_current = 0.0;  ///< A (max |i|)
+};
+
+class GlitchAnalyzer {
+ public:
+  /// Both references must outlive the analyzer. `chars` characterizes
+  /// lazily, so the first analysis with a given cell pays its one-time
+  /// cost.
+  GlitchAnalyzer(const Extractor& extractor, CharacterizedLibrary& chars);
+
+  /// MOR path (SyMPVL + reduced nonlinear transient).
+  GlitchResult analyze(const VictimSpec& victim,
+                       const std::vector<AggressorSpec>& aggressors,
+                       const GlitchAnalysisOptions& options);
+
+  /// SPICE path (full circuit, golden).
+  GlitchResult analyze_spice(const VictimSpec& victim,
+                             const std::vector<AggressorSpec>& aggressors,
+                             const GlitchAnalysisOptions& options);
+
+ private:
+  struct BuiltCluster {
+    RcNetwork network;
+    std::vector<double> agg_drive_r;    ///< per-aggressor effective R
+    double victim_drive_r = 0.0;        ///< victim holding resistance
+  };
+
+  /// Extracts the cluster network, adds receiver loads and driver output
+  /// caps, stamps port conductances per the chosen model.
+  BuiltCluster build_cluster(const VictimSpec& victim,
+                             const std::vector<AggressorSpec>& aggressors,
+                             const GlitchAnalysisOptions& options);
+
+  /// Output-voltage ramp an aggressor presents under the Thevenin models.
+  SourceWave aggressor_output_ramp(const AggressorSpec& agg, double switch_time,
+                                   const GlitchAnalysisOptions& options);
+
+  /// Picks worst-case-aligned switch times (one per aggressor).
+  std::vector<double> align_switch_times(const VictimSpec& victim,
+                                         const std::vector<AggressorSpec>& aggressors,
+                                         const GlitchAnalysisOptions& options);
+
+  const Extractor& extractor_;
+  CharacterizedLibrary& chars_;
+};
+
+}  // namespace xtv

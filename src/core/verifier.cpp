@@ -1,0 +1,200 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/analytic_estimates.h"
+#include "core/delay_analyzer.h"
+#include "util/timer.h"
+
+namespace xtv {
+
+ChipVerifier::ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars)
+    : extractor_(extractor), chars_(chars) {}
+
+std::pair<VictimSpec, std::vector<AggressorSpec>> ChipVerifier::build_victim_cluster(
+    const ChipDesign& design, const std::vector<NetSummary>& summaries,
+    const PruneResult& pruned, std::size_t victim_net,
+    VictimFinding* accounting) const {
+  const ChipNet& vnet = design.nets.at(victim_net);
+
+  VictimSpec victim;
+  victim.route = vnet.route;
+  victim.driver_cell = vnet.driver_cell;  // strongest bus driver pre-applied
+  victim.held_high = true;                // worst case analyzed per level; high here
+  victim.receiver_cap = vnet.receiver_cap;
+  victim.window = vnet.window;
+
+  std::vector<AggressorSpec> aggressors;
+  for (const auto& coupling : pruned.retained.at(victim_net)) {
+    const ChipNet& anet = design.nets.at(coupling.other);
+
+    // Timing correlation: an aggressor whose switching window cannot
+    // overlap the victim's sensitive window cannot hurt it.
+    if (!anet.window.overlaps(vnet.window)) {
+      if (accounting) ++accounting->aggressors_dropped_by_window;
+      continue;
+    }
+    // Logic correlation: the worst-case glitch on a high victim has every
+    // aggressor falling; complementary (Q/QN) aggressors cannot fall
+    // together with one already falling — veto against any previously
+    // accepted aggressor.
+    bool vetoed = false;
+    for (const AggressorSpec& prev : aggressors) {
+      if (!design.correlations.can_switch_same_direction(prev.net_id,
+                                                         coupling.other) ||
+          !design.correlations.can_switch_together(prev.net_id, coupling.other)) {
+        vetoed = true;
+        break;
+      }
+    }
+    // The victim itself may be correlated with the aggressor: a quiet
+    // victim is compatible with any aggressor switching, so only mutexes
+    // (bus enables) apply.
+    if (!vetoed &&
+        !design.correlations.can_switch_together(victim_net, coupling.other))
+      vetoed = true;
+    if (vetoed) {
+      if (accounting) ++accounting->aggressors_dropped_by_correlation;
+      continue;
+    }
+
+    AggressorSpec agg;
+    agg.route = anet.route;
+    agg.driver_cell = anet.driver_cell;
+    agg.rising = !victim.held_high;  // drive toward the opposite rail
+    agg.input_slew = anet.input_slew;
+    agg.receiver_cap = anet.receiver_cap;
+    agg.window = anet.window;
+    agg.net_id = coupling.other;
+    // Reconstruct the geometric run from the design's coupling list.
+    for (const ChipCoupling& c : design.couplings) {
+      if ((c.a == victim_net && c.b == coupling.other)) {
+        agg.run = {0, 0, c.overlap, c.spacing, c.offset_a, c.offset_b};
+        break;
+      }
+      if (c.b == victim_net && c.a == coupling.other) {
+        agg.run = {0, 0, c.overlap, c.spacing, c.offset_b, c.offset_a};
+        break;
+      }
+    }
+    if (agg.run.overlap <= 0.0) {
+      // Database coupling without geometry (shouldn't happen with the
+      // generator) — synthesize an equivalent mid-net run.
+      agg.run.overlap = std::min(vnet.route.length, anet.route.length) * 0.5;
+      agg.run.spacing = 0.0;
+    }
+    aggressors.push_back(std::move(agg));
+  }
+  (void)summaries;
+  return {std::move(victim), std::move(aggressors)};
+}
+
+VerificationReport ChipVerifier::verify(const ChipDesign& design,
+                                        const VerifierOptions& options) {
+  VerificationReport report;
+  Timer total;
+
+  const std::vector<NetSummary> summaries =
+      chip_net_summaries(design, extractor_, chars_);
+  const PruneResult pruned = prune_couplings(summaries, options.prune);
+  report.prune_stats = pruned.stats;
+
+  GlitchAnalyzer analyzer(extractor_, chars_);
+  const double vdd = extractor_.tech().vdd;
+
+  for (std::size_t v = 0; v < design.nets.size(); ++v) {
+    if (pruned.retained[v].empty()) continue;
+    if (options.latch_inputs_only && !design.nets[v].latch_input) continue;
+    if (options.max_victims > 0 && report.victims_analyzed >= options.max_victims)
+      break;
+
+    VictimFinding finding;
+    finding.net = v;
+    auto [victim, aggressors] =
+        build_victim_cluster(design, summaries, pruned, v, &finding);
+    if (aggressors.empty()) continue;
+
+    if (options.use_noise_screen) {
+      // Conservative pre-screen: the sum of per-aggressor Devgan bounds
+      // caps the combined glitch; below the margin, skip the simulation.
+      double bound = 0.0;
+      for (const AggressorSpec& agg : aggressors)
+        bound += devgan_noise_bound(victim, agg, extractor_, chars_);
+      if (bound < options.glitch_threshold * extractor_.tech().vdd) {
+        ++report.victims_screened_out;
+        continue;
+      }
+    }
+
+    const GlitchResult res = analyzer.analyze(victim, aggressors, options.glitch);
+    finding.peak = res.peak;
+    finding.peak_fraction = std::fabs(res.peak) / vdd;
+    finding.violation = finding.peak_fraction >= options.glitch_threshold;
+    finding.aggressors_analyzed = aggressors.size();
+    finding.cpu_seconds = res.cpu_seconds;
+    finding.reduced_order = res.reduced_order;
+    finding.driver_rms_current = res.victim_driver_rms_current;
+    finding.em_violation = options.em_rms_limit > 0.0 &&
+                           res.victim_driver_rms_current > options.em_rms_limit;
+
+    if (options.analyze_delay_change) {
+      // Timing recalculation: the victim as a SWITCHING net, aggressors
+      // forced opposite (worst case) vs the decoupled classic load.
+      DelayAnalyzer delays(extractor_, chars_);
+      DelayAnalysisOptions dopt;
+      dopt.driver_model = options.glitch.driver_model ==
+                                  DriverModelKind::kNonlinearTable
+                              ? DriverModelKind::kNonlinearTable
+                              : DriverModelKind::kLinearResistor;
+      dopt.victim_input_slew = design.nets[v].input_slew;
+      dopt.mor = options.glitch.mor;
+      try {
+        const CoupledDelayResult d =
+            delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
+        finding.delay_decoupled = d.delay_decoupled;
+        finding.delay_coupled = d.delay_coupled;
+      } catch (const std::exception&) {
+        // A victim that never completes its transition within the window
+        // is reported with zeroed delays rather than aborting the audit.
+      }
+    }
+    report.findings.push_back(finding);
+    ++report.victims_analyzed;
+    if (finding.violation) ++report.violations;
+  }
+  report.total_cpu_seconds = total.elapsed();
+  return report;
+}
+
+std::string VerificationReport::to_string() const {
+  std::ostringstream out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "pruning: %zu nets, couplings %zu -> %zu, avg cluster %.1f -> %.1f "
+                "(max %zu)\n",
+                prune_stats.nets, prune_stats.couplings_before,
+                prune_stats.couplings_after, prune_stats.avg_cluster_before,
+                prune_stats.avg_cluster_after, prune_stats.max_cluster_after);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "analyzed %zu victims (%zu screened out analytically), "
+                "%zu violations, %.2f s total\n",
+                victims_analyzed, victims_screened_out, violations,
+                total_cpu_seconds);
+  out << buf;
+  for (const auto& f : findings) {
+    if (!f.violation) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  VIOLATION net %zu: peak %+.3f V (%.0f%% of Vdd), "
+                  "%zu aggressors (dropped: %zu window, %zu correlation)\n",
+                  f.net, f.peak, 100.0 * f.peak_fraction, f.aggressors_analyzed,
+                  f.aggressors_dropped_by_window,
+                  f.aggressors_dropped_by_correlation);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace xtv

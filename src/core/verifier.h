@@ -1,0 +1,96 @@
+// Chip-level crosstalk verification flow — the end-to-end "tool" of the
+// paper: prune the chip-level coupling database into clusters, build each
+// victim's cluster with timing-window and logic-correlation filtering
+// (plus the tri-state-bus strongest-driver rule applied upstream), analyze
+// every cluster with the MOR engine, and report glitch violations against
+// a noise-margin threshold.
+#pragma once
+
+#include <string>
+
+#include "chipgen/dsp_chip.h"
+#include "core/glitch_analyzer.h"
+#include "core/pruning.h"
+
+namespace xtv {
+
+struct VerifierOptions {
+  PruningOptions prune;
+  GlitchAnalysisOptions glitch;
+  /// Glitch threshold as a fraction of Vdd: peaks above it are violations
+  /// (the paper reports bins at 10% and 20% of supply).
+  double glitch_threshold = 0.10;
+  /// Restrict analysis to latch-input victims (the Fig 6/7 victim set);
+  /// false analyzes every net that retains aggressors.
+  bool latch_inputs_only = false;
+  /// Cap on analyzed victims (0 = no cap) for bounded runs.
+  std::size_t max_victims = 0;
+  /// Also run the timing-recalculation pass: coupled vs decoupled victim
+  /// interconnect delay (the paper's Table-2-style signal-integrity timing
+  /// audit), filling the delay fields of each finding.
+  bool analyze_delay_change = false;
+  /// Pre-screen clusters with the Devgan analytic noise bound (the
+  /// paper's ref. [7]): when the summed conservative bounds fall below the
+  /// glitch threshold, the cluster cannot violate and its MOR simulation
+  /// is skipped. Safe (the bound is an upper bound) and fast.
+  bool use_noise_screen = false;
+  /// Electromigration audit limit on the victim driver's RMS current
+  /// during the worst-case event (A); 0 disables the check. Findings whose
+  /// RMS current exceeds it are flagged as EM violations.
+  double em_rms_limit = 0.0;
+};
+
+struct VictimFinding {
+  std::size_t net = 0;
+  double peak = 0.0;               ///< signed glitch peak (V)
+  double peak_fraction = 0.0;      ///< |peak| / Vdd
+  bool violation = false;
+  std::size_t aggressors_analyzed = 0;
+  std::size_t aggressors_dropped_by_correlation = 0;
+  std::size_t aggressors_dropped_by_window = 0;
+  double cpu_seconds = 0.0;
+  std::size_t reduced_order = 0;
+
+  /// Timing recalculation (filled when VerifierOptions::analyze_delay_change
+  /// is set): victim rise delay without and with worst-case coupling.
+  double delay_decoupled = 0.0;
+  double delay_coupled = 0.0;
+
+  /// Electromigration audit (nonlinear driver model runs).
+  double driver_rms_current = 0.0;  ///< A
+  bool em_violation = false;        ///< RMS current above the configured limit
+};
+
+struct VerificationReport {
+  PruneStats prune_stats;
+  std::vector<VictimFinding> findings;
+  std::size_t victims_analyzed = 0;
+  std::size_t victims_screened_out = 0;  ///< skipped by the Devgan bound
+  std::size_t violations = 0;
+  double total_cpu_seconds = 0.0;
+
+  std::string to_string() const;
+};
+
+class ChipVerifier {
+ public:
+  ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars);
+
+  VerificationReport verify(const ChipDesign& design,
+                            const VerifierOptions& options);
+
+  /// Builds the analyzable cluster (victim + filtered aggressor specs) for
+  /// one victim net: applies the retained-coupling list, timing-window
+  /// overlap, and logic-correlation vetoes. Exposed for the figure
+  /// benches, which need per-cluster control.
+  std::pair<VictimSpec, std::vector<AggressorSpec>> build_victim_cluster(
+      const ChipDesign& design, const std::vector<NetSummary>& summaries,
+      const PruneResult& pruned, std::size_t victim_net,
+      VictimFinding* accounting = nullptr) const;
+
+ private:
+  const Extractor& extractor_;
+  CharacterizedLibrary& chars_;
+};
+
+}  // namespace xtv

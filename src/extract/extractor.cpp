@@ -1,0 +1,137 @@
+#include "extract/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtv {
+
+Extractor::Extractor(const Technology& tech, double max_seg_len)
+    : tech_(tech), max_seg_len_(max_seg_len) {
+  if (max_seg_len_ <= 0.0)
+    throw std::runtime_error("Extractor: segment length must be positive");
+}
+
+double Extractor::r_per_m(double width) const {
+  const double w = width > 0.0 ? width : tech_.min_width;
+  return tech_.wire_r_per_m * tech_.min_width / w;
+}
+
+double Extractor::cg_per_m(double width) const {
+  const double w = width > 0.0 ? width : tech_.min_width;
+  // Area term scales with width; fringe is roughly constant. Split the
+  // rule value 60/40 between area and fringe at minimum width.
+  return tech_.wire_cg_per_m * (0.6 * w / tech_.min_width + 0.4);
+}
+
+double Extractor::cc_per_m(double spacing) const {
+  const double s = spacing > 0.0 ? spacing : tech_.min_spacing;
+  return tech_.wire_cc_per_m * tech_.min_spacing / s;
+}
+
+std::size_t Extractor::segment_count(double length) const {
+  const auto n = static_cast<std::size_t>(std::ceil(length / max_seg_len_));
+  return std::clamp<std::size_t>(n, 1, 64);
+}
+
+RcNetwork Extractor::extract_net(const NetRoute& route) const {
+  return extract_cluster({route}, {});
+}
+
+RcNetwork Extractor::extract_cluster(const std::vector<NetRoute>& nets,
+                                     const std::vector<CouplingRun>& runs) const {
+  if (nets.empty()) throw std::runtime_error("extract_cluster: no nets");
+  for (const auto& n : nets)
+    if (n.length <= 0.0)
+      throw std::runtime_error("extract_cluster: net length must be positive");
+
+  RcNetwork out;
+  // Per net: node chain positions 0..segs (node i at i * L/segs).
+  std::vector<std::vector<int>> chain(nets.size());
+  std::vector<double> seg_len(nets.size());
+
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    const NetRoute& route = nets[k];
+    const std::size_t segs = segment_count(route.length);
+    seg_len[k] = route.length / static_cast<double>(segs);
+    auto& nodes = chain[k];
+    nodes.reserve(segs + 1);
+    for (std::size_t i = 0; i <= segs; ++i)
+      nodes.push_back(out.add_node("n" + std::to_string(k) + "_" + std::to_string(i)));
+
+    const double r_seg = r_per_m(route.width) * seg_len[k];
+    const double cg_seg = cg_per_m(route.width) * seg_len[k];
+    for (std::size_t i = 0; i < segs; ++i)
+      out.add_resistor(nodes[i], nodes[i + 1], r_seg);
+    // Ground cap lumped at nodes: half segments at the two ends.
+    for (std::size_t i = 0; i <= segs; ++i) {
+      const double c = cg_seg * ((i == 0 || i == segs) ? 0.5 : 1.0);
+      if (c > 0.0) out.add_capacitor(nodes[i], RcNetwork::kGround, c);
+    }
+  }
+
+  // Coupling runs: distribute the window's coupling cap over the victim-
+  // side nodes inside the window, each tied to the nearest aligned node of
+  // the other net.
+  for (const auto& run : runs) {
+    if (run.net_a >= nets.size() || run.net_b >= nets.size() ||
+        run.net_a == run.net_b)
+      throw std::runtime_error("extract_cluster: bad coupling run nets");
+    if (run.overlap <= 0.0) continue;
+    const double total_cc = run_coupling_cap(run);
+
+    const auto& na = chain[run.net_a];
+    const auto& nb = chain[run.net_b];
+    const double la = seg_len[run.net_a];
+    const double lb = seg_len[run.net_b];
+
+    // Nodes of net_a whose position falls inside [offset_a, offset_a+overlap].
+    std::vector<std::size_t> window;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      const double pos = la * static_cast<double>(i);
+      if (pos >= run.offset_a - 0.5 * la &&
+          pos <= run.offset_a + run.overlap + 0.5 * la)
+        window.push_back(i);
+    }
+    if (window.empty()) window.push_back(std::min<std::size_t>(na.size() - 1, 0));
+
+    const double cc_each = total_cc / static_cast<double>(window.size());
+    for (std::size_t i : window) {
+      const double pos_a = la * static_cast<double>(i);
+      const double pos_b = run.offset_b + (pos_a - run.offset_a);
+      const auto j = static_cast<std::size_t>(std::clamp<long>(
+          std::lround(pos_b / lb), 0, static_cast<long>(nb.size()) - 1));
+      out.add_capacitor(na[i], nb[j], cc_each, /*coupling=*/true);
+    }
+  }
+
+  // Ports: driver + receiver per net, net-major (ClusterPorts layout).
+  for (std::size_t k = 0; k < nets.size(); ++k) {
+    out.add_port(chain[k].front());
+    out.add_port(chain[k].back());
+  }
+  return out;
+}
+
+RcNetwork Extractor::extract_parallel3(double length) const {
+  const NetRoute wire{length, 0.0};
+  // Victim (0) flanked by A1 (1) and A2 (2): two full-length runs at
+  // minimum spacing.
+  return extract_cluster(
+      {wire, wire, wire},
+      {{0, 1, length, 0.0, 0.0, 0.0}, {0, 2, length, 0.0, 0.0, 0.0}});
+}
+
+double Extractor::route_ground_cap(const NetRoute& route) const {
+  return cg_per_m(route.width) * route.length;
+}
+
+double Extractor::route_resistance(const NetRoute& route) const {
+  return r_per_m(route.width) * route.length;
+}
+
+double Extractor::run_coupling_cap(const CouplingRun& run) const {
+  return cc_per_m(run.spacing) * run.overlap;
+}
+
+}  // namespace xtv

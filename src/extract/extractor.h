@@ -1,0 +1,89 @@
+// Parasitic extraction over synthetic routed geometry.
+//
+// Stand-in for the commercial extraction flow the paper consumed (its
+// input was "parasitic data from extraction ... in RC equivalent circuit
+// form, with millions of resistors and capacitors"): per-unit-length RC
+// rules applied to wire routes, with distributed segmentation and lateral
+// coupling caps over the overlap windows between neighboring routes. The
+// output RcNetworks have exactly the structure the SyMPVL/crosstalk flow
+// consumes, so every downstream code path is exercised as in the original
+// methodology.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cells/tech.h"
+#include "netlist/rc_network.h"
+
+namespace xtv {
+
+/// One routed net, abstracted as a straight wire.
+struct NetRoute {
+  double length = 0.0;  ///< m
+  double width = 0.0;   ///< m; 0 = technology minimum
+};
+
+/// A parallel run between two routed nets: the window where they couple.
+struct CouplingRun {
+  std::size_t net_a = 0;
+  std::size_t net_b = 0;
+  double overlap = 0.0;   ///< coupled length (m)
+  double spacing = 0.0;   ///< line-to-line spacing (m); 0 = minimum
+  double offset_a = 0.0;  ///< window start along net_a (m from its driver)
+  double offset_b = 0.0;  ///< window start along net_b (m from its driver)
+};
+
+/// Port layout of an extracted cluster: 2 ports per net, net-major:
+/// port 2*k   = net k driver end,
+/// port 2*k+1 = net k far (receiver) end.
+struct ClusterPorts {
+  static std::size_t driver(std::size_t net) { return 2 * net; }
+  static std::size_t receiver(std::size_t net) { return 2 * net + 1; }
+};
+
+class Extractor {
+ public:
+  /// `max_seg_len` bounds the distributed-RC section length; smaller =
+  /// more accurate and more nodes.
+  explicit Extractor(const Technology& tech, double max_seg_len = 25e-6);
+
+  /// Per-unit-length series resistance at a drawn width (ohm/m).
+  double r_per_m(double width = 0.0) const;
+  /// Per-unit-length ground (area + fringe) capacitance (F/m).
+  double cg_per_m(double width = 0.0) const;
+  /// Per-unit-length lateral coupling capacitance at a spacing (F/m);
+  /// scales inversely with spacing from the minimum-spacing value.
+  double cc_per_m(double spacing = 0.0) const;
+
+  /// Extracts a single net; ports: [0] driver end, [1] far end.
+  RcNetwork extract_net(const NetRoute& route) const;
+
+  /// Extracts a coupled cluster. `nets[0]` is conventionally the victim.
+  /// Ports follow ClusterPorts layout. Coupling caps are distributed over
+  /// the overlap windows.
+  RcNetwork extract_cluster(const std::vector<NetRoute>& nets,
+                            const std::vector<CouplingRun>& runs) const;
+
+  /// The paper's Figure-1 structure: victim wire between two aggressors
+  /// (A1, V, A2), all of `length`, full-length overlap at minimum spacing.
+  /// Net order: 0 = victim, 1 = A1, 2 = A2.
+  RcNetwork extract_parallel3(double length) const;
+
+  /// Lumped totals for the pruning database: total cap of a route
+  /// (ground + all coupling), ground-only cap, and wire resistance.
+  double route_ground_cap(const NetRoute& route) const;
+  double route_resistance(const NetRoute& route) const;
+  /// Coupling cap of one run (applies to both nets).
+  double run_coupling_cap(const CouplingRun& run) const;
+
+  const Technology& tech() const { return tech_; }
+
+ private:
+  std::size_t segment_count(double length) const;
+
+  Technology tech_;
+  double max_seg_len_;
+};
+
+}  // namespace xtv

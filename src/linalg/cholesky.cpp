@@ -1,0 +1,85 @@
+#include "linalg/cholesky.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtv {
+
+Cholesky::Cholesky(const DenseMatrix& g, double tol) {
+  if (g.rows() != g.cols())
+    throw std::runtime_error("Cholesky: matrix must be square");
+  const std::size_t n = g.rows();
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::fabs(g(i, i)));
+  const double floor = tol * (max_diag > 0.0 ? max_diag : 1.0);
+
+  // Build the upper factor row by row: F(i,j) for j >= i, so that
+  // G = F^T F. This is the classic algorithm on the transposed convention.
+  f_ = DenseMatrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = g(i, j);
+      for (std::size_t k = 0; k < i; ++k) s -= f_(k, i) * f_(k, j);
+      if (i == j) {
+        if (s <= floor)
+          throw std::runtime_error("Cholesky: matrix is not positive definite");
+        f_(i, i) = std::sqrt(s);
+      } else {
+        f_(i, j) = s / f_(i, i);
+      }
+    }
+  }
+}
+
+Vector Cholesky::apply_f(const Vector& v) const {
+  const std::size_t n = size();
+  assert(v.size() == n);
+  Vector x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = f_.row(i);
+    double s = 0.0;
+    for (std::size_t j = i; j < n; ++j) s += row[j] * v[j];
+    x[i] = s;
+  }
+  return x;
+}
+
+Vector Cholesky::solve_f(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(b);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = f_.row(ii);
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= row[j] * x[j];
+    x[ii] = s / row[ii];
+  }
+  return x;
+}
+
+Vector Cholesky::solve_ft(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  // F^T is lower triangular with (F^T)(i,j) = F(j,i).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= f_(j, i) * x[j];
+    x[i] = s / f_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const { return solve_f(solve_ft(b)); }
+
+DenseMatrix Cholesky::solve_ft(const DenseMatrix& b) const {
+  assert(b.rows() == size());
+  DenseMatrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    x.set_column(c, solve_ft(b.column(c)));
+  return x;
+}
+
+}  // namespace xtv

@@ -1,0 +1,82 @@
+#include "linalg/dense_lu.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace xtv {
+
+DenseLu::DenseLu(DenseMatrix a, double pivot_tol) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::runtime_error("DenseLu: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best <= pivot_tol)
+      throw std::runtime_error("DenseLu: matrix is singular");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      const double* urow = lu_.row(k);
+      double* irow = lu_.row(i);
+      for (std::size_t c = k + 1; c < n; ++c) irow[c] -= m * urow[c];
+    }
+  }
+}
+
+Vector DenseLu::solve(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  // Forward substitution with permutation: L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    const double* row = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) s -= row[j] * x[j];
+    x[i] = s;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    const double* row = lu_.row(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) s -= row[j] * x[j];
+    x[ii] = s / row[ii];
+  }
+  return x;
+}
+
+DenseMatrix DenseLu::solve(const DenseMatrix& b) const {
+  assert(b.rows() == size());
+  DenseMatrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    x.set_column(c, solve(b.column(c)));
+  return x;
+}
+
+double DenseLu::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace xtv

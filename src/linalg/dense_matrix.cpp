@@ -1,0 +1,151 @@
+#include "linalg/dense_matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xtv {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  DenseMatrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+Vector DenseMatrix::column(std::size_t c) const {
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void DenseMatrix::set_column(std::size_t c, const Vector& v) {
+  assert(v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+std::string DenseMatrix::to_string(int precision) const {
+  std::ostringstream out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "% .*e ", precision, (*this)(r, c));
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Vector matvec(const DenseMatrix& a, const Vector& x) {
+  assert(x.size() == a.cols());
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const DenseMatrix& a, const Vector& x) {
+  assert(x.size() == a.rows());
+  Vector y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix matmul_at_b(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows());
+  DenseMatrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& v, double alpha) {
+  for (double& x : v) x *= alpha;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace xtv

@@ -1,0 +1,93 @@
+// Dense matrix/vector kernels.
+//
+// Post-pruning coupling clusters are small (tens to a few hundred nodes), so
+// the model-order-reduction pipeline (Cholesky, Lanczos, eigen) runs on dense
+// storage. Row-major `DenseMatrix` plus free-function BLAS-1/2/3 style
+// helpers cover everything the MOR and reduced-simulation code needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xtv {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Identity matrix of size n.
+  static DenseMatrix identity(std::size_t n);
+
+  /// Matrix from nested initializer data (rows of equal length).
+  static DenseMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row pointer (row-major contiguous).
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Transposed copy.
+  DenseMatrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Maximum |a_ij - b_ij|; matrices must have equal shape.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  /// Column c as a vector.
+  Vector column(std::size_t c) const;
+  /// Overwrites column c.
+  void set_column(std::size_t c, const Vector& v);
+
+  /// Human-readable rendering (for debugging/tests).
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A * x. Requires x.size() == A.cols().
+Vector matvec(const DenseMatrix& a, const Vector& x);
+
+/// y = A^T * x. Requires x.size() == A.rows().
+Vector matvec_transposed(const DenseMatrix& a, const Vector& x);
+
+/// C = A * B.
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A^T * B.
+DenseMatrix matmul_at_b(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Dot product; vectors must have equal length.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// y += alpha * x (in place).
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// v *= alpha (in place).
+void scale(Vector& v, double alpha);
+
+/// Maximum |a_i - b_i|; vectors must have equal length.
+double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace xtv

@@ -1,0 +1,89 @@
+#include "linalg/ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xtv {
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  return p;
+}
+
+std::vector<std::size_t> invert_permutation(const std::vector<std::size_t>& perm) {
+  std::vector<std::size_t> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) inv[perm[k]] = k;
+  return inv;
+}
+
+std::vector<std::size_t> min_degree_order(const SparseMatrix& a) {
+  if (a.rows() != a.cols())
+    throw std::runtime_error("min_degree_order: matrix must be square");
+  const std::size_t n = a.rows();
+
+  // Build symmetric adjacency (sorted, deduped, no self loops).
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+      const std::size_t r = a.row_idx()[p];
+      if (r == c) continue;
+      adj[r].push_back(c);
+      adj[c].push_back(r);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::size_t> perm;
+  perm.reserve(n);
+
+  // Bucketless minimum-degree: scan for the smallest current degree. For
+  // the node counts we factor (<= a few thousand) the quadratic scan is
+  // cheap relative to the numeric factorization it accelerates.
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_deg = n + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (eliminated[i]) continue;
+      const std::size_t deg = adj[i].size();
+      if (deg < best_deg) {
+        best_deg = deg;
+        best = i;
+        if (deg <= 1) break;  // cannot do better than a leaf/isolated node
+      }
+    }
+    assert(best < n);
+    eliminated[best] = true;
+    perm.push_back(best);
+
+    // Eliminate: connect all still-active neighbors pairwise (clique), and
+    // remove `best` from their lists.
+    std::vector<std::size_t> active;
+    active.reserve(adj[best].size());
+    for (std::size_t nb : adj[best])
+      if (!eliminated[nb]) active.push_back(nb);
+
+    for (std::size_t nb : active) {
+      auto& lst = adj[nb];
+      lst.erase(std::remove(lst.begin(), lst.end(), best), lst.end());
+      // Merge in the clique (sorted union).
+      std::vector<std::size_t> merged;
+      merged.reserve(lst.size() + active.size());
+      std::merge(lst.begin(), lst.end(), active.begin(), active.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      merged.erase(std::remove(merged.begin(), merged.end(), nb), merged.end());
+      lst = std::move(merged);
+    }
+    adj[best].clear();
+    adj[best].shrink_to_fit();
+  }
+  return perm;
+}
+
+}  // namespace xtv

@@ -1,0 +1,27 @@
+// Fill-reducing orderings for sparse factorization.
+//
+// Circuit matrices factor with dramatically less fill under a minimum-degree
+// permutation; this is the classic (non-approximate) minimum-degree
+// algorithm on the symmetrized pattern of A, sufficient for the matrix
+// sizes this engine factors (single extracted nets and clusters).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+
+namespace xtv {
+
+/// Computes a minimum-degree elimination order on the pattern of A + A^T.
+/// Returns `perm` such that column/row perm[k] of A should be eliminated
+/// k-th. A must be square.
+std::vector<std::size_t> min_degree_order(const SparseMatrix& a);
+
+/// Identity permutation of length n.
+std::vector<std::size_t> identity_order(std::size_t n);
+
+/// Returns the inverse permutation: inv[perm[k]] = k.
+std::vector<std::size_t> invert_permutation(const std::vector<std::size_t>& perm);
+
+}  // namespace xtv

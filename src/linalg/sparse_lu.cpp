@@ -1,0 +1,170 @@
+#include "linalg/sparse_lu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtv {
+
+SparseLu::SparseLu(const SparseMatrix& a, std::vector<std::size_t> col_order)
+    : q_(std::move(col_order)) {
+  if (a.rows() != a.cols())
+    throw std::runtime_error("SparseLu: matrix must be square");
+  n_ = a.rows();
+  if (q_.empty()) {
+    q_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) q_[i] = i;
+  }
+  if (q_.size() != n_)
+    throw std::runtime_error("SparseLu: column order has wrong length");
+  factor(a);
+}
+
+void SparseLu::refactor(const SparseMatrix& a) {
+  if (a.rows() != n_ || a.cols() != n_)
+    throw std::runtime_error("SparseLu::refactor: shape mismatch");
+  factor(a);
+}
+
+void SparseLu::factor(const SparseMatrix& a) {
+  pinv_.assign(n_, -1);
+  l_cols_.assign(n_, {});
+  u_cols_.assign(n_, {});
+  u_diag_.assign(n_, 0.0);
+
+  // During factorization, L columns are stored with *original* row indices;
+  // they are remapped to pivot positions at the end.
+  std::vector<double> x(n_, 0.0);
+  std::vector<int> mark(n_, -1);
+  std::vector<std::size_t> pattern;        // topological order (reversed DFS finish)
+  std::vector<std::size_t> dfs_stack;
+  std::vector<std::size_t> dfs_ptr;        // per stack frame: next child index
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t col = q_[k];
+    pattern.clear();
+
+    // --- Symbolic: pattern = Reach_L({rows of A(:,col)}) via DFS. ---
+    for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p) {
+      const std::size_t root = a.row_idx()[p];
+      if (mark[root] == static_cast<int>(k)) continue;
+      dfs_stack.assign(1, root);
+      dfs_ptr.assign(1, 0);
+      mark[root] = static_cast<int>(k);
+      static const std::vector<std::pair<std::size_t, double>> kNoChildren;
+      while (!dfs_stack.empty()) {
+        const std::size_t node = dfs_stack.back();
+        const long piv = pinv_[node];
+        const auto& children =
+            (piv >= 0) ? l_cols_[static_cast<std::size_t>(piv)] : kNoChildren;
+        bool descended = false;
+        std::size_t& ptr = dfs_ptr.back();
+        while (ptr < children.size()) {
+          const std::size_t child = children[ptr].first;
+          ++ptr;
+          if (mark[child] != static_cast<int>(k)) {
+            mark[child] = static_cast<int>(k);
+            dfs_stack.push_back(child);
+            dfs_ptr.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && ptr >= children.size()) {
+          pattern.push_back(node);  // post-order
+          dfs_stack.pop_back();
+          dfs_ptr.pop_back();
+        }
+      }
+    }
+    // Topological order = reverse post-order.
+    std::reverse(pattern.begin(), pattern.end());
+
+    // --- Numeric: x = L \ A(:,col) over the pattern. ---
+    for (std::size_t i : pattern) x[i] = 0.0;
+    for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
+      x[a.row_idx()[p]] = a.values()[p];
+    for (std::size_t i : pattern) {
+      const long piv = pinv_[i];
+      if (piv < 0) continue;  // row not yet pivotal: no elimination from it
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (const auto& [r, lv] : l_cols_[static_cast<std::size_t>(piv)])
+        x[r] -= lv * xi;
+    }
+
+    // --- Partial pivot among non-pivotal rows. ---
+    std::size_t ipiv = n_;
+    double best = 0.0;
+    for (std::size_t i : pattern) {
+      if (pinv_[i] >= 0) continue;
+      const double v = std::fabs(x[i]);
+      if (v > best) {
+        best = v;
+        ipiv = i;
+      }
+    }
+    if (ipiv == n_ || best <= 0.0)
+      throw std::runtime_error("SparseLu: matrix is singular at column " +
+                               std::to_string(col));
+
+    const double pivot = x[ipiv];
+    pinv_[ipiv] = static_cast<long>(k);
+    u_diag_[k] = pivot;
+
+    for (std::size_t i : pattern) {
+      if (i == ipiv) continue;
+      const long piv = pinv_[i];
+      if (piv >= 0 && static_cast<std::size_t>(piv) != k) {
+        // Row already pivotal: entry of U at (position piv, column k).
+        if (x[i] != 0.0)
+          u_cols_[k].emplace_back(static_cast<std::size_t>(piv), x[i]);
+      } else if (piv < 0) {
+        // Below the diagonal: entry of L (original row index, remapped later).
+        if (x[i] != 0.0) l_cols_[k].emplace_back(i, x[i] / pivot);
+      }
+    }
+  }
+
+  // Remap L row indices to pivot positions.
+  for (auto& col : l_cols_)
+    for (auto& [r, v] : col) {
+      assert(pinv_[r] >= 0);
+      r = static_cast<std::size_t>(pinv_[r]);
+    }
+}
+
+std::size_t SparseLu::factor_nnz() const {
+  std::size_t nnz = n_;  // U diagonal
+  for (const auto& c : l_cols_) nnz += c.size();
+  for (const auto& c : u_cols_) nnz += c.size();
+  return nnz;
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+  assert(b.size() == n_);
+  Vector y(n_, 0.0);
+  // Apply row permutation: y = P b.
+  for (std::size_t i = 0; i < n_; ++i)
+    y[static_cast<std::size_t>(pinv_[i])] = b[i];
+  // Forward: L y (unit diagonal).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double yk = y[k];
+    if (yk == 0.0) continue;
+    for (const auto& [pos, lv] : l_cols_[k]) y[pos] -= lv * yk;
+  }
+  // Backward: U x = y.
+  for (std::size_t kk = n_; kk-- > 0;) {
+    y[kk] /= u_diag_[kk];
+    const double yk = y[kk];
+    if (yk == 0.0) continue;
+    for (const auto& [pos, uv] : u_cols_[kk]) y[pos] -= uv * yk;
+  }
+  // Undo column permutation: x[q[k]] = y[k].
+  Vector xout(n_);
+  for (std::size_t k = 0; k < n_; ++k) xout[q_[k]] = y[k];
+  return xout;
+}
+
+}  // namespace xtv

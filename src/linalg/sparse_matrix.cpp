@@ -1,0 +1,103 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace xtv {
+
+void TripletList::add(std::size_t r, std::size_t c, double v) {
+  assert(r < rows_ && c < cols_);
+  rows_idx_.push_back(r);
+  cols_idx_.push_back(c);
+  values_.push_back(v);
+}
+
+SparseMatrix SparseMatrix::from_triplets(const TripletList& t, bool drop_zeros) {
+  SparseMatrix m;
+  m.rows_ = t.rows_;
+  m.cols_ = t.cols_;
+
+  // Count entries per column, then bucket.
+  std::vector<std::size_t> count(t.cols_ + 1, 0);
+  for (std::size_t c : t.cols_idx_) ++count[c + 1];
+  std::partial_sum(count.begin(), count.end(), count.begin());
+
+  std::vector<std::size_t> rows(t.entries());
+  std::vector<double> vals(t.entries());
+  {
+    std::vector<std::size_t> next(count.begin(), count.end() - 1);
+    for (std::size_t k = 0; k < t.entries(); ++k) {
+      const std::size_t slot = next[t.cols_idx_[k]]++;
+      rows[slot] = t.rows_idx_[k];
+      vals[slot] = t.values_[k];
+    }
+  }
+
+  // Per column: sort by row, merge duplicates.
+  m.col_ptr_.assign(t.cols_ + 1, 0);
+  for (std::size_t c = 0; c < t.cols_; ++c) {
+    const std::size_t lo = count[c];
+    const std::size_t hi = count[c + 1];
+    std::vector<std::size_t> order(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return rows[a] < rows[b]; });
+
+    std::size_t emitted = 0;
+    for (std::size_t oi = 0; oi < order.size();) {
+      const std::size_t r = rows[order[oi]];
+      double v = 0.0;
+      while (oi < order.size() && rows[order[oi]] == r) v += vals[order[oi++]];
+      if (drop_zeros && v == 0.0) continue;
+      m.row_idx_.push_back(r);
+      m.values_.push_back(v);
+      ++emitted;
+    }
+    m.col_ptr_[c + 1] = m.col_ptr_[c] + emitted;
+  }
+  return m;
+}
+
+Vector SparseMatrix::matvec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p)
+      y[row_idx_[p]] += values_[p] * xc;
+  }
+  return y;
+}
+
+Vector SparseMatrix::matvec_transposed(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double s = 0.0;
+    for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p)
+      s += values_[p] * x[row_idx_[p]];
+    y[c] = s;
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  const auto begin = row_idx_.begin() + static_cast<long>(col_ptr_[c]);
+  const auto end = row_idx_.begin() + static_cast<long>(col_ptr_[c + 1]);
+  const auto it = std::lower_bound(begin, end, r);
+  if (it == end || *it != r) return 0.0;
+  return values_[static_cast<std::size_t>(it - row_idx_.begin())];
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p)
+      d(row_idx_[p], c) += values_[p];
+  return d;
+}
+
+}  // namespace xtv

@@ -1,0 +1,78 @@
+// Compressed-sparse-column matrix storage.
+//
+// Extracted interconnect is huge and very sparse (paper Section 3: "millions
+// of resistors and capacitors"); the SPICE-class baseline engine assembles
+// MNA systems into this CSC format and factors them with the sparse LU in
+// sparse_lu.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace xtv {
+
+/// Coordinate-format accumulation buffer. Duplicate (row, col) entries are
+/// summed when compressed — exactly the semantics of MNA stamping.
+class TripletList {
+ public:
+  explicit TripletList(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  /// Adds value v at (r, c); duplicates accumulate.
+  void add(std::size_t r, std::size_t c, double v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t entries() const { return rows_idx_.size(); }
+
+  friend class SparseMatrix;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> rows_idx_;
+  std::vector<std::size_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+/// Immutable CSC sparse matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Compresses a triplet list: sums duplicates, sorts row indices within
+  /// each column, drops explicit zeros produced by cancellation only if
+  /// `drop_zeros` is set.
+  static SparseMatrix from_triplets(const TripletList& t, bool drop_zeros = false);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return row_idx_.size(); }
+
+  const std::vector<std::size_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<std::size_t>& row_idx() const { return row_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A x (dense vector).
+  Vector matvec(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector matvec_transposed(const Vector& x) const;
+
+  /// Entry lookup (binary search within the column); 0 if not present.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Densifies (for tests on small matrices only).
+  DenseMatrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> col_ptr_;  // size cols+1
+  std::vector<std::size_t> row_idx_;  // size nnz, ascending within column
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace xtv

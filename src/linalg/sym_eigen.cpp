@@ -1,0 +1,84 @@
+#include "linalg/sym_eigen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace xtv {
+
+SymEigen sym_eigen(const DenseMatrix& a_in, double tol, int max_sweeps) {
+  if (a_in.rows() != a_in.cols())
+    throw std::runtime_error("sym_eigen: matrix must be square");
+  const std::size_t n = a_in.rows();
+
+  // Work on the symmetrized copy.
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = 0.5 * (a_in(i, j) + a_in(j, i));
+
+  DenseMatrix v = DenseMatrix::identity(n);  // accumulated rotations (rows)
+  const double norm = a.frobenius_norm();
+  const double target = tol * (norm > 0.0 ? norm : 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+    if (std::sqrt(off) <= target) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A <- J^T A J where J rotates the (p, q) plane.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector rows.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vpk = v(p, k);
+          const double vqk = v(q, k);
+          v(p, k) = c * vpk - s * vqk;
+          v(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  SymEigen out;
+  out.eigenvalues.resize(n);
+  out.q = DenseMatrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.eigenvalues[i] = a(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) out.q(i, k) = v(order[i], k);
+  }
+  return out;
+}
+
+}  // namespace xtv

@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// The reduced-system integrator diagonalizes the (small, symmetric) reduced
+// matrix T = Q^T D Q once per cluster (paper Section 3, eq. (5)); Jacobi is
+// simple, unconditionally stable, and more than fast enough at reduced
+// orders of a few tens.
+#pragma once
+
+#include "linalg/dense_matrix.h"
+
+namespace xtv {
+
+/// Result of a symmetric eigendecomposition A = Q^T diag(d) Q, where the
+/// rows of Q are orthonormal eigenvectors (i.e. Q A Q^T = diag(d)).
+struct SymEigen {
+  Vector eigenvalues;  ///< ascending order
+  DenseMatrix q;       ///< row i is the eigenvector for eigenvalues[i]
+};
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method. The input is symmetrized as (A + A^T)/2 first, so tiny
+/// asymmetries from accumulation do not matter. Converges to off-diagonal
+/// Frobenius norm <= tol * ||A||_F (or max_sweeps, whichever first).
+SymEigen sym_eigen(const DenseMatrix& a, double tol = 1e-14,
+                   int max_sweeps = 64);
+
+}  // namespace xtv

@@ -1,0 +1,209 @@
+#include "mor/reduced_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/dense_lu.h"
+#include "linalg/sym_eigen.h"
+
+namespace xtv {
+
+ReducedSimulator::ReducedSimulator(const ReducedModel& model) {
+  // Diagonalize T = Q^T D Q once; the whole transient then runs in the
+  // eigenbasis.
+  const SymEigen eig = sym_eigen(model.t);
+  d_ = eig.eigenvalues;
+  // Clamp the tiny negative round-off eigenvalues a PSD T can exhibit; a
+  // genuinely indefinite T would indicate a broken reduction and is
+  // rejected (it would make the integrator unstable — the passivity
+  // guarantee of the paper's ref. [4] is what we rely on here).
+  double scale = 0.0;
+  for (double v : d_) scale = std::max(scale, std::fabs(v));
+  for (double& v : d_) {
+    if (v < -1e-9 * std::max(scale, 1e-300))
+      throw std::runtime_error("ReducedSimulator: T is not PSD (not passive)");
+    v = std::max(v, 0.0);
+  }
+  eta_ = matmul(eig.q, model.rho);
+}
+
+void ReducedSimulator::set_input(std::size_t port, SourceWave current) {
+  if (port >= port_count())
+    throw std::runtime_error("ReducedSimulator: bad input port");
+  inputs_.insert_or_assign(port, std::move(current));
+}
+
+void ReducedSimulator::set_termination(std::size_t port,
+                                       std::shared_ptr<const OnePortDevice> device) {
+  if (port >= port_count())
+    throw std::runtime_error("ReducedSimulator: bad termination port");
+  if (!device) throw std::runtime_error("ReducedSimulator: null device");
+  terminations_.insert_or_assign(port, std::move(device));
+}
+
+void ReducedSimulator::clear() {
+  inputs_.clear();
+  terminations_.clear();
+}
+
+Vector ReducedSimulator::input_currents(double t) const {
+  Vector u(port_count(), 0.0);
+  for (const auto& [port, wave] : inputs_) u[port] += wave.value(t);
+  return u;
+}
+
+bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
+                                    const Vector& d_beta,
+                                    const ReducedSimOptions& options,
+                                    std::size_t& iterations) const {
+  const std::size_t q = order();
+  const std::size_t p = port_count();
+
+  // Diagonal part Dd = I + alpha * D.
+  Vector dd_inv(q);
+  for (std::size_t i = 0; i < q; ++i) dd_inv[i] = 1.0 / (1.0 + alpha * d_[i]);
+
+  // Nonlinear port list (fixed across iterations).
+  std::vector<std::size_t> nl_ports;
+  nl_ports.reserve(terminations_.size());
+  for (const auto& [port, dev] : terminations_) {
+    (void)dev;
+    nl_ports.push_back(port);
+  }
+  const std::size_t m = nl_ports.size();
+
+  const Vector u = input_currents(t);
+
+  for (int iter = 0; iter < options.max_newton; ++iter) {
+    ++iterations;
+    // Port voltages and total currents at the trial point.
+    const Vector vports = matvec_transposed(eta_, x);
+    Vector itotal = u;
+    Vector g(m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto port = nl_ports[k];
+      const auto& dev = terminations_.at(port);
+      itotal[port] += dev->current(vports[port], t);
+      g[k] = dev->conductance(vports[port], t);
+    }
+
+    // Residual F = (I + alpha D) x + D beta - eta * itotal.
+    const Vector eta_i = matvec(eta_, itotal);
+    Vector r(q);  // r = -F (the Newton RHS)
+    for (std::size_t i = 0; i < q; ++i)
+      r[i] = eta_i[i] - ((1.0 + alpha * d_[i]) * x[i] + d_beta[i]);
+
+    // Solve (Dd - U G U^T) dx = r with U = eta columns of the nonlinear
+    // ports, via the m x m Woodbury system (I_m - S G) w = U^T Dd^{-1} r,
+    // S = U^T Dd^{-1} U; then dx = Dd^{-1}(r + U G w).
+    Vector dx(q);
+    if (m == 0) {
+      for (std::size_t i = 0; i < q; ++i) dx[i] = dd_inv[i] * r[i];
+    } else {
+      DenseMatrix s(m, m);
+      Vector srhs(m, 0.0);
+      for (std::size_t a = 0; a < m; ++a) {
+        for (std::size_t i = 0; i < q; ++i)
+          srhs[a] += eta_(i, nl_ports[a]) * dd_inv[i] * r[i];
+        for (std::size_t b = 0; b < m; ++b) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < q; ++i)
+            acc += eta_(i, nl_ports[a]) * dd_inv[i] * eta_(i, nl_ports[b]);
+          s(a, b) = acc;
+        }
+      }
+      DenseMatrix msys(m, m);
+      for (std::size_t a = 0; a < m; ++a)
+        for (std::size_t b = 0; b < m; ++b)
+          msys(a, b) = (a == b ? 1.0 : 0.0) - s(a, b) * g[b];
+      const Vector w = DenseLu(msys).solve(srhs);
+      Vector rgw = r;
+      for (std::size_t k = 0; k < m; ++k)
+        for (std::size_t i = 0; i < q; ++i)
+          rgw[i] += eta_(i, nl_ports[k]) * g[k] * w[k];
+      for (std::size_t i = 0; i < q; ++i) dx[i] = dd_inv[i] * rgw[i];
+    }
+
+    for (std::size_t i = 0; i < q; ++i) x[i] += dx[i];
+
+    // Converged when the port-voltage change is negligible.
+    double max_dv = 0.0;
+    const Vector dv = matvec_transposed(eta_, dx);
+    for (std::size_t pp = 0; pp < p; ++pp)
+      max_dv = std::max(max_dv, std::fabs(dv[pp]));
+    if (max_dv < options.v_abstol) return true;
+  }
+  return false;
+}
+
+Vector ReducedSimulator::dc_port_voltages() {
+  const std::size_t q = order();
+  Vector x(q, 0.0);
+  Vector zero(q, 0.0);
+  ReducedSimOptions opts;
+  opts.max_newton = 200;
+  std::size_t iters = 0;
+  if (!newton_solve(x, 0.0, 0.0, zero, opts, iters))
+    throw std::runtime_error("ReducedSimulator: DC fixed point failed");
+  return matvec_transposed(eta_, x);
+}
+
+ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
+  if (options.tstop <= 0.0)
+    throw std::runtime_error("ReducedSimulator: tstop must be positive");
+  const double dt = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
+  const std::size_t q = order();
+  const std::size_t p = port_count();
+
+  // DC start.
+  Vector x(q, 0.0);
+  {
+    Vector zero(q, 0.0);
+    ReducedSimOptions dc_opts = options;
+    dc_opts.max_newton = 200;
+    std::size_t iters = 0;
+    if (!newton_solve(x, 0.0, 0.0, zero, dc_opts, iters))
+      throw std::runtime_error("ReducedSimulator: DC fixed point failed");
+  }
+  Vector xdot(q, 0.0);  // steady state
+
+  ReducedSimResult result;
+  result.port_voltages.resize(p);
+  auto record = [&](double t) {
+    const Vector v = matvec_transposed(eta_, x);
+    for (std::size_t pp = 0; pp < p; ++pp) result.port_voltages[pp].append(t, v[pp]);
+  };
+  record(0.0);
+
+  const double alpha = (options.trapezoidal ? 2.0 : 1.0) / dt;
+  double t = 0.0;
+  Vector d_beta(q);
+  while (t < options.tstop - 1e-18) {
+    const double h = std::min(dt, options.tstop - t);
+    const double a = (options.trapezoidal ? 2.0 : 1.0) / h;
+    (void)alpha;
+    // beta_k: BE: -x_{k-1}/h; TRAP: -(2/h) x_{k-1} - xdot_{k-1}.
+    for (std::size_t i = 0; i < q; ++i) {
+      const double beta = options.trapezoidal ? (-a * x[i] - xdot[i]) : (-a * x[i]);
+      d_beta[i] = d_[i] * beta;
+    }
+    const Vector x_prev = x;
+    std::size_t iters = 0;
+    if (!newton_solve(x, t + h, a, d_beta, options, iters)) {
+      throw std::runtime_error("ReducedSimulator: Newton failed at t=" +
+                               std::to_string(t));
+    }
+    result.newton_iterations += iters;
+    if (options.trapezoidal) {
+      for (std::size_t i = 0; i < q; ++i)
+        xdot[i] = a * (x[i] - x_prev[i]) - xdot[i];
+    }
+    t += h;
+    ++result.steps;
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace xtv

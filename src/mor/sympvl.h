@@ -1,0 +1,79 @@
+// SyMPVL: symmetric Matrix-Padé Via Lanczos model-order reduction for
+// coupled RC interconnect (paper Section 3; Freund & Feldmann, DATE-98).
+//
+// Starting from the MNA description of the linear subcircuit,
+//     G v + C dv/dt = B i_x                                   (eq. 1)
+// the algorithm factors G = F^T F (Cholesky), changes variables x = F v to
+// obtain
+//     x + A dx/dt = L i_x,  A = F^{-T} C F^{-1},  L = F^{-T} B (eq. 2)
+// and projects onto the block Krylov subspace span{L, AL, A^2 L, ...},
+// yielding the reduced system
+//     v' + T dv'/dt = rho i_x                                  (eq. 3)
+// whose port transfer function is a matrix-Padé approximant of the
+// original's. Because A is symmetric positive semidefinite and the
+// projection is orthogonal, T inherits symmetry and PSD-ness, so the
+// reduced model is provably stable and passive.
+//
+// This implementation runs the block Lanczos sweep with full
+// reorthogonalization and column deflation: post-pruning clusters are small
+// (tens to hundreds of nodes), so robustness is worth the extra O(n q^2).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/dense_matrix.h"
+#include "netlist/rc_network.h"
+
+namespace xtv {
+
+/// The reduced-order model (T, rho) of eq. (3): q states, p ports.
+struct ReducedModel {
+  DenseMatrix t;    ///< q x q, symmetric positive semidefinite
+  DenseMatrix rho;  ///< q x p
+
+  std::size_t order() const { return t.rows(); }
+  std::size_t port_count() const { return rho.cols(); }
+
+  /// Port admittance-style transfer evaluated at real frequency-like
+  /// argument s: H(s) = rho^T (I + s T)^{-1} rho (p x p). (Real s is all
+  /// the moment/accuracy tests need; the time-domain engine never forms
+  /// H.)
+  DenseMatrix transfer(double s) const;
+
+  /// k-th block moment rho^T T^k rho (p x p). Matches the original
+  /// circuit's moments B^T (G^{-1} C)^k G^{-1} B for k < 2*floor(q/p) by
+  /// the matrix-Padé property.
+  DenseMatrix moment(unsigned k) const;
+
+  /// Smallest eigenvalue of the symmetrized T; passivity/stability hold
+  /// when this is >= -tol.
+  double min_t_eigenvalue() const;
+
+  /// True when T is PSD within tol (the provable-passivity property,
+  /// paper ref. [4]).
+  bool is_passive(double tol = 1e-9) const;
+};
+
+struct SympvlOptions {
+  std::size_t max_order = 0;      ///< 0 = automatic: min(4 * ports, n)
+  double deflation_tol = 1e-8;    ///< relative column-norm cutoff in the sweep
+};
+
+/// Runs SyMPVL on dense MNA matrices. `g` must be SPD (every node needs a
+/// resistive path to ground — stamp port/gmin conductances first), `c`
+/// symmetric PSD, `b` the node-by-port incidence. Throws on a non-SPD g.
+ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
+                           const DenseMatrix& b, const SympvlOptions& options = {});
+
+/// Convenience wrapper: reduces an RcNetwork (coupled caps included when
+/// `couple`; grounded-coupling variant used for decoupled delay analysis).
+ReducedModel sympvl_reduce(const RcNetwork& network, bool couple = true,
+                           const SympvlOptions& options = {});
+
+/// Exact k-th block moment of the *original* circuit,
+/// B^T (G^{-1} C)^k G^{-1} B — the reference for Padé moment-matching
+/// tests and order-selection heuristics.
+DenseMatrix exact_moment(const DenseMatrix& g, const DenseMatrix& c,
+                         const DenseMatrix& b, unsigned k);
+
+}  // namespace xtv

@@ -1,0 +1,169 @@
+#include "netlist/circuit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtv {
+
+SourceWave SourceWave::dc(double value) {
+  SourceWave w;
+  w.points_ = {{0.0, value}};
+  return w;
+}
+
+SourceWave SourceWave::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::runtime_error("SourceWave::pwl: empty");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].first <= points[i - 1].first)
+      throw std::runtime_error("SourceWave::pwl: times must increase");
+  SourceWave w;
+  w.points_ = std::move(points);
+  return w;
+}
+
+SourceWave SourceWave::pulse(double v0, double v1, double delay, double rise,
+                             double width, double fall) {
+  return pwl({{0.0, v0},
+              {delay, v0},
+              {delay + rise, v1},
+              {delay + rise + width, v1},
+              {delay + rise + width + fall, v0}});
+}
+
+SourceWave SourceWave::ramp(double v0, double v1, double delay, double slew) {
+  if (delay <= 0.0) return pwl({{0.0, v0}, {slew, v1}});
+  return pwl({{0.0, v0}, {delay, v0}, {delay + slew, v1}});
+}
+
+double SourceWave::value(double t) const {
+  assert(!points_.empty());
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Binary search for the segment containing t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tv, const std::pair<double, double>& p) { return tv < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (t - lo.first) / (hi.first - lo.first);
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+double SourceWave::max_slope() const {
+  double m = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = points_[i].first - points_[i - 1].first;
+    const double dv = points_[i].second - points_[i - 1].second;
+    if (dt > 0.0) m = std::max(m, std::fabs(dv / dt));
+  }
+  return m;
+}
+
+Circuit::Circuit() { node_names_.push_back("0"); }
+
+int Circuit::add_node(const std::string& name) {
+  const int id = node_count();
+  node_names_.push_back(name.empty() ? "n" + std::to_string(id) : name);
+  return id;
+}
+
+int Circuit::find_node(const std::string& name) const {
+  for (int i = 0; i < node_count(); ++i)
+    if (node_names_[static_cast<std::size_t>(i)] == name) return i;
+  return -1;
+}
+
+void Circuit::check_node(int id) const {
+  if (id < 0 || id >= node_count())
+    throw std::runtime_error("Circuit: invalid node id " + std::to_string(id));
+}
+
+void Circuit::add_resistor(int a, int b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms <= 0.0) throw std::runtime_error("Circuit: resistor must be positive");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(int a, int b, double farads, bool coupling) {
+  check_node(a);
+  check_node(b);
+  if (farads < 0.0) throw std::runtime_error("Circuit: capacitor must be >= 0");
+  capacitors_.push_back({a, b, farads, coupling});
+}
+
+void Circuit::add_vsource(int pos, int neg, SourceWave wave) {
+  check_node(pos);
+  check_node(neg);
+  vsources_.push_back({pos, neg, std::move(wave)});
+}
+
+void Circuit::add_isource(int from, int into, SourceWave wave) {
+  check_node(from);
+  check_node(into);
+  isources_.push_back({from, into, std::move(wave)});
+}
+
+int Circuit::add_model(const MosModel& model) {
+  models_.push_back(model);
+  return static_cast<int>(models_.size()) - 1;
+}
+
+void Circuit::add_mosfet(int d, int g, int s, int model, double w, double l) {
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  if (model < 0 || model >= static_cast<int>(models_.size()))
+    throw std::runtime_error("Circuit: invalid model index");
+  if (w <= 0.0 || l <= 0.0)
+    throw std::runtime_error("Circuit: MOSFET dimensions must be positive");
+  mosfets_.push_back({d, g, s, model, w, l});
+}
+
+void Circuit::add_termination(int node, std::shared_ptr<const OnePortDevice> device) {
+  check_node(node);
+  if (!device) throw std::runtime_error("Circuit: null termination device");
+  terminations_.push_back({node, std::move(device)});
+}
+
+std::vector<int> Circuit::merge(const Circuit& other,
+                                const std::vector<int>& their_node,
+                                const std::vector<int>& my_node) {
+  if (their_node.size() != my_node.size())
+    throw std::runtime_error("Circuit::merge: mapping arrays differ in length");
+
+  std::vector<int> xlat(static_cast<std::size_t>(other.node_count()), -1);
+  xlat[0] = ground();
+  for (std::size_t i = 0; i < their_node.size(); ++i) {
+    other.check_node(their_node[i]);
+    check_node(my_node[i]);
+    xlat[static_cast<std::size_t>(their_node[i])] = my_node[i];
+  }
+  for (int id = 1; id < other.node_count(); ++id) {
+    auto& slot = xlat[static_cast<std::size_t>(id)];
+    if (slot < 0) slot = add_node();
+  }
+
+  // Model indices shift by our current model count.
+  const int model_base = static_cast<int>(models_.size());
+  for (const auto& m : other.models_) models_.push_back(m);
+
+  auto tr = [&](int id) { return xlat[static_cast<std::size_t>(id)]; };
+  for (const auto& r : other.resistors_)
+    resistors_.push_back({tr(r.a), tr(r.b), r.ohms});
+  for (const auto& c : other.capacitors_)
+    capacitors_.push_back({tr(c.a), tr(c.b), c.farads, c.coupling});
+  for (const auto& v : other.vsources_)
+    vsources_.push_back({tr(v.pos), tr(v.neg), v.wave});
+  for (const auto& i : other.isources_)
+    isources_.push_back({tr(i.from), tr(i.into), i.wave});
+  for (const auto& m : other.mosfets_)
+    mosfets_.push_back({tr(m.d), tr(m.g), tr(m.s), m.model + model_base, m.w, m.l});
+  for (const auto& nt : other.terminations_)
+    terminations_.push_back({tr(nt.node), nt.device});
+  return xlat;
+}
+
+}  // namespace xtv

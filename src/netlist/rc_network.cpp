@@ -1,0 +1,153 @@
+#include "netlist/rc_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xtv {
+
+int RcNetwork::add_node(const std::string& name) {
+  const int id = node_count();
+  names_.push_back(name.empty() ? "n" + std::to_string(id) : name);
+  return id;
+}
+
+void RcNetwork::check_endpoint(int id) const {
+  if (id != kGround && (id < 0 || id >= node_count()))
+    throw std::runtime_error("RcNetwork: invalid node " + std::to_string(id));
+}
+
+void RcNetwork::add_resistor(int a, int b, double ohms) {
+  check_endpoint(a);
+  check_endpoint(b);
+  if (ohms <= 0.0) throw std::runtime_error("RcNetwork: resistor must be positive");
+  if (a == b) throw std::runtime_error("RcNetwork: resistor endpoints equal");
+  resistors_.push_back({a, b, ohms});
+}
+
+void RcNetwork::add_capacitor(int a, int b, double farads, bool coupling) {
+  check_endpoint(a);
+  check_endpoint(b);
+  if (farads < 0.0) throw std::runtime_error("RcNetwork: capacitor must be >= 0");
+  if (a == b) throw std::runtime_error("RcNetwork: capacitor endpoints equal");
+  capacitors_.push_back({a, b, farads, coupling});
+}
+
+int RcNetwork::add_port(int node) {
+  check_endpoint(node);
+  if (node == kGround) throw std::runtime_error("RcNetwork: port cannot be ground");
+  if (std::find(ports_.begin(), ports_.end(), node) != ports_.end())
+    throw std::runtime_error("RcNetwork: node is already a port");
+  ports_.push_back(node);
+  port_g_.push_back(0.0);
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void RcNetwork::stamp_port_conductance(std::size_t p, double g) {
+  if (g < 0.0) throw std::runtime_error("RcNetwork: negative port conductance");
+  port_g_.at(p) += g;
+}
+
+DenseMatrix RcNetwork::g_matrix() const {
+  const auto n = static_cast<std::size_t>(node_count());
+  DenseMatrix g(n, n);
+  for (const auto& r : resistors_) {
+    const double cond = 1.0 / r.ohms;
+    if (r.a != kGround) g(static_cast<std::size_t>(r.a), static_cast<std::size_t>(r.a)) += cond;
+    if (r.b != kGround) g(static_cast<std::size_t>(r.b), static_cast<std::size_t>(r.b)) += cond;
+    if (r.a != kGround && r.b != kGround) {
+      g(static_cast<std::size_t>(r.a), static_cast<std::size_t>(r.b)) -= cond;
+      g(static_cast<std::size_t>(r.b), static_cast<std::size_t>(r.a)) -= cond;
+    }
+  }
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    const auto node = static_cast<std::size_t>(ports_[p]);
+    g(node, node) += port_g_[p];
+  }
+  return g;
+}
+
+DenseMatrix RcNetwork::c_matrix(bool couple) const {
+  const auto n = static_cast<std::size_t>(node_count());
+  DenseMatrix c(n, n);
+  for (const auto& cap : capacitors_) {
+    const bool treat_coupled = couple || !cap.coupling;
+    if (treat_coupled) {
+      if (cap.a != kGround)
+        c(static_cast<std::size_t>(cap.a), static_cast<std::size_t>(cap.a)) += cap.farads;
+      if (cap.b != kGround)
+        c(static_cast<std::size_t>(cap.b), static_cast<std::size_t>(cap.b)) += cap.farads;
+      if (cap.a != kGround && cap.b != kGround) {
+        c(static_cast<std::size_t>(cap.a), static_cast<std::size_t>(cap.b)) -= cap.farads;
+        c(static_cast<std::size_t>(cap.b), static_cast<std::size_t>(cap.a)) -= cap.farads;
+      }
+    } else {
+      // Decoupled analysis: the coupling cap is split into two grounded
+      // caps of the same value (paper Section 2, Table 2 setup).
+      if (cap.a != kGround)
+        c(static_cast<std::size_t>(cap.a), static_cast<std::size_t>(cap.a)) += cap.farads;
+      if (cap.b != kGround)
+        c(static_cast<std::size_t>(cap.b), static_cast<std::size_t>(cap.b)) += cap.farads;
+    }
+  }
+  return c;
+}
+
+DenseMatrix RcNetwork::b_matrix() const {
+  DenseMatrix b(static_cast<std::size_t>(node_count()), ports_.size());
+  for (std::size_t p = 0; p < ports_.size(); ++p)
+    b(static_cast<std::size_t>(ports_[p]), p) = 1.0;
+  return b;
+}
+
+double RcNetwork::node_total_cap(int node) const {
+  check_endpoint(node);
+  double total = 0.0;
+  for (const auto& cap : capacitors_)
+    if (cap.a == node || cap.b == node) total += cap.farads;
+  return total;
+}
+
+RcNetwork RcNetwork::decoupled_copy() const {
+  RcNetwork out = *this;
+  out.capacitors_.clear();
+  for (const auto& cap : capacitors_) {
+    if (!cap.coupling) {
+      out.capacitors_.push_back(cap);
+      continue;
+    }
+    if (cap.a != kGround) out.capacitors_.push_back({cap.a, kGround, cap.farads, false});
+    if (cap.b != kGround) out.capacitors_.push_back({cap.b, kGround, cap.farads, false});
+  }
+  return out;
+}
+
+std::vector<int> RcNetwork::export_to(Circuit& dst,
+                                      const std::vector<int>& port_nodes,
+                                      bool include_port_conductances) const {
+  if (port_nodes.size() != ports_.size())
+    throw std::runtime_error("RcNetwork::export_to: port mapping size mismatch");
+
+  std::vector<int> xlat(static_cast<std::size_t>(node_count()), -1);
+  for (std::size_t p = 0; p < ports_.size(); ++p)
+    xlat[static_cast<std::size_t>(ports_[p])] = port_nodes[p];
+  for (int i = 0; i < node_count(); ++i) {
+    auto& slot = xlat[static_cast<std::size_t>(i)];
+    if (slot < 0) slot = dst.add_node();
+  }
+
+  auto tr = [&](int id) {
+    return id == kGround ? Circuit::ground() : xlat[static_cast<std::size_t>(id)];
+  };
+  for (const auto& r : resistors_) dst.add_resistor(tr(r.a), tr(r.b), r.ohms);
+  for (const auto& c : capacitors_)
+    dst.add_capacitor(tr(c.a), tr(c.b), c.farads, c.coupling);
+  if (include_port_conductances) {
+    for (std::size_t p = 0; p < ports_.size(); ++p)
+      if (port_g_[p] > 0.0)
+        dst.add_resistor(tr(ports_[p]), Circuit::ground(), 1.0 / port_g_[p]);
+  }
+  return xlat;
+}
+
+}  // namespace xtv

@@ -1,0 +1,104 @@
+// Linear coupled-RC network view with I/O ports.
+//
+// This is the object SyMPVL reduces (paper Section 3, eq. (1)):
+//   G v + C dv/dt = B i_x
+// where G collects resistor (plus stamped termination-conductance) stamps,
+// C collects grounded and coupling capacitor stamps, and B selects the
+// I/O ports. Ground is implicit: matrices only cover internal nodes, so a
+// network whose every node has a resistive path to ground (guaranteed by
+// the per-port gmin/termination stamps) yields a symmetric positive
+// definite G as the paper assumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "netlist/circuit.h"
+
+namespace xtv {
+
+/// Coupled-RC cluster: nodes (ground implicit), resistors, capacitors,
+/// ports. Produces the dense MNA matrices consumed by the MOR engine and
+/// can export itself into a `Circuit` for golden SPICE-level analysis.
+class RcNetwork {
+ public:
+  /// Adds an internal node; returns its index (0-based; ground is NOT a
+  /// node here — use kGround as an endpoint instead).
+  int add_node(const std::string& name = "");
+
+  /// Endpoint value meaning "ground" for element connections.
+  static constexpr int kGround = -1;
+
+  int node_count() const { return static_cast<int>(names_.size()); }
+  const std::string& node_name(int id) const { return names_.at(static_cast<std::size_t>(id)); }
+
+  /// Resistor between nodes a and b (either may be kGround).
+  void add_resistor(int a, int b, double ohms);
+
+  /// Capacitor between nodes a and b (either may be kGround). `coupling`
+  /// tags inter-net coupling caps so decoupled ("grounded") variants can be
+  /// derived for the Table-2 style comparison.
+  void add_capacitor(int a, int b, double farads, bool coupling = false);
+
+  /// Declares node `node` as I/O port number ports().size(); returns the
+  /// port index. A node may be a port at most once.
+  int add_port(int node);
+
+  std::size_t port_count() const { return ports_.size(); }
+  const std::vector<int>& ports() const { return ports_; }
+  int port_node(std::size_t p) const { return ports_.at(p); }
+
+  /// Stamps a termination conductance `g` (to ground) at port p into G.
+  /// Used to fold linear driver/holder resistances into the reduced model
+  /// and to regularize otherwise-floating ports (gmin).
+  void stamp_port_conductance(std::size_t p, double g);
+
+  /// Conductance stamped so far at port p.
+  double port_conductance(std::size_t p) const { return port_g_.at(p); }
+
+  /// Dense G (conductance) matrix over internal nodes, including port
+  /// termination stamps. Symmetric; positive definite whenever every node
+  /// has a resistive path to ground.
+  DenseMatrix g_matrix() const;
+
+  /// Dense C (capacitance) matrix. `couple` selects whether coupling caps
+  /// appear as floating caps (true, the real circuit) or grounded at both
+  /// ends (false — the "decoupled" analysis of Table 2).
+  DenseMatrix c_matrix(bool couple = true) const;
+
+  /// Port incidence matrix B (nodes x ports): B(node, p) = 1 at each port
+  /// node.
+  DenseMatrix b_matrix() const;
+
+  /// Total capacitance seen by a node (sum of incident caps, coupling caps
+  /// included at full value).
+  double node_total_cap(int node) const;
+
+  /// Exports the network into `dst`, creating fresh nodes. Port p is wired
+  /// to dst node `port_nodes[p]` (must be provided for every port).
+  /// Termination conductances stamped via stamp_port_conductance are
+  /// exported as resistors to ground so SPICE sees the identical linear
+  /// circuit. Returns the dst node id for every internal node.
+  std::vector<int> export_to(Circuit& dst, const std::vector<int>& port_nodes,
+                             bool include_port_conductances = true) const;
+
+  /// Returns a copy with every coupling capacitor replaced by two grounded
+  /// caps of the same value — the "decoupled" analysis variant of the
+  /// paper's Table 2 (total load preserved, no inter-net paths).
+  RcNetwork decoupled_copy() const;
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+
+ private:
+  void check_endpoint(int id) const;
+
+  std::vector<std::string> names_;
+  std::vector<Resistor> resistors_;    // node ids or kGround
+  std::vector<Capacitor> capacitors_;  // node ids or kGround
+  std::vector<int> ports_;
+  std::vector<double> port_g_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,316 @@
+#include "netlist/spice_deck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtv {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& text) {
+  if (text.empty()) throw std::runtime_error("empty numeric value");
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error("malformed numeric value '" + text + "'");
+  }
+  std::string suffix = lower(text.substr(pos));
+  // Strip trailing unit letters SPICE ignores (e.g. "2.5kohm", "10pf").
+  static const std::map<std::string, double> kScale = {
+      {"", 1.0},   {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+      {"m", 1e-3}, {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12}};
+  // Longest-match on known prefixes of the suffix.
+  for (const char* key : {"meg", "f", "p", "n", "u", "m", "k", "g", "t"}) {
+    if (suffix.rfind(key, 0) == 0) return base * kScale.at(key);
+  }
+  if (suffix.empty() || std::isalpha(static_cast<unsigned char>(suffix[0])))
+    return base;  // unknown letters = unit annotation, scale 1
+  throw std::runtime_error("malformed numeric value '" + text + "'");
+}
+
+std::string write_spice_deck(const Circuit& c, const std::string& title) {
+  std::ostringstream out;
+  out << "* " << title << '\n';
+  auto node = [&](int id) { return c.node_name(id); };
+
+  int idx = 0;
+  for (const auto& r : c.resistors())
+    out << 'R' << ++idx << ' ' << node(r.a) << ' ' << node(r.b) << ' '
+        << fmt(r.ohms) << '\n';
+  idx = 0;
+  for (const auto& cap : c.capacitors())
+    out << 'C' << ++idx << ' ' << node(cap.a) << ' ' << node(cap.b) << ' '
+        << fmt(cap.farads) << (cap.coupling ? " * coupling" : "") << '\n';
+  auto emit_wave = [&](const SourceWave& w) {
+    if (w.is_dc()) {
+      out << "DC " << fmt(w.value(0.0));
+      return;
+    }
+    out << "PWL(";
+    const auto& pts = w.breakpoints();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      out << fmt(pts[i].first) << ' ' << fmt(pts[i].second);
+      if (i + 1 != pts.size()) out << ' ';
+    }
+    out << ')';
+  };
+  idx = 0;
+  for (const auto& v : c.vsources()) {
+    out << 'V' << ++idx << ' ' << node(v.pos) << ' ' << node(v.neg) << ' ';
+    emit_wave(v.wave);
+    out << '\n';
+  }
+  idx = 0;
+  for (const auto& i : c.isources()) {
+    out << 'I' << ++idx << ' ' << node(i.from) << ' ' << node(i.into) << ' ';
+    emit_wave(i.wave);
+    out << '\n';
+  }
+  for (std::size_t m = 0; m < c.models().size(); ++m) {
+    const auto& mod = c.models()[m];
+    out << ".model m" << m << ' '
+        << (mod.type == MosType::kNmos ? "NMOS" : "PMOS") << " (VT0="
+        << fmt(mod.vt0) << " KP=" << fmt(mod.kp) << " LAMBDA=" << fmt(mod.lambda)
+        << ")\n";
+  }
+  idx = 0;
+  for (const auto& m : c.mosfets())
+    out << 'M' << ++idx << ' ' << node(m.d) << ' ' << node(m.g) << ' '
+        << node(m.s) << ' ' << node(Circuit::ground()) << " m" << m.model
+        << " W=" << fmt(m.w) << " L=" << fmt(m.l) << '\n';
+  if (!c.terminations().empty())
+    out << "* " << c.terminations().size()
+        << " nonlinear table termination(s) omitted (no SPICE form)\n";
+  out << ".end\n";
+  return out.str();
+}
+
+namespace {
+
+struct Tokenizer {
+  std::vector<std::string> tokens;
+
+  explicit Tokenizer(const std::string& line) {
+    std::string cur;
+    for (char ch : line) {
+      if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' || ch == ')' ||
+          ch == ',' || ch == '=') {
+        if (!cur.empty()) tokens.push_back(cur);
+        cur.clear();
+        if (ch == '=') tokens.emplace_back("=");
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    if (!cur.empty()) tokens.push_back(cur);
+  }
+};
+
+class DeckParser {
+ public:
+  explicit DeckParser(const std::string& deck) : deck_(deck) {}
+
+  Circuit parse() {
+    std::vector<std::string> lines = logical_lines();
+    // SPICE convention: the first line is always the title.
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const std::string line = strip_comment(lines[i]);
+      if (line.empty()) continue;
+      parse_line(line, i + 1);
+    }
+    resolve_mosfets();
+    return std::move(circuit_);
+  }
+
+ private:
+  static std::string strip_comment(const std::string& line) {
+    if (!line.empty() && (line[0] == '*' || line[0] == ';')) return "";
+    const auto pos = line.find(" ;");
+    std::string out = pos == std::string::npos ? line : line.substr(0, pos);
+    // Trim.
+    const auto b = out.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return "";
+    const auto e = out.find_last_not_of(" \t\r");
+    return out.substr(b, e - b + 1);
+  }
+
+  // Joins continuation lines (leading '+').
+  std::vector<std::string> logical_lines() {
+    std::vector<std::string> out;
+    std::istringstream in(deck_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '+') {
+        if (out.empty()) throw std::runtime_error("deck: continuation with no prior line");
+        out.back() += " " + line.substr(1);
+      } else {
+        out.push_back(line);
+      }
+    }
+    return out;
+  }
+
+  int node(const std::string& name) {
+    const std::string key = lower(name);
+    if (key == "0" || key == "gnd") return Circuit::ground();
+    const int found = circuit_.find_node(name);
+    return found >= 0 ? found : circuit_.add_node(name);
+  }
+
+  [[noreturn]] void fail(std::size_t line_no, const std::string& why) const {
+    throw std::runtime_error("deck line " + std::to_string(line_no) + ": " + why);
+  }
+
+  SourceWave parse_wave(const std::vector<std::string>& tok, std::size_t start,
+                        std::size_t line_no) {
+    if (start >= tok.size()) fail(line_no, "missing source value");
+    const std::string kind = lower(tok[start]);
+    if (kind == "dc") {
+      if (start + 1 >= tok.size()) fail(line_no, "DC needs a value");
+      return SourceWave::dc(parse_spice_value(tok[start + 1]));
+    }
+    if (kind == "pwl") {
+      std::vector<std::pair<double, double>> pts;
+      for (std::size_t i = start + 1; i + 1 < tok.size(); i += 2)
+        pts.emplace_back(parse_spice_value(tok[i]), parse_spice_value(tok[i + 1]));
+      if (pts.empty()) fail(line_no, "PWL needs (t v) pairs");
+      return SourceWave::pwl(std::move(pts));
+    }
+    // Bare numeric = DC.
+    return SourceWave::dc(parse_spice_value(tok[start]));
+  }
+
+  void parse_line(const std::string& line, std::size_t line_no) {
+    Tokenizer tz(line);
+    const auto& tok = tz.tokens;
+    if (tok.empty()) return;
+    const char head =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(tok[0][0])));
+
+    if (tok[0][0] == '.') {
+      const std::string dir = lower(tok[0]);
+      if (dir == ".end" || dir == ".ends") return;
+      if (dir == ".model") {
+        if (tok.size() < 3) fail(line_no, ".model needs name and type");
+        MosModel model;
+        const std::string type = lower(tok[2]);
+        if (type == "nmos")
+          model.type = MosType::kNmos;
+        else if (type == "pmos")
+          model.type = MosType::kPmos;
+        else
+          fail(line_no, "unknown model type '" + tok[2] + "'");
+        for (std::size_t i = 3; i + 2 < tok.size(); ++i) {
+          if (tok[i + 1] != "=") continue;
+          const std::string key = lower(tok[i]);
+          const double val = parse_spice_value(tok[i + 2]);
+          if (key == "vt0") model.vt0 = val;
+          else if (key == "kp") model.kp = val;
+          else if (key == "lambda") model.lambda = val;
+          else if (key == "cox") model.cox = val;
+          else if (key == "cov") model.cov = val;
+          i += 2;
+        }
+        model_ids_[lower(tok[1])] = circuit_.add_model(model);
+        return;
+      }
+      return;  // ignore other directives (.tran etc. are runner concerns)
+    }
+
+    switch (head) {
+      case 'R': {
+        if (tok.size() < 4) fail(line_no, "R needs 2 nodes and a value");
+        circuit_.add_resistor(node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        return;
+      }
+      case 'C': {
+        if (tok.size() < 4) fail(line_no, "C needs 2 nodes and a value");
+        circuit_.add_capacitor(node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        return;
+      }
+      case 'V': {
+        if (tok.size() < 4) fail(line_no, "V needs 2 nodes and a source");
+        circuit_.add_vsource(node(tok[1]), node(tok[2]), parse_wave(tok, 3, line_no));
+        return;
+      }
+      case 'I': {
+        if (tok.size() < 4) fail(line_no, "I needs 2 nodes and a source");
+        // SPICE convention: positive current flows n+ -> n- through the
+        // source, i.e. out of n+ into n-.
+        circuit_.add_isource(node(tok[1]), node(tok[2]), parse_wave(tok, 3, line_no));
+        return;
+      }
+      case 'M': {
+        if (tok.size() < 6) fail(line_no, "M needs 4 nodes and a model");
+        PendingMosfet pm;
+        pm.line_no = line_no;
+        pm.d = node(tok[1]);
+        pm.g = node(tok[2]);
+        pm.s = node(tok[3]);
+        // tok[4] = bulk (ignored), tok[5] = model name.
+        pm.model_name = lower(tok[5]);
+        for (std::size_t i = 6; i + 2 < tok.size(); ++i) {
+          if (tok[i + 1] != "=") continue;
+          const std::string key = lower(tok[i]);
+          const double val = parse_spice_value(tok[i + 2]);
+          if (key == "w") pm.w = val;
+          if (key == "l") pm.l = val;
+          i += 2;
+        }
+        pending_mosfets_.push_back(pm);
+        return;
+      }
+      default:
+        fail(line_no, "unsupported card '" + tok[0] + "'");
+    }
+  }
+
+  void resolve_mosfets() {
+    for (const auto& pm : pending_mosfets_) {
+      const auto it = model_ids_.find(pm.model_name);
+      if (it == model_ids_.end())
+        fail(pm.line_no, "unknown model '" + pm.model_name + "'");
+      circuit_.add_mosfet(pm.d, pm.g, pm.s, it->second, pm.w, pm.l);
+    }
+  }
+
+  struct PendingMosfet {
+    std::size_t line_no = 0;
+    int d = 0, g = 0, s = 0;
+    std::string model_name;
+    double w = 1e-6, l = 0.25e-6;
+  };
+
+  const std::string& deck_;
+  Circuit circuit_;
+  std::map<std::string, int> model_ids_;
+  std::vector<PendingMosfet> pending_mosfets_;
+};
+
+}  // namespace
+
+Circuit parse_spice_deck(const std::string& deck) {
+  return DeckParser(deck).parse();
+}
+
+}  // namespace xtv

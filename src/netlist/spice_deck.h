@@ -1,0 +1,36 @@
+// SPICE deck writer/parser (subset).
+//
+// Supports the element set this library generates: R, C, V/I with DC or PWL
+// waveforms, and Level-1 MOSFETs with .model cards. Useful for exporting
+// clusters to an external simulator for spot checks and for reading small
+// hand-written decks in tests and examples. Nonlinear table terminations
+// have no SPICE-standard form and are skipped with a comment line.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace xtv {
+
+/// Renders the circuit as a SPICE deck (title line + elements + .end).
+std::string write_spice_deck(const Circuit& circuit,
+                             const std::string& title = "xtv deck");
+
+/// Parses a (subset) SPICE deck into a Circuit. Recognized cards:
+///   R<name> n1 n2 value
+///   C<name> n1 n2 value
+///   V<name> n+ n- DC value | PWL(t1 v1 t2 v2 ...)
+///   I<name> n+ n- DC value | PWL(...)
+///   M<name> nd ng ns nb modelname W=... L=...
+///   .model name NMOS|PMOS (VT0=... KP=... LAMBDA=...)
+///   .end, comments (*, ;), continuation lines (+)
+/// Values accept SI suffixes f p n u m k meg g. Node "0"/"gnd" is ground.
+/// Throws std::runtime_error with a line number on malformed input.
+Circuit parse_spice_deck(const std::string& deck);
+
+/// Parses a numeric literal with SPICE engineering suffixes ("2.5k",
+/// "10MEG", "4f"). Throws on malformed input.
+double parse_spice_value(const std::string& text);
+
+}  // namespace xtv

@@ -1,0 +1,87 @@
+#include "spice/mosfet_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xtv {
+
+namespace {
+
+// Core NMOS-convention evaluation with vds >= 0 assumed.
+MosfetOp eval_nmos_forward(double beta, double vt, double lambda, double vgs,
+                           double vds) {
+  MosfetOp op;
+  const double vgst = vgs - vt;
+  if (vgst <= 0.0) {
+    // Cutoff: keep a whisper of subthreshold-like conductance out of the
+    // stamps entirely; gmin regularization is handled by the simulator.
+    return op;
+  }
+  const double clm = 1.0 + lambda * vds;
+  if (vds < vgst) {
+    // Triode.
+    op.ids = beta * (vgst * vds - 0.5 * vds * vds) * clm;
+    op.gm = beta * vds * clm;
+    op.gds = beta * ((vgst - vds) * clm +
+                     (vgst * vds - 0.5 * vds * vds) * lambda);
+  } else {
+    // Saturation.
+    const double i0 = 0.5 * beta * vgst * vgst;
+    op.ids = i0 * clm;
+    op.gm = beta * vgst * clm;
+    op.gds = i0 * lambda;
+  }
+  return op;
+}
+
+}  // namespace
+
+MosfetOp eval_mosfet(const MosModel& model, double w, double l, double vd,
+                     double vg, double vs) {
+  const double beta = model.kp * (w / l);
+  const double sign = model.type == MosType::kNmos ? 1.0 : -1.0;
+
+  // Map PMOS onto the NMOS equations by reflecting all voltages.
+  double nvd = sign * vd;
+  double nvg = sign * vg;
+  double nvs = sign * vs;
+
+  // The level-1 channel is symmetric: for vds < 0 exchange drain/source.
+  bool swapped = false;
+  if (nvd < nvs) {
+    std::swap(nvd, nvs);
+    swapped = true;
+  }
+
+  const MosfetOp fwd = eval_nmos_forward(beta, model.vt0, model.lambda,
+                                         nvg - nvs, nvd - nvs);
+
+  MosfetOp out;
+  if (!swapped) {
+    out.ids = sign * fwd.ids;
+    out.gm = fwd.gm;
+    out.gds = fwd.gds;
+  } else {
+    // With drain/source exchanged, the original-orientation current is
+    //   ids(vgs, vds) = -I(vgs - vds, -vds)
+    // where I is the forward model, giving
+    //   d ids / d vgs = -gm_fwd
+    //   d ids / d vds = gm_fwd + gds_fwd.
+    out.ids = -sign * fwd.ids;
+    out.gm = -fwd.gm;
+    out.gds = fwd.gm + fwd.gds;
+  }
+  return out;
+}
+
+MosfetCaps mosfet_caps(const MosModel& model, double w, double l) {
+  MosfetCaps caps;
+  const double channel = model.cox * w * l;
+  caps.cgs = 0.5 * channel + model.cov * w;
+  caps.cgd = 0.5 * channel + model.cov * w;
+  // Drain junction proxy: perimeter-ish area w * 3l.
+  caps.cdb = model.cj * w * 3.0 * l;
+  return caps;
+}
+
+}  // namespace xtv

@@ -1,0 +1,42 @@
+// Level-1 (Shichman–Hodges) MOSFET evaluation with analytic derivatives.
+//
+// The paper's golden reference is transistor-level SPICE; Level-1 devices
+// give realistic nonlinear driver I-V behaviour (cutoff / triode /
+// saturation, channel-length modulation) at 0.25 µm-like parameters while
+// keeping the Newton stamps analytic. Body effect is not modeled (bulk is
+// assumed tied to the source rail, the standard-cell case).
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace xtv {
+
+/// Operating-point evaluation of a MOSFET: drain current and small-signal
+/// conductances, in the device's own (possibly source/drain-swapped)
+/// orientation already mapped back to the circuit terminals.
+struct MosfetOp {
+  double ids = 0.0;  ///< current flowing drain -> source (A), sign per terminal order
+  double gm = 0.0;   ///< d ids / d vgs (S)
+  double gds = 0.0;  ///< d ids / d vds (S)
+};
+
+/// Evaluates the device at terminal voltages (vd, vg, vs) relative to
+/// ground. Handles PMOS by internal sign reflection and drain/source swap
+/// for vds < 0 (the level-1 model is symmetric).
+MosfetOp eval_mosfet(const MosModel& model, double w, double l, double vd,
+                     double vg, double vs);
+
+/// Gate-side parasitic capacitances used when stamping the device:
+/// lumped Cgs/Cgd including overlap, and a drain junction cap.
+struct MosfetCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cdb = 0.0;
+};
+
+/// Computes the fixed capacitances for a device instance. The channel
+/// charge is split 50/50 between source and drain sides (constant-cap
+/// approximation adequate for delay/glitch work at this abstraction).
+MosfetCaps mosfet_caps(const MosModel& model, double w, double l);
+
+}  // namespace xtv

@@ -1,0 +1,138 @@
+#include "spice/waveform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtv {
+
+void Waveform::append(double t, double v) {
+  if (!times_.empty() && t < times_.back())
+    throw std::runtime_error("Waveform: non-monotonic time");
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double Waveform::at(double t) const {
+  assert(!times_.empty());
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  if (span <= 0.0) return values_[hi];
+  const double frac = (t - times_[lo]) / span;
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double Waveform::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Waveform::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Waveform::peak_deviation() const {
+  assert(!values_.empty());
+  const double v0 = values_.front();
+  double best = 0.0;
+  for (double v : values_)
+    if (std::fabs(v - v0) > std::fabs(best)) best = v - v0;
+  return best;
+}
+
+std::optional<double> Waveform::crossing_time(double level, bool rising,
+                                              double after) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < after) continue;
+    const double v0 = values_[i - 1];
+    const double v1 = values_[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double span = v1 - v0;
+    const double frac = span == 0.0 ? 0.0 : (level - v0) / span;
+    const double t = times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    if (t >= after) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Waveform::slew_10_90(double v_lo, double v_hi,
+                                           bool rising) const {
+  const double v10 = v_lo + 0.1 * (v_hi - v_lo);
+  const double v90 = v_lo + 0.9 * (v_hi - v_lo);
+  if (rising) {
+    const auto t10 = crossing_time(v10, true);
+    if (!t10) return std::nullopt;
+    const auto t90 = crossing_time(v90, true, *t10);
+    if (!t90) return std::nullopt;
+    return *t90 - *t10;
+  }
+  const auto t90 = crossing_time(v90, false);
+  if (!t90) return std::nullopt;
+  const auto t10 = crossing_time(v10, false, *t90);
+  if (!t10) return std::nullopt;
+  return *t10 - *t90;
+}
+
+double Waveform::average() const {
+  assert(!times_.empty());
+  const double span = times_.back() - times_.front();
+  if (span <= 0.0) return values_.front();
+  double integral = 0.0;
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    integral += 0.5 * (values_[i] + values_[i - 1]) * (times_[i] - times_[i - 1]);
+  return integral / span;
+}
+
+double Waveform::rms() const {
+  assert(!times_.empty());
+  const double span = times_.back() - times_.front();
+  if (span <= 0.0) return std::fabs(values_.front());
+  double integral = 0.0;
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    integral += 0.5 * (values_[i] * values_[i] + values_[i - 1] * values_[i - 1]) *
+                (times_[i] - times_[i - 1]);
+  return std::sqrt(integral / span);
+}
+
+double Waveform::max_abs_error(const Waveform& other) const {
+  double err = 0.0;
+  for (double t : times_) err = std::max(err, std::fabs(at(t) - other.at(t)));
+  for (double t : other.times_) err = std::max(err, std::fabs(at(t) - other.at(t)));
+  return err;
+}
+
+std::string Waveform::to_tsv(int max_rows) const {
+  std::ostringstream out;
+  char buf[80];
+  const std::size_t n = times_.size();
+  std::size_t stride = 1;
+  if (max_rows > 0 && n > static_cast<std::size_t>(max_rows))
+    stride = (n + static_cast<std::size_t>(max_rows) - 1) /
+             static_cast<std::size_t>(max_rows);
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::snprintf(buf, sizeof(buf), "%.6e\t%.6e\n", times_[i], values_[i]);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::optional<double> measure_delay(const Waveform& in, bool in_rising,
+                                    const Waveform& out, bool out_rising,
+                                    double v_lo, double v_hi) {
+  const double mid = 0.5 * (v_lo + v_hi);
+  const auto t_in = in.crossing_time(mid, in_rising);
+  if (!t_in) return std::nullopt;
+  const auto t_out = out.crossing_time(mid, out_rising, *t_in);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+}  // namespace xtv

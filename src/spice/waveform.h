@@ -1,0 +1,83 @@
+// Sampled waveforms and the measurements the paper's experiments need:
+// glitch peaks (Tables 1/3/4, Figures 3-7), 50%-crossing delays and slews
+// (Table 2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xtv {
+
+/// A time-ordered sequence of (t, v) samples with linear interpolation
+/// between samples.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Appends a sample; time must be >= the last sample's time.
+  void append(double t, double v);
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time(std::size_t i) const { return times_.at(i); }
+  double value(std::size_t i) const { return values_.at(i); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double first_value() const { return values_.front(); }
+  double last_value() const { return values_.back(); }
+  double end_time() const { return times_.back(); }
+
+  /// Linear interpolation at time t (clamped to the end values).
+  double at(double t) const;
+
+  /// Maximum and minimum sample values.
+  double max_value() const;
+  double min_value() const;
+
+  /// Peak *excursion* from the waveform's initial value: the sample value
+  /// v* maximizing |v - v(0)|, returned as the signed deviation v* - v(0).
+  /// This is the crosstalk glitch peak when the waveform is a quiet victim.
+  double peak_deviation() const;
+
+  /// First time the waveform crosses `level` in the given direction at or
+  /// after `after`; nullopt if it never does.
+  std::optional<double> crossing_time(double level, bool rising,
+                                      double after = 0.0) const;
+
+  /// 10%-90% transition time of a full swing from v_lo to v_hi (rising) or
+  /// the mirror for falling; nullopt if the waveform does not complete the
+  /// transition.
+  std::optional<double> slew_10_90(double v_lo, double v_hi, bool rising) const;
+
+  /// Time-weighted average value over the full span (trapezoidal; the
+  /// paper's Section 4.2 requires driver models to capture "the average
+  /// and RMS current ... at the cell driving point" for electromigration
+  /// checks).
+  double average() const;
+
+  /// Time-weighted RMS value over the full span (trapezoidal on v^2).
+  double rms() const;
+
+  /// Pointwise maximum absolute difference against another waveform,
+  /// evaluated on the union of both sample grids.
+  double max_abs_error(const Waveform& other) const;
+
+  /// Renders "t v" rows (for EXPERIMENTS.md-style waveform dumps).
+  std::string to_tsv(int max_rows = 0) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// 50%-crossing delay from an input transition to an output transition:
+/// t_cross(out, 0.5*(lo+hi), out_rising) - t_cross(in, 0.5*(lo+hi), in_rising).
+/// nullopt if either crossing is missing.
+std::optional<double> measure_delay(const Waveform& in, bool in_rising,
+                                    const Waveform& out, bool out_rising,
+                                    double v_lo, double v_hi);
+
+}  // namespace xtv

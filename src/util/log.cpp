@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace xtv {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+  }
+  return "[?    ] ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "%s%s\n", prefix(level), buf);
+}
+
+}  // namespace xtv

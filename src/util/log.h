@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The verification flow runs over thousands of clusters; log output is
+// opt-in per level so test and bench output stays clean by default.
+#pragma once
+
+#include <string>
+
+namespace xtv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted (default kWarn).
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits `msg` to stderr with a level prefix if `level` >= the global
+/// threshold.
+void log(LogLevel level, const std::string& msg);
+
+/// printf-style convenience wrappers.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace xtv

@@ -1,0 +1,90 @@
+#include "util/prng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xtv {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+constexpr std::uint64_t kIncrement = 1442695040888963407ULL;
+}  // namespace
+
+void Prng::reseed(std::uint64_t seed) {
+  state_ = 0;
+  have_spare_normal_ = false;
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Prng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * kMultiplier + kIncrement;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  const auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint64_t Prng::next_u64() {
+  const std::uint64_t hi = next_u32();
+  return (hi << 32U) | next_u32();
+}
+
+double Prng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Prng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // Modulo bias is negligible for the small spans used here.
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Prng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * M_PI * v;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Prng::log_uniform(double lo, double hi) {
+  assert(lo > 0.0 && hi >= lo);
+  return lo * std::exp(uniform() * std::log(hi / lo));
+}
+
+bool Prng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Prng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  assert(total > 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace xtv

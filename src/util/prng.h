@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (synthetic chip generation, test-case
+// sweeps) must be exactly reproducible across runs and platforms, so we use
+// our own small PCG-style generator instead of std::mt19937 + distributions
+// (whose results are implementation-defined for floating point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xtv {
+
+/// PCG32 generator (O'Neill's pcg32_oneseq variant): 64-bit state, 32-bit
+/// output, period 2^64. Small, fast, and statistically solid for workload
+/// generation purposes.
+class Prng {
+ public:
+  /// Seeds the generator; two Prng objects with equal seeds produce
+  /// identical streams.
+  explicit Prng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-seeds in place, restarting the stream.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal variate (Box–Muller, deterministic pairing).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-uniform sample in [lo, hi]; lo, hi must be positive.
+  double log_uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace xtv

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xtv {
+
+void SummaryStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void SummaryStats::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double SummaryStats::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double SummaryStats::stddev() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(n_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string SummaryStats::to_string(int precision) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "avg=%.*f std=%.*f min=%.*f max=%.*f (n=%zu)",
+                precision, mean(), precision, stddev(), precision, min_,
+                precision, max_, n_);
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins >= 1);
+  assert(hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_ascii(int width, int precision) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  char buf[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(buf, sizeof(buf), "[%+.*f, %+.*f)  %6zu  ", precision,
+                  bin_lo(b), precision, bin_hi(b), counts_[b]);
+    out << buf;
+    const auto bar = static_cast<int>(
+        std::llround(static_cast<double>(width) *
+                     static_cast<double>(counts_[b]) / static_cast<double>(peak)));
+    for (int i = 0; i < bar; ++i) out << '#';
+    out << '\n';
+  }
+  return out.str();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  assert(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace xtv

@@ -1,0 +1,82 @@
+// Summary statistics and histograms for accuracy audits.
+//
+// The paper reports error distributions (Tables 3/4, Figures 3/6/7) as
+// avg/std/min/max summaries and percentage-error histograms; these helpers
+// compute and render those.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xtv {
+
+/// Streaming summary of a sample set: count, mean, standard deviation
+/// (population, like the paper's tables), min, max.
+class SummaryStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Adds every element of a sample vector.
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population standard deviation (sqrt(E[x^2] - E[x]^2), guarded >= 0).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// "avg=.. std=.. min=.. max=.." one-line rendering with the given format
+  /// precision (digits after the decimal point).
+  std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi]; samples outside the range are clamped
+/// into the first/last bin so every observation is counted (matching how the
+/// paper's error histograms show tail bins).
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi]. Requires bins >= 1
+  /// and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Upper edge of a bin.
+  double bin_hi(std::size_t bin) const;
+  /// Fraction of all samples in a bin (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart: one line per bin,
+  /// "[lo, hi)  count  ####". `width` is the length of the longest bar.
+  std::string to_ascii(int width = 40, int precision = 2) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace xtv

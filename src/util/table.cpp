@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace xtv {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::num_scaled(double v, double scale,
+                                   const std::string& suffix, int precision) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f %s", precision, v / scale,
+                suffix.c_str());
+  return buf;
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& out) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < widths[c]; ++i) out << ' ';
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  render_row(header_, out);
+  out << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) out << '-';
+    out << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) render_row(row, out);
+  return out.str();
+}
+
+}  // namespace xtv

@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary reproduces one of the paper's tables/figures and prints
+// it in a stable, diff-friendly plain-text format via this helper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xtv {
+
+/// Simple column-aligned ASCII table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering pads every column to its widest
+/// cell and draws a header separator.
+class AsciiTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double v, int precision = 3);
+  /// Formats a double in engineering style with an SI-ish suffix given a
+  /// scale factor (e.g. num_scaled(t, 1e-9, "ns")).
+  static std::string num_scaled(double v, double scale, const std::string& suffix,
+                                int precision = 3);
+
+  /// Renders the table to a string (trailing newline included).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,28 @@
+// Wall-clock timing for the speed-up measurements quoted in the paper
+// (MPVL vs SPICE CPU-time ratios in Sections 5).
+#pragma once
+
+#include <chrono>
+
+namespace xtv {
+
+/// Monotonic stopwatch. Constructed running; elapsed() may be read any
+/// number of times; restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Resets the stopwatch origin to now.
+  void restart() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace xtv

@@ -1,0 +1,28 @@
+// Unit helpers. The whole library works in SI units (volts, seconds,
+// farads, ohms, amperes, meters); these constexpr factors keep call sites
+// readable when values are naturally expressed in engineering units.
+#pragma once
+
+namespace xtv::units {
+
+// Length.
+inline constexpr double um = 1e-6;  ///< micrometer in meters
+inline constexpr double nm = 1e-9;  ///< nanometer in meters
+inline constexpr double mm = 1e-3;  ///< millimeter in meters
+
+// Time.
+inline constexpr double ns = 1e-9;   ///< nanosecond in seconds
+inline constexpr double ps = 1e-12;  ///< picosecond in seconds
+
+// Capacitance.
+inline constexpr double fF = 1e-15;  ///< femtofarad in farads
+inline constexpr double pF = 1e-12;  ///< picofarad in farads
+
+// Resistance.
+inline constexpr double kOhm = 1e3;  ///< kiloohm in ohms
+
+// Current.
+inline constexpr double mA = 1e-3;  ///< milliampere in amperes
+inline constexpr double uA = 1e-6;  ///< microampere in amperes
+
+}  // namespace xtv::units

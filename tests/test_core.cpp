@@ -1,0 +1,293 @@
+// Tests for the core verification machinery: pruning, glitch analysis
+// (MOR-vs-SPICE agreement — the Figure-3 property), delay analysis
+// (Table-2 ordering), and aggressor alignment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/delay_analyzer.h"
+#include "core/glitch_analyzer.h"
+#include "core/pruning.h"
+#include "util/units.h"
+
+namespace xtv {
+namespace {
+
+const Technology kTech = Technology::default_250nm();
+
+// Shared expensive fixtures (characterization runs once per suite).
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new CellLibrary(kTech);
+    CharacterizeOptions copt;
+    copt.iv_grid = 11;
+    chars_ = new CharacterizedLibrary(*lib_, copt);
+    extractor_ = new Extractor(kTech);
+  }
+  static void TearDownTestSuite() {
+    delete chars_;
+    delete lib_;
+    delete extractor_;
+    chars_ = nullptr;
+    lib_ = nullptr;
+    extractor_ = nullptr;
+  }
+  static CellLibrary* lib_;
+  static CharacterizedLibrary* chars_;
+  static Extractor* extractor_;
+
+  static VictimSpec victim(double len_um, const std::string& cell = "INV_X1") {
+    VictimSpec v;
+    v.route = {len_um * units::um, 0.0};
+    v.driver_cell = cell;
+    v.held_high = true;
+    v.receiver_cap = 10e-15;
+    return v;
+  }
+  static AggressorSpec aggressor(double len_um, double overlap_um,
+                                 const std::string& cell = "BUF_X8") {
+    AggressorSpec a;
+    a.route = {len_um * units::um, 0.0};
+    a.driver_cell = cell;
+    a.rising = false;  // pulls a high victim down
+    a.input_slew = 0.1e-9;
+    a.receiver_cap = 10e-15;
+    a.run = {0, 0, overlap_um * units::um, 0.0, 0.0, 0.0};
+    a.window = TimingWindow::of(0.0, 2e-9);
+    return a;
+  }
+};
+
+CellLibrary* CoreFixture::lib_ = nullptr;
+CharacterizedLibrary* CoreFixture::chars_ = nullptr;
+Extractor* CoreFixture::extractor_ = nullptr;
+
+// ----------------------------------------------------------------- pruning
+
+NetSummary make_net(std::size_t id, double cg, double rdrv) {
+  NetSummary n;
+  n.id = id;
+  n.ground_cap = cg;
+  n.driver_resistance = rdrv;
+  return n;
+}
+
+TEST(Pruning, KeepsStrongDropsWeak) {
+  std::vector<NetSummary> nets;
+  nets.push_back(make_net(0, 100e-15, 1e3));
+  nets.push_back(make_net(1, 100e-15, 1e3));
+  nets.push_back(make_net(2, 100e-15, 1e3));
+  nets[0].couplings = {{1, 50e-15}, {2, 0.8e-15}};  // strong, weak
+
+  PruningOptions opt;
+  opt.ratio_threshold = 0.02;
+  const PruneResult res = prune_couplings(nets, opt);
+  ASSERT_EQ(res.retained[0].size(), 1u);
+  EXPECT_EQ(res.retained[0][0].other, 1u);
+}
+
+TEST(Pruning, AbsoluteFloorDropsTinyCaps) {
+  std::vector<NetSummary> nets;
+  nets.push_back(make_net(0, 1e-15, 1e3));  // tiny total -> huge ratios
+  nets.push_back(make_net(1, 1e-15, 1e3));
+  nets[0].couplings = {{1, 0.3e-15}};
+  const PruneResult res = prune_couplings(nets, {});
+  EXPECT_TRUE(res.retained[0].empty());
+}
+
+TEST(Pruning, DriverStrengthRaisesEffectiveRatio) {
+  // Same cap; a weak victim holder vs strong aggressor must rank higher.
+  NetSummary victim_weak = make_net(0, 100e-15, 4e3);
+  NetSummary victim_strong = make_net(0, 100e-15, 0.25e3);
+  NetSummary agg = make_net(1, 100e-15, 1e3);
+  const double r_weak = coupling_ratio(victim_weak, agg, 5e-15, true);
+  const double r_strong = coupling_ratio(victim_strong, agg, 5e-15, true);
+  EXPECT_GT(r_weak, r_strong);
+  // Disabled weighting: both equal the plain ratio.
+  EXPECT_DOUBLE_EQ(coupling_ratio(victim_weak, agg, 5e-15, false),
+                   coupling_ratio(victim_strong, agg, 5e-15, false));
+}
+
+TEST(Pruning, MaxAggressorCap) {
+  std::vector<NetSummary> nets;
+  nets.push_back(make_net(0, 10e-15, 1e3));
+  for (std::size_t i = 1; i <= 20; ++i) {
+    nets.push_back(make_net(i, 10e-15, 1e3));
+    nets[0].couplings.push_back({i, 5e-15});
+  }
+  PruningOptions opt;
+  opt.ratio_threshold = 0.01;  // let the count cap be the binding limit
+  opt.max_aggressors = 12;
+  const PruneResult res = prune_couplings(nets, opt);
+  EXPECT_EQ(res.retained[0].size(), 12u);
+}
+
+TEST(Pruning, StatsReflectClusterShrink) {
+  // Chain of 10 nets with strong + weak couplings: before = one big
+  // component, after = small ones.
+  std::vector<NetSummary> nets;
+  for (std::size_t i = 0; i < 10; ++i) nets.push_back(make_net(i, 100e-15, 1e3));
+  for (std::size_t i = 0; i + 1 < 10; ++i) {
+    const double cap = (i % 3 == 0) ? 30e-15 : 0.9e-15;  // strong every 3rd
+    nets[i].couplings.push_back({i + 1, cap});
+    nets[i + 1].couplings.push_back({i, cap});
+  }
+  const PruneResult res = prune_couplings(nets, {});
+  EXPECT_GT(res.stats.avg_cluster_before, res.stats.avg_cluster_after);
+  EXPECT_GT(res.stats.avg_cluster_after, 0.0);
+  EXPECT_LT(res.stats.couplings_after, res.stats.couplings_before);
+}
+
+TEST(Pruning, RejectsMisnumberedNets) {
+  std::vector<NetSummary> nets;
+  nets.push_back(make_net(5, 1e-15, 1e3));
+  EXPECT_THROW(prune_couplings(nets, {}), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ glitch
+
+TEST_F(CoreFixture, GlitchGrowsWithCoupledLength) {
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kNonlinearTable;
+  opt.align_aggressors = false;
+  double prev = 0.0;
+  for (double len : {100.0, 500.0, 2000.0}) {
+    const GlitchResult r = analyzer.analyze(
+        victim(len), {aggressor(len, len)}, opt);
+    EXPECT_LT(r.peak, 0.0) << "falling aggressor pulls high victim down";
+    EXPECT_GT(std::fabs(r.peak), prev) << "len=" << len;
+    prev = std::fabs(r.peak);
+  }
+}
+
+TEST_F(CoreFixture, MorMatchesSpiceWithFixedResistorDrivers) {
+  // The Figure-3 property: identical linear circuits, two engines,
+  // sub-percent peak error.
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kFixedResistor;
+  opt.fixed_resistance = 1e3;
+  opt.align_aggressors = false;
+  opt.dt = 1e-12;
+  const VictimSpec v = victim(800);
+  const std::vector<AggressorSpec> aggs = {aggressor(800, 700),
+                                           aggressor(600, 400, "INV_X4")};
+  const GlitchResult mor = analyzer.analyze(v, aggs, opt);
+  const GlitchResult spice = analyzer.analyze_spice(v, aggs, opt);
+  ASSERT_GT(std::fabs(spice.peak), 0.05);
+  EXPECT_NEAR(mor.peak / spice.peak, 1.0, 0.02);
+}
+
+TEST_F(CoreFixture, NonlinearModelTracksTransistorReference) {
+  // The Table-4 property: table model within ~10-20% of transistor-level
+  // SPICE on a solid glitch.
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.align_aggressors = false;
+  opt.dt = 1e-12;
+  const VictimSpec v = victim(1000);
+  const std::vector<AggressorSpec> aggs = {aggressor(1000, 900)};
+
+  opt.driver_model = DriverModelKind::kNonlinearTable;
+  const GlitchResult table = analyzer.analyze(v, aggs, opt);
+  opt.driver_model = DriverModelKind::kTransistor;
+  const GlitchResult golden = analyzer.analyze_spice(v, aggs, opt);
+
+  ASSERT_GT(std::fabs(golden.peak), 0.2);
+  EXPECT_NEAR(table.peak / golden.peak, 1.0, 0.25);
+}
+
+TEST_F(CoreFixture, StrongerAggressorMakesBiggerGlitch) {
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kNonlinearTable;
+  opt.align_aggressors = false;
+  const GlitchResult weak =
+      analyzer.analyze(victim(600), {aggressor(600, 500, "INV_X1")}, opt);
+  const GlitchResult strong =
+      analyzer.analyze(victim(600), {aggressor(600, 500, "INV_X16")}, opt);
+  EXPECT_GT(std::fabs(strong.peak), std::fabs(weak.peak));
+}
+
+TEST_F(CoreFixture, WeakerVictimHolderSuffersMore) {
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kNonlinearTable;
+  opt.align_aggressors = false;
+  const GlitchResult weak_holder =
+      analyzer.analyze(victim(600, "INV_X1"), {aggressor(600, 500)}, opt);
+  const GlitchResult strong_holder =
+      analyzer.analyze(victim(600, "INV_X8"), {aggressor(600, 500)}, opt);
+  EXPECT_GT(std::fabs(weak_holder.peak), std::fabs(strong_holder.peak));
+}
+
+TEST_F(CoreFixture, AlignmentNeverReducesTheGlitch) {
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kNonlinearTable;
+  opt.dt = 1e-12;
+  VictimSpec v = victim(800);
+  // Two aggressors with different latencies (different lengths) and
+  // staggered windows.
+  std::vector<AggressorSpec> aggs = {aggressor(400, 350), aggressor(1200, 700)};
+  aggs[0].window = TimingWindow::of(0.2e-9, 1.5e-9);
+  aggs[1].window = TimingWindow::of(0.4e-9, 2.0e-9);
+
+  opt.align_aggressors = false;
+  const GlitchResult unaligned = analyzer.analyze(v, aggs, opt);
+  opt.align_aggressors = true;
+  const GlitchResult aligned = analyzer.analyze(v, aggs, opt);
+  EXPECT_GE(std::fabs(aligned.peak), std::fabs(unaligned.peak) * 0.999);
+  // Chosen switch times respect the windows.
+  for (std::size_t k = 0; k < aggs.size(); ++k) {
+    EXPECT_GE(aligned.switch_times[k], aggs[k].window.start - 1e-15);
+    EXPECT_LE(aligned.switch_times[k], aggs[k].window.end + 1e-15);
+  }
+}
+
+TEST_F(CoreFixture, MorPathRejectsTransistorModel) {
+  GlitchAnalyzer analyzer(*extractor_, *chars_);
+  GlitchAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kTransistor;
+  EXPECT_THROW(analyzer.analyze(victim(100), {aggressor(100, 80)}, opt),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------------- delay
+
+TEST_F(CoreFixture, CoupledDelayWorseThanDecoupled) {
+  // The Table-2 ordering: opposite-phase aggressors deteriorate the delay;
+  // same-direction switching is optimistic.
+  DelayAnalyzer analyzer(*extractor_, *chars_);
+  DelayAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kLinearResistor;
+
+  VictimSpec v = victim(2000);
+  std::vector<AggressorSpec> aggs = {aggressor(2000, 2000),
+                                     aggressor(2000, 2000)};
+  const CoupledDelayResult r = analyzer.analyze(v, true, aggs, opt);
+  EXPECT_GT(r.delay_coupled, r.delay_decoupled);
+  EXPECT_LT(r.delay_same_dir, r.delay_decoupled);
+  EXPECT_GT(r.delay_decoupled, 0.0);
+}
+
+TEST_F(CoreFixture, DelayDeteriorationGrowsWithLength) {
+  DelayAnalyzer analyzer(*extractor_, *chars_);
+  DelayAnalysisOptions opt;
+  opt.driver_model = DriverModelKind::kLinearResistor;
+  double prev_ratio = 0.0;
+  for (double len : {500.0, 2000.0}) {
+    VictimSpec v = victim(len);
+    std::vector<AggressorSpec> aggs = {aggressor(len, len), aggressor(len, len)};
+    const CoupledDelayResult r = analyzer.analyze(v, false, aggs, opt);
+    const double ratio = r.delay_coupled / r.delay_decoupled;
+    EXPECT_GT(ratio, prev_ratio * 0.99) << "len=" << len;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 1.05);  // clear deterioration at 2 mm
+}
+
+}  // namespace
+}  // namespace xtv

@@ -1,0 +1,146 @@
+// Tests for parasitic extraction: rule scaling, distributed segmentation,
+// coupling-window placement, and the Figure-1 3-wire structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "extract/extractor.h"
+#include "util/units.h"
+
+namespace xtv {
+namespace {
+
+const Technology kTech = Technology::default_250nm();
+
+TEST(ExtractorRules, ResistanceScalesInverselyWithWidth) {
+  Extractor ex(kTech);
+  EXPECT_DOUBLE_EQ(ex.r_per_m(), kTech.wire_r_per_m);
+  EXPECT_NEAR(ex.r_per_m(2 * kTech.min_width), 0.5 * kTech.wire_r_per_m, 1e-9);
+}
+
+TEST(ExtractorRules, GroundCapGrowsWithWidth) {
+  Extractor ex(kTech);
+  EXPECT_GT(ex.cg_per_m(2 * kTech.min_width), ex.cg_per_m());
+}
+
+TEST(ExtractorRules, CouplingFallsWithSpacing) {
+  Extractor ex(kTech);
+  EXPECT_DOUBLE_EQ(ex.cc_per_m(), kTech.wire_cc_per_m);
+  EXPECT_NEAR(ex.cc_per_m(2 * kTech.min_spacing), 0.5 * kTech.wire_cc_per_m, 1e-18);
+}
+
+TEST(ExtractorRules, CouplingDominatesAtMinimumSpacing) {
+  // The deep-submicron premise: lateral coupling exceeds ground cap
+  // ("capacitance could contribute in excess of 70% of total").
+  Extractor ex(kTech);
+  const double cc_both_sides = 2.0 * ex.cc_per_m();
+  EXPECT_GT(cc_both_sides / (cc_both_sides + ex.cg_per_m()), 0.7);
+}
+
+TEST(ExtractNet, TotalsMatchRules) {
+  Extractor ex(kTech);
+  const NetRoute route{1000 * units::um, 0.0};
+  RcNetwork net = ex.extract_net(route);
+
+  double total_r = 0.0;
+  for (const auto& r : net.resistors()) total_r += r.ohms;
+  EXPECT_NEAR(total_r, ex.route_resistance(route), 1e-6 * total_r);
+
+  double total_c = 0.0;
+  for (const auto& c : net.capacitors()) total_c += c.farads;
+  EXPECT_NEAR(total_c, ex.route_ground_cap(route), 1e-6 * total_c);
+}
+
+TEST(ExtractNet, PortsAtBothEnds) {
+  Extractor ex(kTech);
+  RcNetwork net = ex.extract_net({200 * units::um, 0.0});
+  ASSERT_EQ(net.port_count(), 2u);
+  EXPECT_NE(net.port_node(0), net.port_node(1));
+}
+
+TEST(ExtractNet, SegmentationRefinesWithLength) {
+  Extractor ex(kTech, 25e-6);
+  RcNetwork short_net = ex.extract_net({30 * units::um, 0.0});
+  RcNetwork long_net = ex.extract_net({1000 * units::um, 0.0});
+  EXPECT_GT(long_net.node_count(), short_net.node_count());
+  EXPECT_GE(short_net.node_count(), 2);
+}
+
+TEST(ExtractNet, RejectsZeroLength) {
+  Extractor ex(kTech);
+  EXPECT_THROW(ex.extract_net({0.0, 0.0}), std::runtime_error);
+}
+
+TEST(ExtractCluster, CouplingCapTotalMatchesRun) {
+  Extractor ex(kTech);
+  const NetRoute wire{500 * units::um, 0.0};
+  const CouplingRun run{0, 1, 300 * units::um, 0.0, 100 * units::um, 50 * units::um};
+  RcNetwork net = ex.extract_cluster({wire, wire}, {run});
+
+  double total_cc = 0.0;
+  for (const auto& c : net.capacitors())
+    if (c.coupling) total_cc += c.farads;
+  EXPECT_NEAR(total_cc, ex.run_coupling_cap(run), 1e-6 * total_cc);
+  EXPECT_EQ(net.port_count(), 4u);
+}
+
+TEST(ExtractCluster, CouplingOnlyInsideWindow) {
+  Extractor ex(kTech, 25e-6);
+  const NetRoute wire{400 * units::um, 0.0};
+  // Narrow window in the middle of net 0.
+  const CouplingRun run{0, 1, 100 * units::um, 0.0, 150 * units::um, 150 * units::um};
+  RcNetwork net = ex.extract_cluster({wire, wire}, {run});
+  // Caps must not attach to the end nodes of net 0 (the ports).
+  const int driver0 = net.port_node(ClusterPorts::driver(0));
+  const int recv0 = net.port_node(ClusterPorts::receiver(0));
+  for (const auto& c : net.capacitors()) {
+    if (!c.coupling) continue;
+    EXPECT_NE(c.a, driver0);
+    EXPECT_NE(c.a, recv0);
+  }
+}
+
+TEST(ExtractCluster, RejectsBadRuns) {
+  Extractor ex(kTech);
+  const NetRoute wire{100 * units::um, 0.0};
+  EXPECT_THROW(ex.extract_cluster({wire, wire}, {{0, 0, 50e-6, 0, 0, 0}}),
+               std::runtime_error);
+  EXPECT_THROW(ex.extract_cluster({wire}, {{0, 5, 50e-6, 0, 0, 0}}),
+               std::runtime_error);
+  EXPECT_THROW(ex.extract_cluster({}, {}), std::runtime_error);
+}
+
+TEST(ExtractParallel3, SymmetricStructure) {
+  Extractor ex(kTech);
+  RcNetwork net = ex.extract_parallel3(1000 * units::um);
+  EXPECT_EQ(net.port_count(), 6u);  // 3 nets x 2 ports
+  // Victim (net 0) couples to both aggressors with equal total cap.
+  const double expected =
+      ex.cc_per_m() * 1000 * units::um;  // per neighbor
+  double total_cc = 0.0;
+  for (const auto& c : net.capacitors())
+    if (c.coupling) total_cc += c.farads;
+  EXPECT_NEAR(total_cc, 2 * expected, 1e-6 * total_cc);
+}
+
+// Property sweep: longer coupled length -> strictly more coupling cap and
+// more wire resistance (the Table-1 monotonicity at the extraction level).
+class ExtractionMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExtractionMonotonic, ParasiticsGrowWithLength) {
+  Extractor ex(kTech);
+  const double len = GetParam();
+  const NetRoute route{len, 0.0};
+  EXPECT_GT(ex.route_resistance(route), 0.0);
+  const NetRoute longer{len * 2, 0.0};
+  EXPECT_GT(ex.route_resistance(longer), ex.route_resistance(route));
+  EXPECT_GT(ex.route_ground_cap(longer), ex.route_ground_cap(route));
+  EXPECT_GT(ex.run_coupling_cap({0, 1, len * 2, 0, 0, 0}),
+            ex.run_coupling_cap({0, 1, len, 0, 0, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ExtractionMonotonic,
+                         ::testing::Values(10e-6, 100e-6, 1000e-6, 4000e-6));
+
+}  // namespace
+}  // namespace xtv

@@ -1,0 +1,283 @@
+// Unit tests for the netlist layer: source waveforms, circuit construction
+// and merging, the RC-network MNA stamps, and SPICE deck round-trips.
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "netlist/circuit.h"
+#include "netlist/rc_network.h"
+#include "netlist/spice_deck.h"
+#include "util/units.h"
+
+namespace xtv {
+namespace {
+
+TEST(SourceWave, DcIsConstant) {
+  SourceWave w = SourceWave::dc(3.0);
+  EXPECT_TRUE(w.is_dc());
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 3.0);
+  EXPECT_DOUBLE_EQ(w.max_slope(), 0.0);
+}
+
+TEST(SourceWave, PwlInterpolatesAndClamps) {
+  SourceWave w = SourceWave::pwl({{1.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);   // clamp before
+  EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);   // midpoint
+  EXPECT_DOUBLE_EQ(w.value(3.0), 10.0);  // clamp after
+  EXPECT_DOUBLE_EQ(w.max_slope(), 10.0);
+}
+
+TEST(SourceWave, PwlRejectsNonIncreasingTimes) {
+  EXPECT_THROW(SourceWave::pwl({{1.0, 0.0}, {1.0, 1.0}}), std::runtime_error);
+  EXPECT_THROW(SourceWave::pwl({}), std::runtime_error);
+}
+
+TEST(SourceWave, PulseShape) {
+  SourceWave w = SourceWave::pulse(0.0, 3.0, 1e-9, 0.1e-9, 2e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 0.0);
+  EXPECT_NEAR(w.value(1.05e-9), 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(2e-9), 3.0);
+  EXPECT_DOUBLE_EQ(w.value(10e-9), 0.0);
+}
+
+TEST(SourceWave, RampEdges) {
+  SourceWave r = SourceWave::ramp(0.0, 3.0, 0.5e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(r.value(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(r.value(0.7e-9), 3.0);
+  SourceWave f = SourceWave::ramp(3.0, 0.0, 0.0, 0.2e-9);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f.value(0.2e-9), 0.0);
+}
+
+TEST(Circuit, NodesAndNames) {
+  Circuit c;
+  EXPECT_EQ(c.node_count(), 1);  // ground
+  const int a = c.add_node("vdd");
+  const int b = c.add_node();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c.node_name(a), "vdd");
+  EXPECT_EQ(c.find_node("vdd"), a);
+  EXPECT_EQ(c.find_node("nope"), -1);
+}
+
+TEST(Circuit, ValidatesElements) {
+  Circuit c;
+  const int a = c.add_node();
+  EXPECT_THROW(c.add_resistor(a, 99, 100.0), std::runtime_error);
+  EXPECT_THROW(c.add_resistor(a, 0, -5.0), std::runtime_error);
+  EXPECT_THROW(c.add_capacitor(a, 0, -1e-15), std::runtime_error);
+  EXPECT_THROW(c.add_mosfet(a, a, a, 0, 1e-6, 1e-6), std::runtime_error);
+}
+
+TEST(Circuit, MergeConnectsAndTranslates) {
+  Circuit sub;
+  const int in = sub.add_node("in");
+  const int mid = sub.add_node("mid");
+  sub.add_resistor(in, mid, 1000.0);
+  sub.add_capacitor(mid, Circuit::ground(), 1e-15);
+
+  Circuit top;
+  const int port = top.add_node("port");
+  const auto xlat = top.merge(sub, {in}, {port});
+  EXPECT_EQ(xlat[static_cast<std::size_t>(in)], port);
+  EXPECT_EQ(top.resistors().size(), 1u);
+  EXPECT_EQ(top.resistors()[0].a, port);
+  EXPECT_EQ(top.capacitors().size(), 1u);
+  EXPECT_EQ(top.capacitors()[0].b, Circuit::ground());
+  // `mid` imported as a fresh node distinct from port.
+  EXPECT_NE(xlat[static_cast<std::size_t>(mid)], port);
+}
+
+TEST(Circuit, MergeShiftsModelIndices) {
+  Circuit sub;
+  MosModel nm;
+  const int m = sub.add_model(nm);
+  const int d = sub.add_node();
+  const int g = sub.add_node();
+  sub.add_mosfet(d, g, Circuit::ground(), m, 1e-6, 0.25e-6);
+
+  Circuit top;
+  MosModel pm;
+  pm.type = MosType::kPmos;
+  top.add_model(pm);  // occupies index 0
+  top.merge(sub, {}, {});
+  ASSERT_EQ(top.mosfets().size(), 1u);
+  EXPECT_EQ(top.mosfets()[0].model, 1);
+  EXPECT_EQ(top.models()[1].type, MosType::kNmos);
+}
+
+TEST(RcNetwork, GMatrixStamps) {
+  RcNetwork net;
+  const int a = net.add_node("a");
+  const int b = net.add_node("b");
+  net.add_resistor(a, b, 2.0);               // g = 0.5
+  net.add_resistor(b, RcNetwork::kGround, 4.0);  // g = 0.25
+  DenseMatrix g = net.g_matrix();
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(g(0, 1), -0.5);
+  EXPECT_DOUBLE_EQ(g(1, 0), -0.5);
+  EXPECT_DOUBLE_EQ(g(1, 1), 0.75);
+}
+
+TEST(RcNetwork, CMatrixCoupledVsDecoupled) {
+  RcNetwork net;
+  const int a = net.add_node();
+  const int b = net.add_node();
+  net.add_capacitor(a, RcNetwork::kGround, 10e-15);
+  net.add_capacitor(a, b, 4e-15, /*coupling=*/true);
+
+  DenseMatrix c = net.c_matrix(true);
+  EXPECT_DOUBLE_EQ(c(0, 0), 14e-15);
+  EXPECT_DOUBLE_EQ(c(0, 1), -4e-15);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4e-15);
+
+  // Decoupled: coupling cap grounded at both ends, off-diagonal vanishes.
+  DenseMatrix cd = net.c_matrix(false);
+  EXPECT_DOUBLE_EQ(cd(0, 0), 14e-15);
+  EXPECT_DOUBLE_EQ(cd(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cd(1, 1), 4e-15);
+}
+
+TEST(RcNetwork, PortsAndConductances) {
+  RcNetwork net;
+  const int a = net.add_node();
+  net.add_resistor(a, RcNetwork::kGround, 1e3);
+  const int p = net.add_port(a);
+  EXPECT_EQ(p, 0);
+  EXPECT_THROW(net.add_port(a), std::runtime_error);  // duplicate
+  net.stamp_port_conductance(0, 1e-3);
+  EXPECT_DOUBLE_EQ(net.port_conductance(0), 1e-3);
+  EXPECT_DOUBLE_EQ(net.g_matrix()(0, 0), 1e-3 + 1e-3);
+  DenseMatrix bmat = net.b_matrix();
+  EXPECT_DOUBLE_EQ(bmat(0, 0), 1.0);
+}
+
+TEST(RcNetwork, GIsSpdWhenGrounded) {
+  // A 3-node RC ladder with a driver-side port conductance: Cholesky must
+  // succeed (the paper's SPD assumption on G).
+  RcNetwork net;
+  int prev = net.add_node();
+  net.add_port(prev);
+  net.stamp_port_conductance(0, 1e-3);
+  for (int i = 0; i < 2; ++i) {
+    const int next = net.add_node();
+    net.add_resistor(prev, next, 50.0);
+    net.add_capacitor(next, RcNetwork::kGround, 5e-15);
+    prev = next;
+  }
+  EXPECT_NO_THROW(Cholesky{net.g_matrix()});
+}
+
+TEST(RcNetwork, NodeTotalCap) {
+  RcNetwork net;
+  const int a = net.add_node();
+  const int b = net.add_node();
+  net.add_capacitor(a, RcNetwork::kGround, 3e-15);
+  net.add_capacitor(a, b, 2e-15, true);
+  EXPECT_DOUBLE_EQ(net.node_total_cap(a), 5e-15);
+  EXPECT_DOUBLE_EQ(net.node_total_cap(b), 2e-15);
+}
+
+TEST(RcNetwork, ExportToCircuitPreservesElements) {
+  RcNetwork net;
+  const int a = net.add_node();
+  const int b = net.add_node();
+  net.add_resistor(a, b, 100.0);
+  net.add_capacitor(b, RcNetwork::kGround, 1e-15);
+  net.add_port(a);
+  net.stamp_port_conductance(0, 1e-3);
+
+  Circuit c;
+  const int pin = c.add_node("pin");
+  net.export_to(c, {pin});
+  ASSERT_EQ(c.resistors().size(), 2u);  // R + exported port conductance
+  EXPECT_EQ(c.resistors()[0].a, pin);
+  EXPECT_DOUBLE_EQ(c.resistors()[1].ohms, 1e3);
+  ASSERT_EQ(c.capacitors().size(), 1u);
+  EXPECT_EQ(c.capacitors()[0].b, Circuit::ground());
+}
+
+TEST(SpiceValue, SuffixParsing) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("100"), 100.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10MEG"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4f"), 4e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3p"), 3e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5n"), 1.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2u"), 2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7m"), 7e-3);
+  EXPECT_THROW(parse_spice_value("abc"), std::runtime_error);
+  EXPECT_THROW(parse_spice_value(""), std::runtime_error);
+}
+
+TEST(SpiceDeck, ParseBasicElements) {
+  const std::string deck = R"(* test deck
+R1 in out 1k
+C1 out 0 10f
+V1 in 0 DC 3.0
+.end
+)";
+  Circuit c = parse_spice_deck(deck);
+  ASSERT_EQ(c.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.resistors()[0].ohms, 1000.0);
+  ASSERT_EQ(c.capacitors().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.capacitors()[0].farads, 10e-15);
+  ASSERT_EQ(c.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.vsources()[0].wave.value(0.0), 3.0);
+}
+
+TEST(SpiceDeck, ParsePwlAndContinuation) {
+  const std::string deck = R"(title card
+V1 a 0 PWL(0 0
++ 1n 3.0 2n 3.0)
+.end
+)";
+  Circuit c = parse_spice_deck(deck);
+  ASSERT_EQ(c.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.vsources()[0].wave.value(0.5e-9), 1.5);
+}
+
+TEST(SpiceDeck, ParseMosfetWithModel) {
+  const std::string deck = R"(inverter
+.model nch NMOS (VT0=0.5 KP=110u LAMBDA=0.05)
+M1 out in 0 0 nch W=2u L=0.25u
+.end
+)";
+  Circuit c = parse_spice_deck(deck);
+  ASSERT_EQ(c.mosfets().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.mosfets()[0].w, 2e-6);
+  EXPECT_DOUBLE_EQ(c.mosfets()[0].l, 0.25e-6);
+  ASSERT_EQ(c.models().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.models()[0].kp, 110e-6);
+}
+
+TEST(SpiceDeck, RoundTripThroughWriter) {
+  Circuit c;
+  const int in = c.add_node("in");
+  const int out = c.add_node("out");
+  c.add_resistor(in, out, 1234.0);
+  c.add_capacitor(out, Circuit::ground(), 5e-15);
+  c.add_vsource(in, Circuit::ground(),
+                SourceWave::pwl({{0.0, 0.0}, {1e-9, 3.0}}));
+  const std::string deck = write_spice_deck(c);
+  Circuit back = parse_spice_deck(deck);
+  ASSERT_EQ(back.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(back.resistors()[0].ohms, 1234.0);
+  ASSERT_EQ(back.vsources().size(), 1u);
+  EXPECT_NEAR(back.vsources()[0].wave.value(0.5e-9), 1.5, 1e-12);
+}
+
+TEST(SpiceDeck, ErrorsCarryLineNumbers) {
+  const std::string deck = "title\nR1 a\n.end\n";
+  try {
+    parse_spice_deck(deck);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xtv

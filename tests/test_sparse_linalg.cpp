@@ -1,0 +1,224 @@
+// Unit + property tests for sparse storage, orderings, and the
+// Gilbert–Peierls sparse LU that underpins the SPICE-class engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_lu.h"
+#include "linalg/ordering.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+#include "util/prng.h"
+
+namespace xtv {
+namespace {
+
+// Random sparse diagonally-dominant matrix (circuit-like).
+SparseMatrix random_circuit_matrix(std::size_t n, double density, Prng& rng) {
+  TripletList t(n, n);
+  std::vector<double> diag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.uniform() < density) {
+        const double g = rng.uniform(0.1, 2.0);
+        t.add(i, j, -g);
+        diag[i] += g;
+      }
+    }
+    t.add(i, i, diag[i] + rng.uniform(0.5, 1.5));
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+TEST(SparseMatrix, TripletsAccumulateDuplicates) {
+  TripletList t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 1, -1.0);
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(SparseMatrix, DropZerosOnCancellation) {
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 1, -1.0);
+  t.add(1, 1, 2.0);
+  EXPECT_EQ(SparseMatrix::from_triplets(t, /*drop_zeros=*/true).nnz(), 1u);
+  EXPECT_EQ(SparseMatrix::from_triplets(t, /*drop_zeros=*/false).nnz(), 2u);
+}
+
+TEST(SparseMatrix, RowIndicesSortedWithinColumns) {
+  TripletList t(4, 2);
+  t.add(3, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(2, 0, 3.0);
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  ASSERT_EQ(m.col_ptr()[1], 3u);
+  EXPECT_EQ(m.row_idx()[0], 0u);
+  EXPECT_EQ(m.row_idx()[1], 2u);
+  EXPECT_EQ(m.row_idx()[2], 3u);
+}
+
+TEST(SparseMatrix, MatvecMatchesDense) {
+  Prng rng(1);
+  SparseMatrix m = random_circuit_matrix(20, 0.2, rng);
+  DenseMatrix d = m.to_dense();
+  Vector x(20);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  EXPECT_LT(max_abs_diff(m.matvec(x), matvec(d, x)), 1e-13);
+  EXPECT_LT(max_abs_diff(m.matvec_transposed(x), matvec_transposed(d, x)), 1e-13);
+}
+
+TEST(Ordering, IdentityAndInverse) {
+  auto id = identity_order(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(id[i], i);
+  std::vector<std::size_t> p = {2, 0, 1};
+  auto inv = invert_permutation(p);
+  EXPECT_EQ(inv[2], 0u);
+  EXPECT_EQ(inv[0], 1u);
+  EXPECT_EQ(inv[1], 2u);
+}
+
+TEST(Ordering, MinDegreeIsPermutation) {
+  Prng rng(2);
+  SparseMatrix m = random_circuit_matrix(30, 0.1, rng);
+  auto p = min_degree_order(m);
+  ASSERT_EQ(p.size(), 30u);
+  std::vector<bool> seen(30, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 30u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Ordering, MinDegreeReducesFillOnGrid) {
+  // 2D grid Laplacian: natural order has much more fill than min-degree.
+  const std::size_t k = 12;  // 12x12 grid = 144 nodes
+  const std::size_t n = k * k;
+  TripletList t(n, n);
+  auto id = [k](std::size_t r, std::size_t c) { return r * k + c; };
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      double deg = 0.0;
+      auto stamp = [&](std::size_t other) {
+        t.add(id(r, c), other, -1.0);
+        deg += 1.0;
+      };
+      if (r > 0) stamp(id(r - 1, c));
+      if (r + 1 < k) stamp(id(r + 1, c));
+      if (c > 0) stamp(id(r, c - 1));
+      if (c + 1 < k) stamp(id(r, c + 1));
+      t.add(id(r, c), id(r, c), deg + 0.01);
+    }
+  }
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  SparseLu natural(m);
+  SparseLu ordered(m, min_degree_order(m));
+  EXPECT_LT(ordered.factor_nnz(), natural.factor_nnz());
+}
+
+TEST(SparseLu, SolvesSmallDenseReference) {
+  TripletList t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 3.0);
+  t.add(1, 2, 1.0);
+  t.add(2, 1, 1.0);
+  t.add(2, 2, 2.0);
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  SparseLu lu(m);
+  DenseLu ref(m.to_dense());
+  Vector b = {1.0, -2.0, 0.5};
+  EXPECT_LT(max_abs_diff(lu.solve(b), ref.solve(b)), 1e-12);
+}
+
+TEST(SparseLu, RequiresPivoting) {
+  // Zero diagonal forces row exchanges.
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 2.0);
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  SparseLu lu(m);
+  Vector x = lu.solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(SparseLu, ThrowsOnSingular) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 1.0);  // column 1 empty -> structurally singular
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  EXPECT_THROW(SparseLu{m}, std::runtime_error);
+}
+
+TEST(SparseLu, RefactorWithNewValues) {
+  Prng rng(3);
+  SparseMatrix m1 = random_circuit_matrix(25, 0.15, rng);
+  SparseLu lu(m1, min_degree_order(m1));
+  // Same pattern, scaled values.
+  TripletList t(25, 25);
+  for (std::size_t c = 0; c < 25; ++c)
+    for (std::size_t p = m1.col_ptr()[c]; p < m1.col_ptr()[c + 1]; ++p)
+      t.add(m1.row_idx()[p], c, 2.0 * m1.values()[p]);
+  SparseMatrix m2 = SparseMatrix::from_triplets(t);
+  lu.refactor(m2);
+  Vector b(25);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  EXPECT_LT(max_abs_diff(lu.solve(b), DenseLu(m2.to_dense()).solve(b)), 1e-10);
+}
+
+// Property sweep: sparse LU matches dense LU on random circuit-like
+// matrices of varying size and density.
+class SparseLuProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(SparseLuProperty, MatchesDenseSolve) {
+  const auto [n, density] = GetParam();
+  Prng rng(1000 + n * 7 + static_cast<std::size_t>(density * 100));
+  SparseMatrix m = random_circuit_matrix(n, density, rng);
+  SparseLu lu(m, min_degree_order(m));
+  DenseLu ref(m.to_dense());
+  for (int trial = 0; trial < 3; ++trial) {
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    const Vector x = lu.solve(b);
+    const Vector xr = ref.solve(b);
+    EXPECT_LT(max_abs_diff(x, xr), 1e-8) << "n=" << n << " density=" << density;
+    // Residual check against the matrix itself.
+    EXPECT_LT(max_abs_diff(m.matvec(x), b), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseLuProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 10, 40, 120),
+                       ::testing::Values(0.05, 0.2, 0.6)));
+
+TEST(SparseLu, LargeTridiagonalSystem) {
+  // RC-ladder-like tridiagonal system, n = 2000.
+  const std::size_t n = 2000;
+  TripletList t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0 + 1e-3);
+    if (i > 0) t.add(i, i - 1, -1.0);
+    if (i + 1 < n) t.add(i, i + 1, -1.0);
+  }
+  SparseMatrix m = SparseMatrix::from_triplets(t);
+  SparseLu lu(m, min_degree_order(m));
+  Vector xref(n, 1.0);
+  const Vector b = m.matvec(xref);
+  EXPECT_LT(max_abs_diff(lu.solve(b), xref), 1e-8);
+  // Tridiagonal factors should stay O(n): no catastrophic fill.
+  EXPECT_LT(lu.factor_nnz(), 4 * n);
+}
+
+}  // namespace
+}  // namespace xtv

@@ -1,0 +1,487 @@
+// Tests for the SPICE-class engine: waveform measurements, Level-1 MOSFET
+// physics, DC operating points, and transient accuracy against analytic
+// references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/circuit.h"
+#include "spice/mosfet_eval.h"
+#include "spice/simulator.h"
+#include "spice/waveform.h"
+#include "util/units.h"
+
+namespace xtv {
+namespace {
+
+constexpr double kVdd = 3.0;
+
+MosModel nmos_model() {
+  MosModel m;
+  m.type = MosType::kNmos;
+  m.vt0 = 0.5;
+  m.kp = 110e-6;
+  m.lambda = 0.05;
+  return m;
+}
+
+MosModel pmos_model() {
+  MosModel m;
+  m.type = MosType::kPmos;
+  m.vt0 = 0.55;
+  m.kp = 40e-6;
+  m.lambda = 0.06;
+  return m;
+}
+
+// ---------------------------------------------------------------- Waveform
+
+TEST(Waveform, AppendAndInterpolate) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 2.0);
+  w.append(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(5.0), 2.0);
+  EXPECT_THROW(w.append(1.5, 0.0), std::runtime_error);
+}
+
+TEST(Waveform, PeakDeviationIsSigned) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 0.2);   // -0.8
+  w.append(2.0, 1.5);   // +0.5
+  EXPECT_DOUBLE_EQ(w.peak_deviation(), -0.8);
+}
+
+TEST(Waveform, CrossingTimes) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 3.0);
+  w.append(2.0, 0.0);
+  const auto rise = w.crossing_time(1.5, true);
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_DOUBLE_EQ(*rise, 0.5);
+  const auto fall = w.crossing_time(1.5, false);
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_DOUBLE_EQ(*fall, 1.5);
+  EXPECT_FALSE(w.crossing_time(5.0, true).has_value());
+}
+
+TEST(Waveform, Slew1090) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 3.0);  // linear ramp 0 -> 3 over 1s: 10%-90% = 0.8s
+  const auto slew = w.slew_10_90(0.0, 3.0, true);
+  ASSERT_TRUE(slew.has_value());
+  EXPECT_NEAR(*slew, 0.8, 1e-12);
+}
+
+TEST(Waveform, MeasureDelayAt50Percent) {
+  Waveform in;
+  in.append(0.0, 0.0);
+  in.append(1.0, 3.0);
+  Waveform out;
+  out.append(0.0, 3.0);
+  out.append(0.5, 3.0);
+  out.append(1.5, 0.0);
+  const auto d = measure_delay(in, true, out, false, 0.0, 3.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.5, 1e-12);  // in crosses 1.5 at t=0.5, out at t=1.0
+}
+
+// ------------------------------------------------------------- MOSFET eval
+
+TEST(MosfetEval, CutoffHasNoCurrent) {
+  const MosfetOp op = eval_mosfet(nmos_model(), 1e-6, 0.25e-6, 3.0, 0.2, 0.0);
+  EXPECT_DOUBLE_EQ(op.ids, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(MosfetEval, SaturationCurrentMatchesFormula) {
+  const MosModel m = nmos_model();
+  const double w = 2e-6, l = 0.25e-6;
+  const double vgs = 2.0, vds = 3.0;  // vds > vgs - vt -> saturation
+  const MosfetOp op = eval_mosfet(m, w, l, vds, vgs, 0.0);
+  const double beta = m.kp * w / l;
+  const double expect = 0.5 * beta * (vgs - m.vt0) * (vgs - m.vt0) *
+                        (1.0 + m.lambda * vds);
+  EXPECT_NEAR(op.ids, expect, 1e-12);
+  EXPECT_GT(op.gm, 0.0);
+  EXPECT_GT(op.gds, 0.0);
+}
+
+TEST(MosfetEval, TriodeCurrentMatchesFormula) {
+  const MosModel m = nmos_model();
+  const double w = 1e-6, l = 0.25e-6;
+  const double vgs = 2.5, vds = 0.5;  // triode
+  const MosfetOp op = eval_mosfet(m, w, l, vds, vgs, 0.0);
+  const double beta = m.kp * w / l;
+  const double expect =
+      beta * ((vgs - m.vt0) * vds - 0.5 * vds * vds) * (1.0 + m.lambda * vds);
+  EXPECT_NEAR(op.ids, expect, 1e-12);
+}
+
+TEST(MosfetEval, PmosMirrorsNmos) {
+  // A PMOS with reflected voltages must carry the reflected current.
+  MosModel p = pmos_model();
+  MosModel n = p;
+  n.type = MosType::kNmos;
+  const MosfetOp pop = eval_mosfet(p, 2e-6, 0.25e-6, -1.0, -2.0, 0.0);
+  const MosfetOp nop = eval_mosfet(n, 2e-6, 0.25e-6, 1.0, 2.0, 0.0);
+  EXPECT_NEAR(pop.ids, -nop.ids, 1e-15);
+  EXPECT_NEAR(pop.gm, nop.gm, 1e-15);
+  EXPECT_NEAR(pop.gds, nop.gds, 1e-15);
+}
+
+TEST(MosfetEval, SymmetricInDrainSourceExchange) {
+  // ids(d, g, s) == -ids(s, g, d): the level-1 channel has no preferred side.
+  const MosModel m = nmos_model();
+  const MosfetOp fwd = eval_mosfet(m, 1e-6, 0.25e-6, 1.2, 2.0, 0.3);
+  const MosfetOp rev = eval_mosfet(m, 1e-6, 0.25e-6, 0.3, 2.0, 1.2);
+  EXPECT_NEAR(fwd.ids, -rev.ids, 1e-15);
+}
+
+TEST(MosfetEval, DerivativesMatchFiniteDifferences) {
+  const MosModel m = nmos_model();
+  const double w = 1.5e-6, l = 0.25e-6;
+  for (double vgs : {0.8, 1.5, 2.8}) {
+    for (double vds : {0.1, 1.0, 2.9}) {
+      const MosfetOp op = eval_mosfet(m, w, l, vds, vgs, 0.0);
+      const double h = 1e-6;
+      const double di_dvg =
+          (eval_mosfet(m, w, l, vds, vgs + h, 0.0).ids -
+           eval_mosfet(m, w, l, vds, vgs - h, 0.0).ids) / (2 * h);
+      const double di_dvd =
+          (eval_mosfet(m, w, l, vds + h, vgs, 0.0).ids -
+           eval_mosfet(m, w, l, vds - h, vgs, 0.0).ids) / (2 * h);
+      EXPECT_NEAR(op.gm, di_dvg, 1e-7) << "vgs=" << vgs << " vds=" << vds;
+      EXPECT_NEAR(op.gds, di_dvd, 1e-7) << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(MosfetEval, CapsScaleWithGeometry) {
+  const MosModel m = nmos_model();
+  const MosfetCaps small = mosfet_caps(m, 1e-6, 0.25e-6);
+  const MosfetCaps big = mosfet_caps(m, 4e-6, 0.25e-6);
+  EXPECT_GT(big.cgs, small.cgs);
+  EXPECT_NEAR(big.cdb / small.cdb, 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------- DC
+
+TEST(SimulatorDc, VoltageDivider) {
+  Circuit c;
+  const int top = c.add_node("top");
+  const int mid = c.add_node("mid");
+  c.add_vsource(top, Circuit::ground(), SourceWave::dc(3.0));
+  c.add_resistor(top, mid, 1000.0);
+  c.add_resistor(mid, Circuit::ground(), 2000.0);
+  Simulator sim(c);
+  const Vector v = sim.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(top)], 3.0, 1e-9);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 2.0, 1e-6);
+}
+
+TEST(SimulatorDc, CurrentSourceIntoResistor) {
+  Circuit c;
+  const int n = c.add_node();
+  c.add_isource(Circuit::ground(), n, SourceWave::dc(1e-3));
+  c.add_resistor(n, Circuit::ground(), 500.0);
+  Simulator sim(c);
+  EXPECT_NEAR(sim.dc_operating_point()[static_cast<std::size_t>(n)], 0.5, 1e-6);
+}
+
+TEST(SimulatorDc, FloatingNodeRegularizedByGmin) {
+  Circuit c;
+  const int n = c.add_node();
+  c.add_capacitor(n, Circuit::ground(), 1e-15);
+  Simulator sim(c);
+  EXPECT_NEAR(sim.dc_operating_point()[static_cast<std::size_t>(n)], 0.0, 1e-9);
+}
+
+// CMOS inverter used by several tests.
+struct Inverter {
+  Circuit c;
+  int vdd, in, out;
+  Inverter(double wn = 1e-6, double wp = 2e-6) {
+    vdd = c.add_node("vdd");
+    in = c.add_node("in");
+    out = c.add_node("out");
+    const int nm = c.add_model(nmos_model());
+    const int pm = c.add_model(pmos_model());
+    c.add_vsource(vdd, Circuit::ground(), SourceWave::dc(kVdd));
+    c.add_mosfet(out, in, Circuit::ground(), nm, wn, 0.25e-6);
+    c.add_mosfet(out, in, vdd, pm, wp, 0.25e-6);
+  }
+};
+
+TEST(SimulatorDc, InverterLogicLevels) {
+  {
+    Inverter inv;
+    inv.c.add_vsource(inv.in, Circuit::ground(), SourceWave::dc(0.0));
+    Simulator sim(inv.c);
+    const Vector v = sim.dc_operating_point();
+    EXPECT_NEAR(v[static_cast<std::size_t>(inv.out)], kVdd, 1e-3);
+  }
+  {
+    Inverter inv;
+    inv.c.add_vsource(inv.in, Circuit::ground(), SourceWave::dc(kVdd));
+    Simulator sim(inv.c);
+    const Vector v = sim.dc_operating_point();
+    EXPECT_NEAR(v[static_cast<std::size_t>(inv.out)], 0.0, 1e-3);
+  }
+}
+
+TEST(SimulatorDc, InverterTransferIsMonotonicallyFalling) {
+  double prev = kVdd + 1.0;
+  for (double vin = 0.0; vin <= kVdd + 1e-9; vin += 0.25) {
+    Inverter inv;
+    inv.c.add_vsource(inv.in, Circuit::ground(), SourceWave::dc(vin));
+    Simulator sim(inv.c);
+    const double vout =
+        sim.dc_operating_point()[static_cast<std::size_t>(inv.out)];
+    EXPECT_LT(vout, prev + 1e-6) << "vin=" << vin;
+    prev = vout;
+  }
+}
+
+// --------------------------------------------------------------- Transient
+
+TEST(SimulatorTransient, RcStepResponseMatchesAnalytic) {
+  // 1k / 1pF low-pass driven by a fast ramp: v(t) ~ Vdd(1 - e^{-t/RC}).
+  Circuit c;
+  const int in = c.add_node();
+  const int out = c.add_node();
+  c.add_vsource(in, Circuit::ground(), SourceWave::ramp(0.0, 1.0, 0.0, 1e-12));
+  c.add_resistor(in, out, 1000.0);
+  c.add_capacitor(out, Circuit::ground(), 1e-12);
+
+  Simulator sim(c);
+  TransientOptions opt;
+  opt.tstop = 5e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = sim.transient(opt, {out});
+  const Waveform& w = res.probes[0];
+  const double tau = 1e-9;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expect = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(w.at(t), expect, 0.01) << "t=" << t;
+  }
+}
+
+TEST(SimulatorTransient, TrapezoidalBeatsBackwardEulerOnRc) {
+  // Smooth ramp input (no discontinuity, so TRAP's second-order accuracy
+  // shows instead of its ringing): analytic ramp response of an RC.
+  const double tau = 1e-9;
+  const double T = 1e-9;  // ramp duration
+  Circuit c;
+  const int in = c.add_node();
+  const int out = c.add_node();
+  c.add_vsource(in, Circuit::ground(), SourceWave::ramp(0.0, 1.0, 0.0, T));
+  c.add_resistor(in, out, 1000.0);
+  c.add_capacitor(out, Circuit::ground(), 1e-12);
+
+  auto analytic = [&](double t) {
+    if (t <= T) return (t - tau * (1.0 - std::exp(-t / tau))) / T;
+    const double vT = (T - tau * (1.0 - std::exp(-T / tau))) / T;
+    // After the ramp: exponential approach to 1 from v(T).
+    return 1.0 + (vT - 1.0) * std::exp(-(t - T) / tau);
+  };
+  auto err_with = [&](IntegrationMethod m) {
+    Simulator sim(c);
+    TransientOptions opt;
+    opt.tstop = 4e-9;
+    opt.dt = 100e-12;  // coarse on purpose
+    opt.method = m;
+    const Waveform w = sim.transient(opt, {out}).probes[0];
+    double err = 0.0;
+    for (double t = 0.1e-9; t < 4e-9; t += 0.1e-9)
+      err = std::max(err, std::fabs(w.at(t) - analytic(t)));
+    return err;
+  };
+  EXPECT_LT(err_with(IntegrationMethod::kTrapezoidal),
+            0.5 * err_with(IntegrationMethod::kBackwardEuler));
+}
+
+TEST(SimulatorTransient, ChargeCouplingGlitch) {
+  // Two nets coupled by Cc: a step on the aggressor bumps the victim held
+  // by a weak resistor; peak ~ Cc/(Cc+Cg) before the holder recovers.
+  Circuit c;
+  const int agg_in = c.add_node();
+  const int agg = c.add_node();
+  const int vic = c.add_node();
+  c.add_vsource(agg_in, Circuit::ground(), SourceWave::ramp(0.0, 3.0, 0.1e-9, 0.05e-9));
+  c.add_resistor(agg_in, agg, 100.0);       // strong aggressor driver
+  c.add_resistor(vic, Circuit::ground(), 10e3);  // weak victim holder
+  c.add_capacitor(agg, vic, 20e-15, true);  // coupling
+  c.add_capacitor(vic, Circuit::ground(), 20e-15);
+
+  Simulator sim(c);
+  TransientOptions opt;
+  opt.tstop = 2e-9;
+  opt.dt = 1e-12;
+  const Waveform w = sim.transient(opt, {vic}).probes[0];
+  const double peak = w.peak_deviation();
+  EXPECT_GT(peak, 0.3);   // visible glitch
+  EXPECT_LT(peak, 1.6);   // bounded by the cap divider
+  // Victim recovers to ground afterwards.
+  EXPECT_NEAR(w.last_value(), 0.0, 0.05);
+}
+
+TEST(SimulatorTransient, InverterSwitchesAndHasDelay) {
+  Inverter inv;
+  inv.c.add_vsource(inv.in, Circuit::ground(),
+                    SourceWave::ramp(0.0, kVdd, 0.2e-9, 0.1e-9));
+  const int load = inv.out;
+  inv.c.add_capacitor(load, Circuit::ground(), 20e-15);
+
+  Simulator sim(inv.c);
+  TransientOptions opt;
+  opt.tstop = 2e-9;
+  opt.dt = 1e-12;
+  const TransientResult res = sim.transient(opt, {inv.in, inv.out});
+  const Waveform& win = res.probes[0];
+  const Waveform& wout = res.probes[1];
+  EXPECT_NEAR(wout.first_value(), kVdd, 1e-2);
+  EXPECT_NEAR(wout.last_value(), 0.0, 1e-2);
+  const auto d = measure_delay(win, true, wout, false, 0.0, kVdd);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 0.5e-9);
+}
+
+TEST(SimulatorTransient, BiggerLoadMeansLongerDelay) {
+  auto delay_with_load = [&](double cl) {
+    Inverter inv;
+    inv.c.add_vsource(inv.in, Circuit::ground(),
+                      SourceWave::ramp(0.0, kVdd, 0.2e-9, 0.1e-9));
+    inv.c.add_capacitor(inv.out, Circuit::ground(), cl);
+    Simulator sim(inv.c);
+    TransientOptions opt;
+    opt.tstop = 4e-9;
+    opt.dt = 2e-12;
+    const TransientResult res = sim.transient(opt, {inv.in, inv.out});
+    const auto d =
+        measure_delay(res.probes[0], true, res.probes[1], false, 0.0, kVdd);
+    EXPECT_TRUE(d.has_value());
+    return d.value_or(0.0);
+  };
+  const double d_small = delay_with_load(10e-15);
+  const double d_big = delay_with_load(80e-15);
+  EXPECT_GT(d_big, 1.5 * d_small);
+}
+
+// Linear resistive termination used to validate the OnePortDevice path.
+class ResistiveClamp final : public OnePortDevice {
+ public:
+  ResistiveClamp(double v0, double ohms) : v0_(v0), g_(1.0 / ohms) {}
+  double current(double v, double) const override { return g_ * (v0_ - v); }
+  double conductance(double v, double) const override {
+    (void)v;
+    return -g_;
+  }
+
+ private:
+  double v0_;
+  double g_;
+};
+
+TEST(SimulatorTransient, TerminationActsLikeResistorToRail) {
+  // Node tied through the clamp to 3.0 V and through a real 1k resistor to
+  // ground: expect the 2k/1k divider value... clamp R=2k: v = 3 * 1k/(1k+2k).
+  Circuit c;
+  const int n = c.add_node();
+  c.add_termination(n, std::make_shared<ResistiveClamp>(3.0, 2000.0));
+  c.add_resistor(n, Circuit::ground(), 1000.0);
+  Simulator sim(c);
+  EXPECT_NEAR(sim.dc_operating_point()[static_cast<std::size_t>(n)], 1.0, 1e-6);
+}
+
+TEST(SimulatorTransient, StepCountsReported) {
+  Circuit c;
+  const int n = c.add_node();
+  c.add_isource(Circuit::ground(), n, SourceWave::dc(1e-6));
+  c.add_resistor(n, Circuit::ground(), 1000.0);
+  Simulator sim(c);
+  TransientOptions opt;
+  opt.tstop = 1e-9;
+  opt.dt = 0.1e-9;
+  const TransientResult res = sim.transient(opt, {n});
+  EXPECT_EQ(res.steps, 10u);
+  EXPECT_GE(res.newton_iterations, res.steps);
+  EXPECT_EQ(res.probes[0].size(), 11u);  // t=0 plus 10 accepted points
+}
+
+
+TEST(Waveform, AverageAndRms) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.0);
+  w.append(1.0 + 1e-12, 2.0);  // near-square pulse
+  w.append(2.0, 2.0);
+  EXPECT_NEAR(w.average(), 1.0, 1e-3);
+  EXPECT_NEAR(w.rms(), std::sqrt(2.0), 1e-3);
+  Waveform dc;
+  dc.append(0.0, -3.0);
+  EXPECT_DOUBLE_EQ(dc.average(), -3.0);
+  EXPECT_DOUBLE_EQ(dc.rms(), 3.0);
+}
+
+TEST(Waveform, RmsOfSine) {
+  Waveform w;
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = i / 2000.0;
+    w.append(t, std::sin(2 * M_PI * 5 * t));
+  }
+  EXPECT_NEAR(w.rms(), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(w.average(), 0.0, 1e-3);
+}
+
+TEST(SimulatorTransient, AdaptiveSteppingTracksAnalyticRc) {
+  // Adaptive run must hit the analytic curve with far fewer steps than the
+  // equivalent fixed fine-step run.
+  Circuit c;
+  const int in = c.add_node();
+  const int out = c.add_node();
+  c.add_vsource(in, Circuit::ground(), SourceWave::ramp(0.0, 1.0, 0.5e-9, 0.2e-9));
+  c.add_resistor(in, out, 1000.0);
+  c.add_capacitor(out, Circuit::ground(), 1e-12);
+
+  TransientOptions fine;
+  fine.tstop = 8e-9;
+  fine.dt = 2e-12;
+  TransientOptions adaptive = fine;
+  adaptive.adaptive = true;
+  adaptive.lte_vtol = 2e-3;
+
+  Simulator sim1(c);
+  const TransientResult fixed_res = sim1.transient(fine, {out});
+  Simulator sim2(c);
+  const TransientResult adap_res = sim2.transient(adaptive, {out});
+
+  EXPECT_LT(adap_res.steps, fixed_res.steps / 2);
+  // Accuracy preserved against the fixed fine run.
+  EXPECT_LT(adap_res.probes[0].max_abs_error(fixed_res.probes[0]), 5e-3);
+}
+
+TEST(SimulatorTransient, AdaptiveHandlesNonlinearInverter) {
+  Inverter inv;
+  inv.c.add_vsource(inv.in, Circuit::ground(),
+                    SourceWave::ramp(0.0, kVdd, 0.5e-9, 0.2e-9));
+  inv.c.add_capacitor(inv.out, Circuit::ground(), 30e-15);
+  Simulator sim(inv.c);
+  TransientOptions opt;
+  opt.tstop = 4e-9;
+  opt.dt = 2e-12;
+  opt.adaptive = true;
+  const TransientResult res = sim.transient(opt, {inv.out});
+  EXPECT_NEAR(res.probes[0].first_value(), kVdd, 2e-2);
+  EXPECT_NEAR(res.probes[0].last_value(), 0.0, 2e-2);
+  EXPECT_LT(res.steps, 2000u);  // fewer than the fixed-step equivalent
+}
+
+}  // namespace
+}  // namespace xtv
