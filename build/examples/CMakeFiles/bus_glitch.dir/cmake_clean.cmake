@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_glitch.dir/bus_glitch.cpp.o"
+  "CMakeFiles/bus_glitch.dir/bus_glitch.cpp.o.d"
+  "bus_glitch"
+  "bus_glitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

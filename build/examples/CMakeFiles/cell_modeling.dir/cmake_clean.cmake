@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_modeling.dir/cell_modeling.cpp.o"
+  "CMakeFiles/cell_modeling.dir/cell_modeling.cpp.o.d"
+  "cell_modeling"
+  "cell_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

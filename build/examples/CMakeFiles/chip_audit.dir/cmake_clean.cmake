@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_audit.dir/chip_audit.cpp.o"
+  "CMakeFiles/chip_audit.dir/chip_audit.cpp.o.d"
+  "chip_audit"
+  "chip_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mor_demo.dir/mor_demo.cpp.o"
+  "CMakeFiles/mor_demo.dir/mor_demo.cpp.o.d"
+  "mor_demo"
+  "mor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

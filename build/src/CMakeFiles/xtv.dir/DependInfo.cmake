@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell_library.cpp" "src/CMakeFiles/xtv.dir/cells/cell_library.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/cell_library.cpp.o.d"
+  "/root/repo/src/cells/characterize.cpp" "src/CMakeFiles/xtv.dir/cells/characterize.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/characterize.cpp.o.d"
+  "/root/repo/src/cells/driver_models.cpp" "src/CMakeFiles/xtv.dir/cells/driver_models.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/driver_models.cpp.o.d"
+  "/root/repo/src/cells/table2d.cpp" "src/CMakeFiles/xtv.dir/cells/table2d.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/table2d.cpp.o.d"
+  "/root/repo/src/cells/tech.cpp" "src/CMakeFiles/xtv.dir/cells/tech.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/tech.cpp.o.d"
+  "/root/repo/src/cells/transistor_driver.cpp" "src/CMakeFiles/xtv.dir/cells/transistor_driver.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/cells/transistor_driver.cpp.o.d"
+  "/root/repo/src/chipgen/dsp_chip.cpp" "src/CMakeFiles/xtv.dir/chipgen/dsp_chip.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/chipgen/dsp_chip.cpp.o.d"
+  "/root/repo/src/core/analytic_estimates.cpp" "src/CMakeFiles/xtv.dir/core/analytic_estimates.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/core/analytic_estimates.cpp.o.d"
+  "/root/repo/src/core/delay_analyzer.cpp" "src/CMakeFiles/xtv.dir/core/delay_analyzer.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/core/delay_analyzer.cpp.o.d"
+  "/root/repo/src/core/glitch_analyzer.cpp" "src/CMakeFiles/xtv.dir/core/glitch_analyzer.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/core/glitch_analyzer.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/CMakeFiles/xtv.dir/core/pruning.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/core/pruning.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/CMakeFiles/xtv.dir/core/verifier.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/core/verifier.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/CMakeFiles/xtv.dir/extract/extractor.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/extract/extractor.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/xtv.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/dense_lu.cpp" "src/CMakeFiles/xtv.dir/linalg/dense_lu.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/dense_lu.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/CMakeFiles/xtv.dir/linalg/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "src/CMakeFiles/xtv.dir/linalg/ordering.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/ordering.cpp.o.d"
+  "/root/repo/src/linalg/sparse_lu.cpp" "src/CMakeFiles/xtv.dir/linalg/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/sparse_lu.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/CMakeFiles/xtv.dir/linalg/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/sparse_matrix.cpp.o.d"
+  "/root/repo/src/linalg/sym_eigen.cpp" "src/CMakeFiles/xtv.dir/linalg/sym_eigen.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/linalg/sym_eigen.cpp.o.d"
+  "/root/repo/src/mor/reduced_sim.cpp" "src/CMakeFiles/xtv.dir/mor/reduced_sim.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/mor/reduced_sim.cpp.o.d"
+  "/root/repo/src/mor/sympvl.cpp" "src/CMakeFiles/xtv.dir/mor/sympvl.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/mor/sympvl.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/CMakeFiles/xtv.dir/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/netlist/circuit.cpp.o.d"
+  "/root/repo/src/netlist/rc_network.cpp" "src/CMakeFiles/xtv.dir/netlist/rc_network.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/netlist/rc_network.cpp.o.d"
+  "/root/repo/src/netlist/spice_deck.cpp" "src/CMakeFiles/xtv.dir/netlist/spice_deck.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/netlist/spice_deck.cpp.o.d"
+  "/root/repo/src/spice/mosfet_eval.cpp" "src/CMakeFiles/xtv.dir/spice/mosfet_eval.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/spice/mosfet_eval.cpp.o.d"
+  "/root/repo/src/spice/simulator.cpp" "src/CMakeFiles/xtv.dir/spice/simulator.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/spice/simulator.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/xtv.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/spice/waveform.cpp.o.d"
+  "/root/repo/src/sta/timing.cpp" "src/CMakeFiles/xtv.dir/sta/timing.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/sta/timing.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/xtv.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/xtv.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/xtv.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/xtv.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

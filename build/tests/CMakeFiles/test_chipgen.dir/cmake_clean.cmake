@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chipgen.dir/test_chipgen.cpp.o"
+  "CMakeFiles/test_chipgen.dir/test_chipgen.cpp.o.d"
+  "test_chipgen"
+  "test_chipgen.pdb"
+  "test_chipgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chipgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_linalg.dir/test_dense_linalg.cpp.o"
+  "CMakeFiles/test_dense_linalg.dir/test_dense_linalg.cpp.o.d"
+  "test_dense_linalg"
+  "test_dense_linalg.pdb"
+  "test_dense_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mor.dir/test_mor.cpp.o"
+  "CMakeFiles/test_mor.dir/test_mor.cpp.o.d"
+  "test_mor"
+  "test_mor.pdb"
+  "test_mor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

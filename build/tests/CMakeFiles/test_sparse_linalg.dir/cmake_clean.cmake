@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_linalg.dir/test_sparse_linalg.cpp.o"
+  "CMakeFiles/test_sparse_linalg.dir/test_sparse_linalg.cpp.o.d"
+  "test_sparse_linalg"
+  "test_sparse_linalg.pdb"
+  "test_sparse_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
