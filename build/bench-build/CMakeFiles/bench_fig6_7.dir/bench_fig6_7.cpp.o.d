@@ -251,4 +251,5 @@ bench-build/CMakeFiles/bench_fig6_7.dir/bench_fig6_7.cpp.o: \
  /root/repo/src/mor/reduced_sim.h /root/repo/src/mor/sympvl.h \
  /root/repo/src/spice/waveform.h /root/repo/src/spice/simulator.h \
  /root/repo/src/linalg/sparse_lu.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/util/stats.h
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/stats.h

@@ -214,10 +214,11 @@ examples/CMakeFiles/chip_audit.dir/chip_audit.cpp.o: \
  /root/repo/src/mor/reduced_sim.h /root/repo/src/mor/sympvl.h \
  /root/repo/src/spice/waveform.h /root/repo/src/spice/simulator.h \
  /root/repo/src/linalg/sparse_lu.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/util/stats.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/stats.h \
+ /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

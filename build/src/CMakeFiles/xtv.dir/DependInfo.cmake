@@ -37,6 +37,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/spice/simulator.cpp" "src/CMakeFiles/xtv.dir/spice/simulator.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/spice/simulator.cpp.o.d"
   "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/xtv.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/spice/waveform.cpp.o.d"
   "/root/repo/src/sta/timing.cpp" "src/CMakeFiles/xtv.dir/sta/timing.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/sta/timing.cpp.o.d"
+  "/root/repo/src/util/fault_injection.cpp" "src/CMakeFiles/xtv.dir/util/fault_injection.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/fault_injection.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/CMakeFiles/xtv.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/log.cpp.o.d"
   "/root/repo/src/util/prng.cpp" "src/CMakeFiles/xtv.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/prng.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/CMakeFiles/xtv.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/xtv.dir/util/stats.cpp.o.d"

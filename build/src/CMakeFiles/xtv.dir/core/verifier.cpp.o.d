@@ -215,7 +215,9 @@ src/CMakeFiles/xtv.dir/core/verifier.cpp.o: \
  /root/repo/src/mor/reduced_sim.h /root/repo/src/mor/sympvl.h \
  /root/repo/src/spice/waveform.h /root/repo/src/spice/simulator.h \
  /root/repo/src/linalg/sparse_lu.h /root/repo/src/linalg/sparse_matrix.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -230,4 +230,10 @@ src/CMakeFiles/xtv.dir/mor/sympvl.cpp.o: /root/repo/src/mor/sympvl.cpp \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/linalg/cholesky.h /root/repo/src/linalg/dense_lu.h \
- /root/repo/src/linalg/sym_eigen.h
+ /root/repo/src/linalg/sym_eigen.h /root/repo/src/util/fault_injection.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -236,4 +236,10 @@ src/CMakeFiles/xtv.dir/spice/simulator.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/linalg/ordering.h /root/repo/src/spice/mosfet_eval.h \
- /root/repo/src/util/log.h
+ /root/repo/src/util/fault_injection.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/log.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

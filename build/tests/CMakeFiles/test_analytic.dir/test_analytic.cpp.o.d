@@ -326,4 +326,4 @@ tests/CMakeFiles/test_analytic.dir/test_analytic.cpp.o: \
  /root/repo/src/mor/sympvl.h /root/repo/src/spice/waveform.h \
  /root/repo/src/spice/simulator.h /root/repo/src/linalg/sparse_lu.h \
  /root/repo/src/linalg/sparse_matrix.h /root/repo/src/core/verifier.h \
- /root/repo/src/util/units.h
+ /root/repo/src/util/status.h /root/repo/src/util/units.h

@@ -304,4 +304,4 @@ tests/CMakeFiles/test_chipgen.dir/test_chipgen.cpp.o: \
  /root/repo/src/mor/reduced_sim.h /root/repo/src/mor/sympvl.h \
  /root/repo/src/spice/waveform.h /root/repo/src/spice/simulator.h \
  /root/repo/src/linalg/sparse_lu.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/util/units.h
+ /root/repo/src/util/status.h /root/repo/src/util/units.h

@@ -327,4 +327,5 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/mor/reduced_sim.h /root/repo/src/mor/sympvl.h \
  /root/repo/src/spice/waveform.h /root/repo/src/spice/simulator.h \
  /root/repo/src/linalg/sparse_lu.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/netlist/spice_deck.h /root/repo/src/util/units.h
+ /root/repo/src/util/status.h /root/repo/src/netlist/spice_deck.h \
+ /root/repo/src/util/units.h

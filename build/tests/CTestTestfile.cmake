@@ -19,3 +19,4 @@ include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
 include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")

@@ -46,6 +46,18 @@ int main(int argc, char** argv) {
   Timer timer;
   const VerificationReport report = verifier.verify(design, options);
   std::printf("\n%s", report.to_string().c_str());
+  std::printf("robustness: eligible=%zu analyzed=%zu screened=%zu retried=%zu "
+              "fallback=%zu failed=%zu\n",
+              report.victims_eligible, report.victims_analyzed,
+              report.victims_screened_out, report.victims_retried,
+              report.victims_fallback, report.victims_failed);
+  for (const auto& f : report.findings) {
+    if (f.status == FindingStatus::kAnalyzed) continue;
+    std::printf("  net %zu: %s (%zu retries%s%s)\n", f.net,
+                finding_status_name(f.status), f.retries,
+                f.error.empty() ? "" : ", first error: ",
+                f.error.c_str());
+  }
 
   // Distribution of glitch magnitudes across the chip.
   Histogram hist(0.0, 1.0, 10);

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace xtv {
 
 namespace {
+
+/// NaN/Inf sweep on engine outputs: a waveform with a non-finite sample
+/// means the integration silently blew up; report it as a typed condition
+/// so the verifier's ladder can retry instead of trusting a garbage peak.
+void check_finite_waves(const std::vector<Waveform>& waves, const char* engine) {
+  bool bad = XTV_INJECT_FAULT(FaultSite::kWaveformFinite);
+  for (std::size_t i = 0; !bad && i < waves.size(); ++i)
+    bad = !waves[i].all_finite();
+  if (bad)
+    throw NumericalError(StatusCode::kNonFiniteWaveform,
+                         std::string(engine) + ": non-finite waveform output");
+}
 
 /// Input tie level that makes `cell` hold its output at `held_high`.
 double victim_input_level(const CellMaster& cell, bool held_high, double vdd) {
@@ -248,6 +263,7 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   ropt.tstop = options.tstop;
   ropt.dt = options.dt;
   const ReducedSimResult res = sim.run(ropt);
+  check_finite_waves(res.port_voltages, "GlitchAnalyzer::analyze");
 
   GlitchResult out;
   out.cpu_seconds = timer.elapsed();
@@ -402,6 +418,7 @@ GlitchResult GlitchAnalyzer::analyze_spice(const VictimSpec& victim,
       topt, {vic_rcv, vic_drv,
              aggressors.empty() ? vic_rcv
                                 : port_nodes[ClusterPorts::receiver(1)]});
+  check_finite_waves(res.probes, "GlitchAnalyzer::analyze_spice");
 
   GlitchResult out;
   out.cpu_seconds = timer.elapsed();

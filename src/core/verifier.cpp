@@ -10,6 +10,20 @@
 
 namespace xtv {
 
+namespace {
+
+/// Keeps the FIRST failure the cluster exhibited: later ladder rungs may
+/// fail differently, but the root cause is what the report should show.
+void record_first_error(VictimFinding& finding, const std::exception& e) {
+  if (!finding.error.empty()) return;
+  finding.error = e.what();
+  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
+  finding.error_code =
+      numerical ? numerical->code() : StatusCode::kInternal;
+}
+
+}  // namespace
+
 ChipVerifier::ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars)
     : extractor_(extractor), chars_(chars) {}
 
@@ -112,56 +126,158 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
 
     VictimFinding finding;
     finding.net = v;
-    auto [victim, aggressors] =
-        build_victim_cluster(design, summaries, pruned, v, &finding);
-    if (aggressors.empty()) continue;
+    bool counted_eligible = false;
+    try {
+      auto [victim, aggressors] =
+          build_victim_cluster(design, summaries, pruned, v, &finding);
+      if (aggressors.empty()) continue;
+      counted_eligible = true;
+      ++report.victims_eligible;
 
-    if (options.use_noise_screen) {
-      // Conservative pre-screen: the sum of per-aggressor Devgan bounds
-      // caps the combined glitch; below the margin, skip the simulation.
-      double bound = 0.0;
-      for (const AggressorSpec& agg : aggressors)
-        bound += devgan_noise_bound(victim, agg, extractor_, chars_);
-      if (bound < options.glitch_threshold * extractor_.tech().vdd) {
-        ++report.victims_screened_out;
-        continue;
+      if (options.use_noise_screen) {
+        // Conservative pre-screen: the sum of per-aggressor Devgan bounds
+        // caps the combined glitch; below the margin, skip the simulation.
+        double bound = 0.0;
+        for (const AggressorSpec& agg : aggressors)
+          bound += devgan_noise_bound(victim, agg, extractor_, chars_);
+        if (bound < options.glitch_threshold * extractor_.tech().vdd) {
+          ++report.victims_screened_out;
+          continue;
+        }
       }
-    }
 
-    const GlitchResult res = analyzer.analyze(victim, aggressors, options.glitch);
-    finding.peak = res.peak;
-    finding.peak_fraction = std::fabs(res.peak) / vdd;
-    finding.violation = finding.peak_fraction >= options.glitch_threshold;
-    finding.aggressors_analyzed = aggressors.size();
-    finding.cpu_seconds = res.cpu_seconds;
-    finding.reduced_order = res.reduced_order;
-    finding.driver_rms_current = res.victim_driver_rms_current;
-    finding.em_violation = options.em_rms_limit > 0.0 &&
-                           res.victim_driver_rms_current > options.em_rms_limit;
-
-    if (options.analyze_delay_change) {
-      // Timing recalculation: the victim as a SWITCHING net, aggressors
-      // forced opposite (worst case) vs the decoupled classic load.
-      DelayAnalyzer delays(extractor_, chars_);
-      DelayAnalysisOptions dopt;
-      dopt.driver_model = options.glitch.driver_model ==
-                                  DriverModelKind::kNonlinearTable
-                              ? DriverModelKind::kNonlinearTable
-                              : DriverModelKind::kLinearResistor;
-      dopt.victim_input_slew = design.nets[v].input_slew;
-      dopt.mor = options.glitch.mor;
+      // Recovery ladder. Rung 0 runs the options untouched so a clean pass
+      // is bit-identical to a build without the ladder; each later rung
+      // trades accuracy or speed for robustness, and the last (analytic
+      // bound) cannot fail, so no cluster is ever silently skipped.
+      GlitchResult res;
+      bool have_sim = false;
       try {
-        const CoupledDelayResult d =
-            delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
-        finding.delay_decoupled = d.delay_decoupled;
-        finding.delay_coupled = d.delay_coupled;
-      } catch (const std::exception&) {
-        // A victim that never completes its transition within the window
-        // is reported with zeroed delays rather than aborting the audit.
+        res = analyzer.analyze(victim, aggressors, options.glitch);
+        have_sim = true;
+        finding.status = FindingStatus::kAnalyzed;
+      } catch (const std::exception& e) {
+        record_first_error(finding, e);
+        ++finding.retries;
       }
+      if (!have_sim) {
+        ++report.victims_retried;
+        // Rung 1: halved timestep (Newton on a stiff cluster often
+        // converges once the per-step excitation change shrinks).
+        GlitchAnalysisOptions retry = options.glitch;
+        retry.dt =
+            0.5 * (retry.dt > 0.0 ? retry.dt : retry.tstop / 2000.0);
+        try {
+          res = analyzer.analyze(victim, aggressors, retry);
+          have_sim = true;
+          finding.status = FindingStatus::kAnalyzedAfterRetry;
+        } catch (const std::exception& e) {
+          record_first_error(finding, e);
+          ++finding.retries;
+        }
+        // Rung 2: halved timestep + doubled reduced order (a too-small
+        // Krylov space shows up as a non-passive or inaccurate model).
+        if (!have_sim) {
+          const std::size_t base_order =
+              retry.mor.max_order > 0 ? retry.mor.max_order
+                                      : 8 * (1 + aggressors.size());
+          retry.mor.max_order = 2 * base_order;
+          try {
+            res = analyzer.analyze(victim, aggressors, retry);
+            have_sim = true;
+            finding.status = FindingStatus::kAnalyzedAfterRetry;
+          } catch (const std::exception& e) {
+            record_first_error(finding, e);
+            ++finding.retries;
+          }
+        }
+        // Rung 3: full unreduced-cluster simulation on the golden engine —
+        // slow, but immune to every reduction-side breakdown.
+        if (!have_sim) {
+          try {
+            res = analyzer.analyze_spice(victim, aggressors, options.glitch);
+            have_sim = true;
+            finding.status = FindingStatus::kFellBackToFullSim;
+          } catch (const std::exception& e) {
+            record_first_error(finding, e);
+            ++finding.retries;
+          }
+        }
+      }
+      if (have_sim) {
+        finding.peak = res.peak;
+        finding.peak_fraction = std::fabs(res.peak) / vdd;
+        finding.violation = finding.peak_fraction >= options.glitch_threshold;
+        finding.aggressors_analyzed = aggressors.size();
+        finding.cpu_seconds = res.cpu_seconds;
+        finding.reduced_order = res.reduced_order;
+        finding.driver_rms_current = res.victim_driver_rms_current;
+        finding.em_violation =
+            options.em_rms_limit > 0.0 &&
+            res.victim_driver_rms_current > options.em_rms_limit;
+
+        if (options.analyze_delay_change) {
+          // Timing recalculation: the victim as a SWITCHING net, aggressors
+          // forced opposite (worst case) vs the decoupled classic load.
+          DelayAnalyzer delays(extractor_, chars_);
+          DelayAnalysisOptions dopt;
+          dopt.driver_model = options.glitch.driver_model ==
+                                      DriverModelKind::kNonlinearTable
+                                  ? DriverModelKind::kNonlinearTable
+                                  : DriverModelKind::kLinearResistor;
+          dopt.victim_input_slew = design.nets[v].input_slew;
+          dopt.mor = options.glitch.mor;
+          try {
+            const CoupledDelayResult d =
+                delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
+            finding.delay_decoupled = d.delay_decoupled;
+            finding.delay_coupled = d.delay_coupled;
+          } catch (const std::exception&) {
+            // A victim that never completes its transition within the window
+            // is reported with zeroed delays rather than aborting the audit.
+          }
+        }
+      } else {
+        // Rung 4: Devgan analytic bound. Conservative (each term is an
+        // upper bound on that aggressor's contribution), so the reported
+        // peak is >= the true peak and a pass here is a real pass.
+        double bound = 0.0;
+        for (const AggressorSpec& agg : aggressors)
+          bound += devgan_noise_bound(victim, agg, extractor_, chars_);
+        bound = std::min(bound, vdd);
+        finding.status = FindingStatus::kFellBackToBound;
+        finding.peak = victim.held_high ? -bound : bound;
+        finding.peak_fraction = bound / vdd;
+        finding.violation = finding.peak_fraction >= options.glitch_threshold;
+        finding.aggressors_analyzed = aggressors.size();
+      }
+    } catch (const std::exception& e) {
+      // Per-cluster isolation: even a failure outside the ladder (cluster
+      // construction, screening, the bound itself) must not abort the chip
+      // sweep. The victim is reported maximally pessimistically for manual
+      // review.
+      record_first_error(finding, e);
+      if (!counted_eligible) ++report.victims_eligible;
+      finding.status = FindingStatus::kFailed;
+      finding.peak = -vdd;
+      finding.peak_fraction = 1.0;
+      finding.violation = true;
     }
+
     report.findings.push_back(finding);
-    ++report.victims_analyzed;
+    switch (finding.status) {
+      case FindingStatus::kAnalyzed:
+      case FindingStatus::kAnalyzedAfterRetry:
+        ++report.victims_analyzed;
+        break;
+      case FindingStatus::kFellBackToFullSim:
+      case FindingStatus::kFellBackToBound:
+        ++report.victims_fallback;
+        break;
+      case FindingStatus::kFailed:
+        ++report.victims_failed;
+        break;
+    }
     if (finding.violation) ++report.violations;
   }
   report.total_cpu_seconds = total.elapsed();
@@ -184,14 +300,26 @@ std::string VerificationReport::to_string() const {
                 victims_analyzed, victims_screened_out, violations,
                 total_cpu_seconds);
   out << buf;
+  if (victims_retried + victims_fallback + victims_failed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "recovery: %zu of %zu victims retried, %zu fell back "
+                  "(full-sim or bound), %zu failed every rung\n",
+                  victims_retried, victims_eligible, victims_fallback,
+                  victims_failed);
+    out << buf;
+  }
   for (const auto& f : findings) {
     if (!f.violation) continue;
     std::snprintf(buf, sizeof(buf),
                   "  VIOLATION net %zu: peak %+.3f V (%.0f%% of Vdd), "
-                  "%zu aggressors (dropped: %zu window, %zu correlation)\n",
+                  "%zu aggressors (dropped: %zu window, %zu correlation)%s%s\n",
                   f.net, f.peak, 100.0 * f.peak_fraction, f.aggressors_analyzed,
                   f.aggressors_dropped_by_window,
-                  f.aggressors_dropped_by_correlation);
+                  f.aggressors_dropped_by_correlation,
+                  f.status == FindingStatus::kAnalyzed ? "" : " via ",
+                  f.status == FindingStatus::kAnalyzed
+                      ? ""
+                      : finding_status_name(f.status));
     out << buf;
   }
   return out.str();

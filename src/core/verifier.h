@@ -11,6 +11,7 @@
 #include "chipgen/dsp_chip.h"
 #include "core/glitch_analyzer.h"
 #include "core/pruning.h"
+#include "util/status.h"
 
 namespace xtv {
 
@@ -40,11 +41,38 @@ struct VerifierOptions {
   double em_rms_limit = 0.0;
 };
 
+/// How a victim's reported numbers were obtained. Production runs must
+/// account for every victim: a cluster whose reduced-model analysis breaks
+/// down numerically is retried and degraded through cheaper/safer engines
+/// rather than silently dropped (see ChipVerifier::verify).
+enum class FindingStatus {
+  kAnalyzed = 0,        ///< clean reduced-model (MOR) analysis
+  kAnalyzedAfterRetry,  ///< MOR succeeded after a timestep/order retry
+  kFellBackToFullSim,   ///< full unreduced-cluster (golden SPICE) simulation
+  kFellBackToBound,     ///< conservative Devgan analytic bound (peak >= true)
+  kFailed,              ///< every rung failed; peak pessimistically = Vdd
+};
+
+inline const char* finding_status_name(FindingStatus s) {
+  switch (s) {
+    case FindingStatus::kAnalyzed: return "analyzed";
+    case FindingStatus::kAnalyzedAfterRetry: return "analyzed-after-retry";
+    case FindingStatus::kFellBackToFullSim: return "full-sim-fallback";
+    case FindingStatus::kFellBackToBound: return "bound-fallback";
+    case FindingStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 struct VictimFinding {
   std::size_t net = 0;
   double peak = 0.0;               ///< signed glitch peak (V)
   double peak_fraction = 0.0;      ///< |peak| / Vdd
   bool violation = false;
+  FindingStatus status = FindingStatus::kAnalyzed;
+  std::size_t retries = 0;            ///< failed analysis attempts before this result
+  StatusCode error_code = StatusCode::kOk;  ///< first failure class seen
+  std::string error;                  ///< first failure message (empty when clean)
   std::size_t aggressors_analyzed = 0;
   std::size_t aggressors_dropped_by_correlation = 0;
   std::size_t aggressors_dropped_by_window = 0;
@@ -64,8 +92,16 @@ struct VictimFinding {
 struct VerificationReport {
   PruneStats prune_stats;
   std::vector<VictimFinding> findings;
-  std::size_t victims_analyzed = 0;
+  /// Victims that entered analysis (>= 1 retained aggressor after window /
+  /// correlation filtering). Always equals victims_analyzed +
+  /// victims_screened_out + victims_fallback + victims_failed — every
+  /// victim is reported exactly once, never silently skipped.
+  std::size_t victims_eligible = 0;
+  std::size_t victims_analyzed = 0;      ///< MOR analysis succeeded (incl. retries)
   std::size_t victims_screened_out = 0;  ///< skipped by the Devgan bound
+  std::size_t victims_retried = 0;       ///< needed >= 1 recovery-ladder step
+  std::size_t victims_fallback = 0;      ///< full-sim or analytic-bound result
+  std::size_t victims_failed = 0;        ///< every ladder rung failed
   std::size_t violations = 0;
   double total_cpu_seconds = 0.0;
 

@@ -4,11 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace xtv {
 
 Cholesky::Cholesky(const DenseMatrix& g, double tol) {
   if (g.rows() != g.cols())
     throw std::runtime_error("Cholesky: matrix must be square");
+  if (XTV_INJECT_FAULT(FaultSite::kCholeskyFactor))
+    throw NumericalError(StatusCode::kCholeskyBreakdown,
+                         "Cholesky: injected factorization fault");
   const std::size_t n = g.rows();
   double max_diag = 0.0;
   for (std::size_t i = 0; i < n; ++i)
@@ -24,7 +30,8 @@ Cholesky::Cholesky(const DenseMatrix& g, double tol) {
       for (std::size_t k = 0; k < i; ++k) s -= f_(k, i) * f_(k, j);
       if (i == j) {
         if (s <= floor)
-          throw std::runtime_error("Cholesky: matrix is not positive definite");
+          throw NumericalError(StatusCode::kCholeskyBreakdown,
+                               "Cholesky: matrix is not positive definite");
         f_(i, i) = std::sqrt(s);
       } else {
         f_(i, j) = s / f_(i, i);

@@ -5,11 +5,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace xtv {
 
 DenseLu::DenseLu(DenseMatrix a, double pivot_tol) : lu_(std::move(a)) {
   if (lu_.rows() != lu_.cols())
     throw std::runtime_error("DenseLu: matrix must be square");
+  if (XTV_INJECT_FAULT(FaultSite::kDenseLuFactor))
+    throw NumericalError(StatusCode::kSingularMatrix,
+                         "DenseLu: injected factorization fault");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -26,7 +32,8 @@ DenseLu::DenseLu(DenseMatrix a, double pivot_tol) : lu_(std::move(a)) {
       }
     }
     if (best <= pivot_tol)
-      throw std::runtime_error("DenseLu: matrix is singular");
+      throw NumericalError(StatusCode::kSingularMatrix,
+                           "DenseLu: matrix is singular");
     if (piv != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
       std::swap(perm_[k], perm_[piv]);

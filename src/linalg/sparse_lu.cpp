@@ -5,6 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+#include "util/status.h"
+
 namespace xtv {
 
 SparseLu::SparseLu(const SparseMatrix& a, std::vector<std::size_t> col_order)
@@ -28,6 +31,9 @@ void SparseLu::refactor(const SparseMatrix& a) {
 }
 
 void SparseLu::factor(const SparseMatrix& a) {
+  if (XTV_INJECT_FAULT(FaultSite::kSparseLuFactor))
+    throw NumericalError(StatusCode::kSingularMatrix,
+                         "SparseLu: injected factorization fault");
   pinv_.assign(n_, -1);
   l_cols_.assign(n_, {});
   u_cols_.assign(n_, {});
@@ -106,7 +112,8 @@ void SparseLu::factor(const SparseMatrix& a) {
       }
     }
     if (ipiv == n_ || best <= 0.0)
-      throw std::runtime_error("SparseLu: matrix is singular at column " +
+      throw NumericalError(StatusCode::kSingularMatrix,
+                           "SparseLu: matrix is singular at column " +
                                std::to_string(col));
 
     const double pivot = x[ipiv];

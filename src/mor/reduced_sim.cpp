@@ -6,6 +6,8 @@
 
 #include "linalg/dense_lu.h"
 #include "linalg/sym_eigen.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 
 namespace xtv {
 
@@ -20,9 +22,13 @@ ReducedSimulator::ReducedSimulator(const ReducedModel& model) {
   // guarantee of the paper's ref. [4] is what we rely on here).
   double scale = 0.0;
   for (double v : d_) scale = std::max(scale, std::fabs(v));
+  if (XTV_INJECT_FAULT(FaultSite::kPassivityCheck))
+    throw NumericalError(StatusCode::kNotPassive,
+                         "ReducedSimulator: injected passivity fault");
   for (double& v : d_) {
     if (v < -1e-9 * std::max(scale, 1e-300))
-      throw std::runtime_error("ReducedSimulator: T is not PSD (not passive)");
+      throw NumericalError(StatusCode::kNotPassive,
+                           "ReducedSimulator: T is not PSD (not passive)");
     v = std::max(v, 0.0);
   }
   eta_ = matmul(eig.q, model.rho);
@@ -145,13 +151,17 @@ Vector ReducedSimulator::dc_port_voltages() {
   opts.max_newton = 200;
   std::size_t iters = 0;
   if (!newton_solve(x, 0.0, 0.0, zero, opts, iters))
-    throw std::runtime_error("ReducedSimulator: DC fixed point failed");
+    throw NumericalError(StatusCode::kNewtonDivergence,
+                         "ReducedSimulator: DC fixed point failed");
   return matvec_transposed(eta_, x);
 }
 
 ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
   if (options.tstop <= 0.0)
     throw std::runtime_error("ReducedSimulator: tstop must be positive");
+  if (XTV_INJECT_FAULT(FaultSite::kReducedNewton))
+    throw NumericalError(StatusCode::kNewtonDivergence,
+                         "ReducedSimulator: injected Newton divergence");
   const double dt = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
   const std::size_t q = order();
   const std::size_t p = port_count();
@@ -164,7 +174,8 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
     dc_opts.max_newton = 200;
     std::size_t iters = 0;
     if (!newton_solve(x, 0.0, 0.0, zero, dc_opts, iters))
-      throw std::runtime_error("ReducedSimulator: DC fixed point failed");
+      throw NumericalError(StatusCode::kNewtonDivergence,
+                           "ReducedSimulator: DC fixed point failed");
   }
   Vector xdot(q, 0.0);  // steady state
 
@@ -176,32 +187,70 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
   };
   record(0.0);
 
-  const double alpha = (options.trapezoidal ? 2.0 : 1.0) / dt;
   double t = 0.0;
   Vector d_beta(q);
+  Vector x_acc_prev(q, 0.0);  // previous accepted state (LTE proxy)
+  double h_prev = 0.0;
+  bool have_prev = false;
   while (t < options.tstop - 1e-18) {
-    const double h = std::min(dt, options.tstop - t);
-    const double a = (options.trapezoidal ? 2.0 : 1.0) / h;
-    (void)alpha;
-    // beta_k: BE: -x_{k-1}/h; TRAP: -(2/h) x_{k-1} - xdot_{k-1}.
-    for (std::size_t i = 0; i < q; ++i) {
-      const double beta = options.trapezoidal ? (-a * x[i] - xdot[i]) : (-a * x[i]);
-      d_beta[i] = d_[i] * beta;
+    double h = std::min(dt, options.tstop - t);
+    int halvings = 0;
+    for (;;) {
+      const double a = (options.trapezoidal ? 2.0 : 1.0) / h;
+      // beta_k: BE: -x_{k-1}/h; TRAP: -(2/h) x_{k-1} - xdot_{k-1}.
+      for (std::size_t i = 0; i < q; ++i) {
+        const double beta =
+            options.trapezoidal ? (-a * x[i] - xdot[i]) : (-a * x[i]);
+        d_beta[i] = d_[i] * beta;
+      }
+      Vector trial = x;
+      std::size_t iters = 0;
+      const bool ok = newton_solve(trial, t + h, a, d_beta, options, iters);
+      result.newton_iterations += iters;
+
+      // Step-size rejection on local-truncation blowup: second-difference
+      // proxy on the port voltages, scaled for the uneven step pair.
+      if (ok && options.lte_vtol > 0.0 && have_prev &&
+          halvings < options.max_step_halvings) {
+        const double r = h / h_prev;
+        double lte = 0.0;
+        const Vector vt = matvec_transposed(eta_, trial);
+        const Vector vc = matvec_transposed(eta_, x);
+        const Vector vp = matvec_transposed(eta_, x_acc_prev);
+        for (std::size_t pp = 0; pp < p; ++pp)
+          lte = std::max(lte,
+                         std::fabs(vt[pp] - vc[pp] - r * (vc[pp] - vp[pp])));
+        if (lte > options.lte_vtol) {
+          ++halvings;
+          ++result.step_rejections;
+          h *= 0.5;
+          continue;
+        }
+      }
+
+      if (ok) {
+        if (options.trapezoidal) {
+          for (std::size_t i = 0; i < q; ++i)
+            xdot[i] = a * (trial[i] - x[i]) - xdot[i];
+        }
+        x_acc_prev = x;
+        h_prev = h;
+        have_prev = true;
+        x = trial;
+        t += h;
+        ++result.steps;
+        record(t);
+        break;
+      }
+      // Newton divergence: retry the same point with a halved step before
+      // reporting the failure as a typed, recoverable condition.
+      if (++halvings > options.max_step_halvings)
+        throw NumericalError(StatusCode::kNewtonDivergence,
+                             "ReducedSimulator: Newton failed at t=" +
+                                 std::to_string(t));
+      ++result.step_rejections;
+      h *= 0.5;
     }
-    const Vector x_prev = x;
-    std::size_t iters = 0;
-    if (!newton_solve(x, t + h, a, d_beta, options, iters)) {
-      throw std::runtime_error("ReducedSimulator: Newton failed at t=" +
-                               std::to_string(t));
-    }
-    result.newton_iterations += iters;
-    if (options.trapezoidal) {
-      for (std::size_t i = 0; i < q; ++i)
-        xdot[i] = a * (x[i] - x_prev[i]) - xdot[i];
-    }
-    t += h;
-    ++result.steps;
-    record(t);
   }
   return result;
 }

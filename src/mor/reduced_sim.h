@@ -31,12 +31,23 @@ struct ReducedSimOptions {
   bool trapezoidal = true;      ///< false = backward Euler
   double v_abstol = 1e-7;       ///< Newton convergence on port voltages (V)
   int max_newton = 50;
+  /// Local dt refinement budget: a time point whose Newton diverges (or
+  /// whose LTE estimate blows up) is retried with a halved step up to this
+  /// many times before the run reports NumericalError. Subsequent points
+  /// return to the nominal dt.
+  int max_step_halvings = 6;
+  /// Step-size rejection on local-truncation blowup: when > 0, a step
+  /// whose second-difference port-voltage LTE proxy exceeds this many
+  /// volts is rejected and retried at half the step. 0 (default) keeps
+  /// the fixed-step behavior exactly.
+  double lte_vtol = 0.0;
 };
 
 struct ReducedSimResult {
   std::vector<Waveform> port_voltages;  ///< one waveform per model port
   std::size_t steps = 0;
   std::size_t newton_iterations = 0;
+  std::size_t step_rejections = 0;      ///< Newton/LTE retries at halved dt
 };
 
 /// One simulator instance per reduced model; terminations/inputs may be

@@ -7,6 +7,8 @@
 #include "linalg/cholesky.h"
 #include "linalg/dense_lu.h"
 #include "linalg/sym_eigen.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 
 namespace xtv {
 
@@ -59,6 +61,9 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
   const std::size_t n = g.rows();
   const std::size_t p = b.cols();
   if (p == 0) throw std::runtime_error("sympvl_reduce: no ports");
+  if (XTV_INJECT_FAULT(FaultSite::kLanczosSweep))
+    throw NumericalError(StatusCode::kLanczosBreakdown,
+                         "sympvl_reduce: injected Krylov sweep fault");
 
   const std::size_t q_max =
       options.max_order > 0 ? std::min(options.max_order, n)
@@ -77,7 +82,8 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
   double l_scale = 0.0;
   for (std::size_t j = 0; j < p; ++j) l_scale = std::max(l_scale, norm2(l.column(j)));
   if (l_scale <= 0.0)
-    throw std::runtime_error("sympvl_reduce: zero input block (no port coupling)");
+    throw NumericalError(StatusCode::kLanczosBreakdown,
+                         "sympvl_reduce: zero input block (no port coupling)");
   const double defl = options.deflation_tol * l_scale;
 
   // Block Krylov sweep with full reorthogonalization + deflation.
@@ -111,7 +117,9 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
   }
 
   const std::size_t q = basis.size();
-  if (q == 0) throw std::runtime_error("sympvl_reduce: empty Krylov basis");
+  if (q == 0)
+    throw NumericalError(StatusCode::kLanczosBreakdown,
+                         "sympvl_reduce: empty Krylov basis");
 
   // Project: T = V^T A V (then symmetrize), rho = V^T L.
   ReducedModel model;

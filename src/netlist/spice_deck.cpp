@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -39,13 +40,26 @@ double parse_spice_value(const std::string& text) {
   static const std::map<std::string, double> kScale = {
       {"", 1.0},   {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
       {"m", 1e-3}, {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12}};
+  double value = base;
+  bool matched = false;
   // Longest-match on known prefixes of the suffix.
   for (const char* key : {"meg", "f", "p", "n", "u", "m", "k", "g", "t"}) {
-    if (suffix.rfind(key, 0) == 0) return base * kScale.at(key);
+    if (suffix.rfind(key, 0) == 0) {
+      value = base * kScale.at(key);
+      matched = true;
+      break;
+    }
   }
-  if (suffix.empty() || std::isalpha(static_cast<unsigned char>(suffix[0])))
-    return base;  // unknown letters = unit annotation, scale 1
-  throw std::runtime_error("malformed numeric value '" + text + "'");
+  if (!matched && !suffix.empty() &&
+      !std::isalpha(static_cast<unsigned char>(suffix[0])))
+    throw std::runtime_error("malformed numeric value '" + text + "'");
+  // Unknown letters = unit annotation, scale 1. Either way the result must
+  // be a usable number: the scale suffix can overflow a value std::stod
+  // accepted (e.g. "1e308k"), which would otherwise leak inf into the MNA
+  // stamps.
+  if (!std::isfinite(value))
+    throw std::runtime_error("non-finite numeric value '" + text + "'");
+  return value;
 }
 
 std::string write_spice_deck(const Circuit& c, const std::string& title) {
@@ -181,23 +195,33 @@ class DeckParser {
     throw std::runtime_error("deck line " + std::to_string(line_no) + ": " + why);
   }
 
+  // parse_spice_value with the deck line number prepended, so a bad value
+  // in a 10k-line extracted deck is findable.
+  double num(const std::string& text, std::size_t line_no) const {
+    try {
+      return parse_spice_value(text);
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+
   SourceWave parse_wave(const std::vector<std::string>& tok, std::size_t start,
                         std::size_t line_no) {
     if (start >= tok.size()) fail(line_no, "missing source value");
     const std::string kind = lower(tok[start]);
     if (kind == "dc") {
       if (start + 1 >= tok.size()) fail(line_no, "DC needs a value");
-      return SourceWave::dc(parse_spice_value(tok[start + 1]));
+      return SourceWave::dc(num(tok[start + 1], line_no));
     }
     if (kind == "pwl") {
       std::vector<std::pair<double, double>> pts;
       for (std::size_t i = start + 1; i + 1 < tok.size(); i += 2)
-        pts.emplace_back(parse_spice_value(tok[i]), parse_spice_value(tok[i + 1]));
+        pts.emplace_back(num(tok[i], line_no), num(tok[i + 1], line_no));
       if (pts.empty()) fail(line_no, "PWL needs (t v) pairs");
       return SourceWave::pwl(std::move(pts));
     }
     // Bare numeric = DC.
-    return SourceWave::dc(parse_spice_value(tok[start]));
+    return SourceWave::dc(num(tok[start], line_no));
   }
 
   void parse_line(const std::string& line, std::size_t line_no) {
@@ -223,7 +247,7 @@ class DeckParser {
         for (std::size_t i = 3; i + 2 < tok.size(); ++i) {
           if (tok[i + 1] != "=") continue;
           const std::string key = lower(tok[i]);
-          const double val = parse_spice_value(tok[i + 2]);
+          const double val = num(tok[i + 2], line_no);
           if (key == "vt0") model.vt0 = val;
           else if (key == "kp") model.kp = val;
           else if (key == "lambda") model.lambda = val;
@@ -240,12 +264,12 @@ class DeckParser {
     switch (head) {
       case 'R': {
         if (tok.size() < 4) fail(line_no, "R needs 2 nodes and a value");
-        circuit_.add_resistor(node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        circuit_.add_resistor(node(tok[1]), node(tok[2]), num(tok[3], line_no));
         return;
       }
       case 'C': {
         if (tok.size() < 4) fail(line_no, "C needs 2 nodes and a value");
-        circuit_.add_capacitor(node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        circuit_.add_capacitor(node(tok[1]), node(tok[2]), num(tok[3], line_no));
         return;
       }
       case 'V': {
@@ -272,7 +296,7 @@ class DeckParser {
         for (std::size_t i = 6; i + 2 < tok.size(); ++i) {
           if (tok[i + 1] != "=") continue;
           const std::string key = lower(tok[i]);
-          const double val = parse_spice_value(tok[i + 2]);
+          const double val = num(tok[i + 2], line_no);
           if (key == "w") pm.w = val;
           if (key == "l") pm.l = val;
           i += 2;

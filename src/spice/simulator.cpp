@@ -8,7 +8,9 @@
 
 #include "linalg/ordering.h"
 #include "spice/mosfet_eval.h"
+#include "util/fault_injection.h"
 #include "util/log.h"
+#include "util/status.h"
 
 namespace xtv {
 
@@ -206,6 +208,9 @@ bool Simulator::newton_solve(Vector& x, double t, double geq_scale,
 Vector Simulator::dc_operating_point() { return dc_full().node_voltages; }
 
 Simulator::DcResult Simulator::dc_full() {
+  if (XTV_INJECT_FAULT(FaultSite::kSpiceNewton))
+    throw NumericalError(StatusCode::kNewtonDivergence,
+                         "Simulator: injected Newton divergence");
   const std::size_t n = unknown_count();
   Vector x(n, 0.0);
   TransientOptions dc_opts;
@@ -225,7 +230,9 @@ Simulator::DcResult Simulator::dc_full() {
     if (ok)
       ok = newton_solve(x, 0.0, 0.0, IntegrationMethod::kBackwardEuler, x, gmin_,
                         dc_opts, iters);
-    if (!ok) throw std::runtime_error("Simulator: DC operating point failed");
+    if (!ok)
+      throw NumericalError(StatusCode::kNewtonDivergence,
+                           "Simulator: DC operating point failed");
   }
 
   DcResult result;
@@ -329,7 +336,8 @@ TransientResult Simulator::transient(const TransientOptions& options,
         break;
       }
       if (++halvings > options.max_step_halvings)
-        throw std::runtime_error("Simulator: transient Newton failed at t=" +
+        throw NumericalError(StatusCode::kNewtonDivergence,
+                             "Simulator: transient Newton failed at t=" +
                                  std::to_string(t));
       dt *= 0.5;
       if (options.adaptive) dt_next = dt;

@@ -37,6 +37,14 @@ double Waveform::min_value() const {
   return *std::min_element(values_.begin(), values_.end());
 }
 
+bool Waveform::all_finite() const {
+  for (double t : times_)
+    if (!std::isfinite(t)) return false;
+  for (double v : values_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 double Waveform::peak_deviation() const {
   assert(!values_.empty());
   const double v0 = values_.front();

@@ -37,6 +37,10 @@ class Waveform {
   double max_value() const;
   double min_value() const;
 
+  /// True when every sample (time and value) is finite — the numerical
+  /// guard the analyzers run on engine outputs before trusting a peak.
+  bool all_finite() const;
+
   /// Peak *excursion* from the waveform's initial value: the sample value
   /// v* maximizing |v - v(0)|, returned as the signed deviation v* - v(0).
   /// This is the crosstalk glitch peak when the waveform is a quiet victim.

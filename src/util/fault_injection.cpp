@@ -1,0 +1,72 @@
+#include "util/fault_injection.h"
+
+namespace xtv {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kCholeskyFactor: return "cholesky-factor";
+    case FaultSite::kDenseLuFactor: return "dense-lu-factor";
+    case FaultSite::kSparseLuFactor: return "sparse-lu-factor";
+    case FaultSite::kLanczosSweep: return "lanczos-sweep";
+    case FaultSite::kPassivityCheck: return "passivity-check";
+    case FaultSite::kReducedNewton: return "reduced-newton";
+    case FaultSite::kSpiceNewton: return "spice-newton";
+    case FaultSite::kWaveformFinite: return "waveform-finite";
+    case FaultSite::kCount: break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultSite site, std::uint64_t period,
+                        std::uint64_t max_fires) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& s = sites_.at(static_cast<std::size_t>(site));
+  s.armed = true;
+  s.period = period > 0 ? period : 1;
+  s.max_fires = max_fires;
+  s.hits = 0;
+  s.fires = 0;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.at(static_cast<std::size_t>(site)).armed = false;
+  bool any = false;
+  for (const SiteState& s : sites_) any = any || s.armed;
+  any_armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SiteState& s : sites_) s = SiteState{};
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_.at(static_cast<std::size_t>(site)).hits;
+}
+
+std::uint64_t FaultInjector::fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_.at(static_cast<std::size_t>(site)).fires;
+}
+
+bool FaultInjector::should_fail_slow(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& s = sites_.at(static_cast<std::size_t>(site));
+  if (!s.armed) return false;
+  ++s.hits;
+  if (s.max_fires > 0 && s.fires >= s.max_fires) return false;
+  if (s.hits % s.period != 0) return false;
+  ++s.fires;
+  return true;
+}
+
+}  // namespace xtv

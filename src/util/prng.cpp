@@ -1,7 +1,7 @@
 #include "util/prng.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace xtv {
 
@@ -40,7 +40,7 @@ double Prng::uniform() {
 double Prng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 int Prng::uniform_int(int lo, int hi) {
-  assert(lo <= hi);
+  if (lo > hi) throw std::runtime_error("Prng: uniform_int bounds reversed");
   const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   // Modulo bias is negligible for the small spans used here.
   return lo + static_cast<int>(next_u64() % span);
@@ -64,7 +64,8 @@ double Prng::normal() {
 }
 
 double Prng::log_uniform(double lo, double hi) {
-  assert(lo > 0.0 && hi >= lo);
+  if (!(lo > 0.0 && hi >= lo))
+    throw std::runtime_error("Prng: log_uniform needs 0 < lo <= hi");
   return lo * std::exp(uniform() * std::log(hi / lo));
 }
 
@@ -77,7 +78,8 @@ bool Prng::bernoulli(double p) {
 std::size_t Prng::weighted_index(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += (w > 0.0 ? w : 0.0);
-  assert(total > 0.0);
+  if (!(total > 0.0))
+    throw std::runtime_error("Prng: weighted_index needs a positive total weight");
   double x = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     const double w = weights[i] > 0.0 ? weights[i] : 0.0;

@@ -1,10 +1,10 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace xtv {
 
@@ -46,8 +46,8 @@ std::string SummaryStats::to_string(int precision) const {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(bins >= 1);
-  assert(hi > lo);
+  if (bins < 1) throw std::runtime_error("Histogram: need at least one bin");
+  if (!(hi > lo)) throw std::runtime_error("Histogram: hi must exceed lo");
 }
 
 void Histogram::add(double x) {
@@ -98,7 +98,7 @@ std::string Histogram::to_ascii(int width, int precision) const {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  assert(!xs.empty());
+  if (xs.empty()) throw std::runtime_error("percentile: empty sample");
   std::sort(xs.begin(), xs.end());
   const double rank =
       std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(xs.size() - 1);

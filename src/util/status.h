@@ -1,0 +1,139 @@
+// Typed failure reporting for the analysis pipeline.
+//
+// Chip-level verification sweeps tens of thousands of victim clusters; a
+// single ill-conditioned cluster must not abort the run. Numerical
+// breakdowns deep in the linalg/MOR/SPICE stack are therefore raised as
+// NumericalError — a std::runtime_error subclass carrying a StatusCode —
+// so callers can tell a recoverable numerical condition (retry with a
+// smaller step, a higher reduced order, or a fallback engine) from a
+// programming error, while existing catch(std::runtime_error) sites keep
+// working unchanged. Status / AnalysisOutcome<T> are the value-style
+// counterparts for APIs that prefer returning failures to throwing them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace xtv {
+
+/// Failure classes of the numerical pipeline. Everything except kOk,
+/// kInvalidInput, and kInternal is a candidate for the verifier's
+/// retry/degradation ladder.
+enum class StatusCode {
+  kOk = 0,
+  kCholeskyBreakdown,  ///< G not SPD during Cholesky factorization
+  kSingularMatrix,     ///< dense/sparse LU hit a zero (or tiny) pivot
+  kLanczosBreakdown,   ///< SyMPVL produced no usable Krylov basis
+  kNotPassive,         ///< reduced T has a genuinely negative eigenvalue
+  kNewtonDivergence,   ///< DC or transient Newton failed to converge
+  kNonFiniteWaveform,  ///< NaN/Inf detected in a simulated waveform
+  kStepSizeCollapse,   ///< step rejection halved dt below the retry budget
+  kInvalidInput,       ///< malformed caller input; retrying cannot help
+  kInternal,           ///< unclassified failure
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCholeskyBreakdown: return "cholesky-breakdown";
+    case StatusCode::kSingularMatrix: return "singular-matrix";
+    case StatusCode::kLanczosBreakdown: return "lanczos-breakdown";
+    case StatusCode::kNotPassive: return "not-passive";
+    case StatusCode::kNewtonDivergence: return "newton-divergence";
+    case StatusCode::kNonFiniteWaveform: return "non-finite-waveform";
+    case StatusCode::kStepSizeCollapse: return "step-size-collapse";
+    case StatusCode::kInvalidInput: return "invalid-input";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Value-style operation result: a code plus a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) out += ": " + message_;
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Typed exception for numerical failures. Derives from runtime_error so
+/// pre-existing catch sites (and EXPECT_THROW(std::runtime_error) tests)
+/// are unaffected; new code catches NumericalError to drive recovery.
+class NumericalError : public std::runtime_error {
+ public:
+  NumericalError(StatusCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  StatusCode code() const { return code_; }
+  Status status() const { return Status(code_, what()); }
+
+ private:
+  StatusCode code_;
+};
+
+/// Either a value or the Status explaining why there is none — a minimal
+/// expected<T, Status> for analysis entry points that must not throw.
+template <typename T>
+class AnalysisOutcome {
+ public:
+  AnalysisOutcome(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)), has_value_(true) {}
+  AnalysisOutcome(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return has_value_; }
+  explicit operator bool() const { return has_value_; }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!has_value_)
+      throw std::logic_error("AnalysisOutcome: value() on failed outcome (" +
+                             status_.to_string() + ")");
+    return value_;
+  }
+  T& value() & {
+    if (!has_value_)
+      throw std::logic_error("AnalysisOutcome: value() on failed outcome (" +
+                             status_.to_string() + ")");
+    return value_;
+  }
+
+  /// Runs `fn()` (returning T), converting NumericalError — and any other
+  /// std::exception — into a failed outcome instead of propagating.
+  template <typename Fn>
+  static AnalysisOutcome capture(Fn&& fn) {
+    try {
+      return AnalysisOutcome(fn());
+    } catch (const NumericalError& e) {
+      return AnalysisOutcome(e.status());
+    } catch (const std::exception& e) {
+      return AnalysisOutcome(Status(StatusCode::kInternal, e.what()));
+    }
+  }
+
+ private:
+  T value_{};
+  Status status_;
+  bool has_value_ = false;
+};
+
+}  // namespace xtv
