@@ -1,0 +1,67 @@
+// Parallel scaling of the chip-level sweep: the same design verified with
+// 1, 2, 4, and 8 worker threads. Reports wall time, summed per-victim CPU
+// time (which should stay ~constant — the work doesn't change, only its
+// distribution), realized speedup, and parallel efficiency, and asserts
+// that every thread count reproduces the serial findings bit-for-bit.
+//
+// Build & run:  ./build/bench/bench_parallel_scaling [net_count]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+
+using namespace xtv;
+
+namespace {
+
+bool findings_match(const VerificationReport& a, const VerificationReport& b) {
+  if (a.findings.size() != b.findings.size()) return false;
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    const VictimFinding& x = a.findings[i];
+    const VictimFinding& y = b.findings[i];
+    if (x.net != y.net || x.peak != y.peak || x.status != y.status ||
+        x.violation != y.violation || x.reduced_order != y.reduced_order)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx;
+
+  DspChipOptions chip_options;
+  chip_options.net_count =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 240;
+  const ChipDesign design = generate_dsp_chip(ctx.library, chip_options);
+
+  VerifierOptions options;
+  options.glitch_threshold = 0.10;
+  options.glitch.align_aggressors = false;  // keep per-victim cost moderate
+  options.glitch.tstop = 3e-9;
+
+  ChipVerifier verifier(ctx.extractor, ctx.chars);
+
+  std::printf("parallel scaling, %zu-net design\n", chip_options.net_count);
+  std::printf("%8s %10s %10s %9s %11s %s\n", "threads", "wall (s)", "cpu (s)",
+              "speedup", "efficiency", "identical");
+
+  VerificationReport serial;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    options.threads = threads;
+    const VerificationReport report = verifier.verify(design, options);
+    if (threads == 1) serial = report;
+    const double speedup = serial.wall_seconds / report.wall_seconds;
+    std::printf("%8zu %10.2f %10.2f %8.2fx %10.0f%% %s\n", threads,
+                report.wall_seconds, report.total_cpu_seconds, speedup,
+                100.0 * speedup / static_cast<double>(threads),
+                findings_match(serial, report) ? "yes" : "NO  <-- BUG");
+  }
+
+  ctx.chars.save(bench::kCellCachePath);
+  return 0;
+}

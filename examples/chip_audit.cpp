@@ -4,9 +4,14 @@
 // MOR engine under timing-window and logic-correlation filtering, and
 // report glitch violations.
 //
-// Build & run:  ./build/examples/chip_audit [net_count]
+// Build & run:  ./build/examples/chip_audit [net_count] [flags]
+//   --threads N               worker threads (default 1 = serial)
+//   --cluster-deadline-ms MS  per-cluster wall-clock budget (0 = unlimited)
+//   --journal PATH            append completed victims to a crash-safe journal
+//   --resume                  skip victims already in the journal (needs --journal)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "chipgen/dsp_chip.h"
 #include "core/verifier.h"
@@ -23,7 +28,41 @@ int main(int argc, char** argv) {
   Extractor extractor(tech);
 
   DspChipOptions chip_options;
-  chip_options.net_count = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 800;
+  chip_options.net_count = 800;
+  VerifierOptions options;
+  options.glitch_threshold = 0.10;          // flag peaks above 10% of Vdd
+  options.glitch.align_aggressors = true;   // worst-case alignment search
+  options.glitch.tstop = 4e-9;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--cluster-deadline-ms") == 0) {
+      options.cluster_deadline_ms = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      options.journal_path = value(arg);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (arg[0] != '-') {
+      chip_options.net_count = static_cast<std::size_t>(std::atoi(arg));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 2;
+  }
+
   std::printf("generating DSP-like design: %zu nets...\n", chip_options.net_count);
   const ChipDesign design = generate_dsp_chip(library, chip_options);
 
@@ -36,21 +75,23 @@ int main(int argc, char** argv) {
               "%zu complementary pairs\n",
               design.couplings.size(), buses, latches,
               design.complementary_pairs.size());
+  if (options.threads > 1)
+    std::printf("  %zu worker threads\n", options.threads);
+  if (options.cluster_deadline_ms > 0.0)
+    std::printf("  per-cluster budget %.1f ms\n", options.cluster_deadline_ms);
+  if (!options.journal_path.empty())
+    std::printf("  journal %s%s\n", options.journal_path.c_str(),
+                options.resume ? " (resuming)" : "");
 
   ChipVerifier verifier(extractor, chars);
-  VerifierOptions options;
-  options.glitch_threshold = 0.10;          // flag peaks above 10% of Vdd
-  options.glitch.align_aggressors = true;   // worst-case alignment search
-  options.glitch.tstop = 4e-9;
-
-  Timer timer;
   const VerificationReport report = verifier.verify(design, options);
   std::printf("\n%s", report.to_string().c_str());
   std::printf("robustness: eligible=%zu analyzed=%zu screened=%zu retried=%zu "
-              "fallback=%zu failed=%zu\n",
+              "fallback=%zu (deadline=%zu) failed=%zu\n",
               report.victims_eligible, report.victims_analyzed,
               report.victims_screened_out, report.victims_retried,
-              report.victims_fallback, report.victims_failed);
+              report.victims_fallback, report.victims_deadline_bound,
+              report.victims_failed);
   for (const auto& f : report.findings) {
     if (f.status == FindingStatus::kAnalyzed) continue;
     std::printf("  net %zu: %s (%zu retries%s%s)\n", f.net,
@@ -69,7 +110,8 @@ int main(int argc, char** argv) {
   for (const auto& f : report.findings)
     orders.add(static_cast<double>(f.reduced_order));
   std::printf("\nreduced model orders: %s\n", orders.to_string(1).c_str());
-  std::printf("wall time: %.1f s for %zu analyzed victims\n", timer.elapsed(),
+  std::printf("wall time: %.1f s (%.1f s cpu) for %zu analyzed victims\n",
+              report.wall_seconds, report.total_cpu_seconds,
               report.victims_analyzed);
   chars.save("xtv_cells.cache");
   return 0;

@@ -1,12 +1,15 @@
 #include "cells/characterize.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "spice/simulator.h"
+#include "util/status.h"
 
 namespace xtv {
 
@@ -260,24 +263,89 @@ void write_table(std::ostream& out, const std::string& name, const Table2D& t) {
   out << '\n';
 }
 
-Table2D read_table(std::istream& in, const std::string& expect_name) {
-  std::string tag, name;
-  std::size_t nx = 0, ny = 0;
-  in >> tag >> name >> nx >> ny;
-  if (tag != "table" || name != expect_name || nx == 0 || ny == 0)
-    throw std::runtime_error("cell cache: bad table header (expected " +
-                             expect_name + ")");
+/// Line-tracking token reader for the cache format: every rejection names
+/// the offending `path:line` so a corrupt cache is diagnosable instead of
+/// silently feeding garbage models into the analysis.
+class CacheReader {
+ public:
+  CacheReader(std::istream& in, std::string path)
+      : in_(in), path_(std::move(path)) {}
+
+  std::size_t line() const { return line_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw NumericalError(StatusCode::kInvalidInput,
+                         "cell cache " + path_ + ":" + std::to_string(line_) +
+                             ": " + what);
+  }
+
+  /// Next whitespace-separated token; fails on EOF (truncated cache).
+  std::string token(const char* what) {
+    std::string tok;
+    for (int c = in_.get(); c != std::char_traits<char>::eof(); c = in_.get()) {
+      if (std::isspace(c)) {
+        if (c == '\n') ++line_;
+        if (!tok.empty()) return tok;
+      } else {
+        tok += static_cast<char>(c);
+      }
+    }
+    if (!tok.empty()) return tok;
+    fail(std::string("truncated cache (expected ") + what + ")");
+  }
+
+  double number(const char* what) {
+    const std::string tok = token(what);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+      fail(std::string("malformed ") + what + " '" + tok + "'");
+    if (!std::isfinite(v))
+      fail(std::string("non-finite ") + what + " '" + tok + "'");
+    return v;
+  }
+
+  std::size_t count(const char* what) {
+    const std::string tok = token(what);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || tok.empty() || tok[0] == '-')
+      fail(std::string("malformed ") + what + " '" + tok + "'");
+    return static_cast<std::size_t>(v);
+  }
+
+ private:
+  std::istream& in_;
+  std::string path_;
+  std::size_t line_ = 1;
+};
+
+Table2D read_table(CacheReader& in, const std::string& expect_name) {
+  const std::string tag = in.token("table tag");
+  const std::string name = in.token("table name");
+  if (tag != "table" || name != expect_name)
+    in.fail("bad table header '" + tag + ' ' + name + "' (expected " +
+            expect_name + ")");
+  const std::size_t nx = in.count("table x size");
+  const std::size_t ny = in.count("table y size");
+  if (nx == 0 || ny == 0 || nx > 4096 || ny > 4096)
+    in.fail("implausible " + expect_name + " dimensions " +
+            std::to_string(nx) + "x" + std::to_string(ny));
   std::vector<double> xs(nx), ys(ny), z(nx * ny);
-  for (double& v : xs) in >> v;
-  for (double& v : ys) in >> v;
-  for (double& v : z) in >> v;
-  if (!in) throw std::runtime_error("cell cache: truncated table " + expect_name);
-  return Table2D(std::move(xs), std::move(ys), std::move(z));
+  for (double& v : xs) v = in.number("axis value");
+  for (double& v : ys) v = in.number("axis value");
+  for (double& v : z) v = in.number("table entry");
+  try {
+    return Table2D(std::move(xs), std::move(ys), std::move(z));
+  } catch (const std::exception& e) {
+    in.fail("invalid " + expect_name + " table: " + e.what());
+  }
 }
 
 }  // namespace
 
 std::size_t CharacterizedLibrary::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cell cache: cannot write " + path);
   out << "xtv-cellmodels-v3 " << cache_.size() << '\n';
@@ -303,33 +371,47 @@ std::size_t CharacterizedLibrary::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return 0;
   std::string magic;
-  std::size_t count = 0;
-  in >> magic >> count;
+  in >> magic;
   if (magic != "xtv-cellmodels-v3") return 0;  // stale/foreign cache: ignore
+
+  // The file claims to be a current cache: from here on every defect —
+  // truncation, a malformed or non-finite entry, a bad header — is a hard
+  // typed error carrying the offending line, never a silently-ingested
+  // garbage model. The staged map keeps the live cache untouched when the
+  // file turns out to be corrupt mid-record.
+  CacheReader reader(in, path);
+  const std::size_t count = reader.count("model count");
+  std::map<std::string, CellModel> staged;
   for (std::size_t k = 0; k < count; ++k) {
-    std::string tag, name;
-    in >> tag >> name;
-    if (tag != "cell") throw std::runtime_error("cell cache: expected cell record");
+    const std::string tag = reader.token("cell tag");
+    if (tag != "cell") reader.fail("expected cell record, got '" + tag + "'");
     CellModel m;
-    m.cell = name;
-    in >> m.input_cap >> m.output_cap >> m.drive_resistance_rise >>
-        m.drive_resistance_fall;
-    m.rise.delay = read_table(in, "rise_delay");
-    m.rise.output_slew = read_table(in, "rise_slew");
-    m.fall.delay = read_table(in, "fall_delay");
-    m.fall.output_slew = read_table(in, "fall_slew");
-    m.iv_surface = read_table(in, "iv");
-    m.warp_shift_rise = read_table(in, "warp_shift_rise");
-    m.warp_shift_fall = read_table(in, "warp_shift_fall");
-    m.warp_stretch_rise = read_table(in, "warp_stretch_rise");
-    m.warp_stretch_fall = read_table(in, "warp_stretch_fall");
-    if (!in) throw std::runtime_error("cell cache: truncated record " + name);
-    cache_.insert_or_assign(name, std::move(m));
+    m.cell = reader.token("cell name");
+    m.input_cap = reader.number("input_cap");
+    m.output_cap = reader.number("output_cap");
+    m.drive_resistance_rise = reader.number("drive_resistance_rise");
+    m.drive_resistance_fall = reader.number("drive_resistance_fall");
+    m.rise.delay = read_table(reader, "rise_delay");
+    m.rise.output_slew = read_table(reader, "rise_slew");
+    m.fall.delay = read_table(reader, "fall_delay");
+    m.fall.output_slew = read_table(reader, "fall_slew");
+    m.iv_surface = read_table(reader, "iv");
+    m.warp_shift_rise = read_table(reader, "warp_shift_rise");
+    m.warp_shift_fall = read_table(reader, "warp_shift_fall");
+    m.warp_stretch_rise = read_table(reader, "warp_stretch_rise");
+    m.warp_stretch_fall = read_table(reader, "warp_stretch_fall");
+    staged.insert_or_assign(m.cell, std::move(m));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, m] : staged) cache_.insert_or_assign(name, std::move(m));
   return count;
 }
 
 const CellModel& CharacterizedLibrary::model(const std::string& cell_name) {
+  // Held across a cold-cache characterization on purpose: concurrent
+  // workers asking for the same cell must characterize it exactly once,
+  // and the chip flow pre-warms via the on-disk cache anyway.
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(cell_name);
   if (it != cache_.end()) return it->second;
   const CellMaster& master = library_.by_name(cell_name);

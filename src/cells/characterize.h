@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -91,6 +92,12 @@ CellModel characterize_cell(const CellMaster& master, const Technology& tech,
 /// A cell library plus lazily-computed models, cached by name.
 /// Characterization is the paper's "one-time task": the cache can be
 /// persisted to disk and reloaded, so repeated tool runs skip it.
+///
+/// Thread-safe: the verifier's worker pool shares one instance, so every
+/// cache access is serialized by an internal mutex. A cold-cache model()
+/// holds the lock for the whole characterization — concurrent requests
+/// for the same cell then characterize once, and references handed out
+/// stay valid forever (std::map nodes are stable, entries never erased).
 class CharacterizedLibrary {
  public:
   explicit CharacterizedLibrary(const CellLibrary& library,
@@ -102,6 +109,7 @@ class CharacterizedLibrary {
 
   /// True if a model is already cached (no characterization would run).
   bool has_model(const std::string& cell_name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return cache_.count(cell_name) > 0;
   }
 
@@ -110,13 +118,17 @@ class CharacterizedLibrary {
   std::size_t save(const std::string& path) const;
 
   /// Loads models from `path` into the cache (overwriting duplicates).
-  /// Returns the number loaded; 0 if the file does not exist. Throws on a
-  /// malformed file.
+  /// Returns the number loaded; 0 if the file does not exist or carries a
+  /// stale/foreign magic. A file that *claims* to be a current cache but
+  /// is truncated, malformed, or contains non-finite table entries throws
+  /// NumericalError(kInvalidInput) naming the offending line — garbage
+  /// models must never silently enter the analysis.
   std::size_t load(const std::string& path);
 
  private:
   const CellLibrary& library_;
   CharacterizeOptions options_;
+  mutable std::mutex mutex_;
   std::map<std::string, CellModel> cache_;
 };
 

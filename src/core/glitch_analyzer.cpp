@@ -212,6 +212,7 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   const double vdd = extractor_.tech().vdd;
 
   Timer timer;
+  poll_cancel(options.cancel, "GlitchAnalyzer::analyze");
   ReducedModel model = sympvl_reduce(built.network, true, options.mor);
   ReducedSimulator sim(model);
 
@@ -262,6 +263,7 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   ReducedSimOptions ropt;
   ropt.tstop = options.tstop;
   ropt.dt = options.dt;
+  ropt.cancel = options.cancel;
   const ReducedSimResult res = sim.run(ropt);
   check_finite_waves(res.port_voltages, "GlitchAnalyzer::analyze");
 
@@ -414,6 +416,7 @@ GlitchResult GlitchAnalyzer::analyze_spice(const VictimSpec& victim,
   topt.tstop = options.tstop;
   topt.dt = options.dt;
   topt.exploit_linearity = options.spice_exploit_linearity;
+  topt.cancel = options.cancel;
   const TransientResult res = sim.transient(
       topt, {vic_rcv, vic_drv,
              aggressors.empty() ? vic_rcv

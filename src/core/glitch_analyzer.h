@@ -46,6 +46,10 @@ struct GlitchAnalysisOptions {
   /// (set false to benchmark classic refactor-every-step SPICE behavior).
   bool spice_exploit_linearity = true;
   double default_switch_time = 0.5e-9;  ///< aggressor input start when not aligned
+  /// Per-cluster wall-clock budget: forwarded into both engines' stepping
+  /// loops (including alignment probe runs); an expired token aborts the
+  /// analysis with kDeadlineExceeded. Null = unbounded. Not owned.
+  const CancelToken* cancel = nullptr;
 };
 
 struct GlitchResult {

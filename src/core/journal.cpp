@@ -1,0 +1,246 @@
+#include "core/journal.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace xtv {
+
+namespace {
+
+constexpr const char* kMagic = "xtvj1";
+constexpr std::size_t kFieldCount = 18;
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Error messages may contain spaces (and in principle any byte); encode
+/// them %XX-escaped into a single token. Empty encodes as "-".
+std::string escape(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  out.reserve(s.size());
+  char buf[4];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c <= 0x20 || c > 0x7e || c == '%' || (i == 0 && c == '-')) {
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& s, std::string& out) {
+  out.clear();
+  if (s == "-") return true;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) return false;
+      char* end = nullptr;
+      const char hex[3] = {s[i + 1], s[i + 2], '\0'};
+      const long v = std::strtol(hex, &end, 16);
+      if (end != hex + 2) return false;
+      out += static_cast<char>(v);
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return true;
+}
+
+/// Hexfloat formatting round-trips doubles bit-exactly, which is what
+/// makes a resumed report identical to an uninterrupted one.
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string journal_encode(const JournalRecord& record) {
+  const VictimFinding& f = record.finding;
+  std::ostringstream out;
+  out << (record.screened ? 1 : 0) << ' ' << f.net << ' '
+      << static_cast<int>(f.status) << ' ' << f.retries << ' '
+      << static_cast<int>(f.error_code) << ' ' << escape(f.error) << ' '
+      << fmt_double(f.peak) << ' ' << fmt_double(f.peak_fraction) << ' '
+      << (f.violation ? 1 : 0) << ' ' << f.aggressors_analyzed << ' '
+      << f.aggressors_dropped_by_correlation << ' '
+      << f.aggressors_dropped_by_window << ' ' << fmt_double(f.cpu_seconds)
+      << ' ' << f.reduced_order << ' ' << fmt_double(f.delay_decoupled) << ' '
+      << fmt_double(f.delay_coupled) << ' '
+      << fmt_double(f.driver_rms_current) << ' ' << (f.em_violation ? 1 : 0);
+  return out.str();
+}
+
+bool journal_decode(const std::string& payload, JournalRecord& record) {
+  std::vector<std::string> tok;
+  std::istringstream in(payload);
+  for (std::string t; in >> t;) tok.push_back(std::move(t));
+  if (tok.size() != kFieldCount) return false;
+
+  VictimFinding f;
+  std::size_t screened = 0, status = 0, code = 0, violation = 0, em = 0;
+  if (!parse_size(tok[0], screened) || screened > 1) return false;
+  if (!parse_size(tok[1], f.net)) return false;
+  if (!parse_size(tok[2], status) ||
+      status > static_cast<std::size_t>(FindingStatus::kFailed))
+    return false;
+  if (!parse_size(tok[3], f.retries)) return false;
+  if (!parse_size(tok[4], code) ||
+      code > static_cast<std::size_t>(StatusCode::kInternal))
+    return false;
+  if (!unescape(tok[5], f.error)) return false;
+  if (!parse_double(tok[6], f.peak)) return false;
+  if (!parse_double(tok[7], f.peak_fraction)) return false;
+  if (!parse_size(tok[8], violation) || violation > 1) return false;
+  if (!parse_size(tok[9], f.aggressors_analyzed)) return false;
+  if (!parse_size(tok[10], f.aggressors_dropped_by_correlation)) return false;
+  if (!parse_size(tok[11], f.aggressors_dropped_by_window)) return false;
+  if (!parse_double(tok[12], f.cpu_seconds)) return false;
+  if (!parse_size(tok[13], f.reduced_order)) return false;
+  if (!parse_double(tok[14], f.delay_decoupled)) return false;
+  if (!parse_double(tok[15], f.delay_coupled)) return false;
+  if (!parse_double(tok[16], f.driver_rms_current)) return false;
+  if (!parse_size(tok[17], em) || em > 1) return false;
+
+  f.status = static_cast<FindingStatus>(status);
+  f.error_code = static_cast<StatusCode>(code);
+  f.violation = violation != 0;
+  f.em_violation = em != 0;
+  record.screened = screened != 0;
+  record.finding = std::move(f);
+  return true;
+}
+
+ResultJournal::LoadResult ResultJournal::load(const std::string& path) {
+  LoadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;
+
+  long file_bytes = 0;
+  {
+    in.seekg(0, std::ios::end);
+    file_bytes = static_cast<long>(in.tellg());
+    in.seekg(0, std::ios::beg);
+  }
+
+  const std::size_t magic_len = std::strlen(kMagic);
+  std::string line;
+  while (std::getline(in, line)) {
+    // A record is only intact if its terminating newline made it to disk:
+    // getline at EOF without the delimiter is exactly the torn-write case.
+    const bool has_newline =
+        result.valid_bytes + static_cast<long>(line.size()) < file_bytes;
+    if (!has_newline) break;
+    if (line.compare(0, magic_len, kMagic) != 0 ||
+        line.size() <= magic_len + 1 || line[magic_len] != ' ')
+      break;
+    const std::size_t checksum_at = line.rfind(' ');
+    if (checksum_at == std::string::npos || checksum_at <= magic_len) break;
+    const std::string payload =
+        line.substr(magic_len + 1, checksum_at - magic_len - 1);
+    char* end = nullptr;
+    const std::string checksum_text = line.substr(checksum_at + 1);
+    const std::uint64_t checksum =
+        std::strtoull(checksum_text.c_str(), &end, 16);
+    if (checksum_text.empty() || end != checksum_text.c_str() + checksum_text.size())
+      break;
+    if (checksum != fnv1a64(payload)) break;
+    JournalRecord record;
+    if (!journal_decode(payload, record)) break;
+    result.records.push_back(std::move(record));
+    result.valid_bytes += static_cast<long>(line.size()) + 1;
+  }
+  result.tail_discarded = result.valid_bytes < file_bytes;
+  return result;
+}
+
+ResultJournal::ResultJournal(const std::string& path, bool resume,
+                             std::size_t flush_every)
+    : path_(path), flush_every_(flush_every > 0 ? flush_every : 1) {
+  if (resume) {
+    // Cut the torn tail (if any) so fresh appends follow intact records.
+    const LoadResult prior = load(path);
+    file_ = std::fopen(path.c_str(), prior.valid_bytes > 0 ? "r+b" : "wb");
+    if (file_ && prior.valid_bytes > 0) {
+      if (ftruncate(fileno(file_), prior.valid_bytes) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+      } else {
+        std::fseek(file_, 0, SEEK_END);
+      }
+    }
+  } else {
+    file_ = std::fopen(path.c_str(), "wb");
+  }
+  if (!file_)
+    throw NumericalError(StatusCode::kInvalidInput,
+                         "ResultJournal: cannot open " + path);
+}
+
+ResultJournal::~ResultJournal() {
+  if (!file_) return;
+  std::fflush(file_);
+  fsync(fileno(file_));
+  std::fclose(file_);
+}
+
+void ResultJournal::append(const JournalRecord& record) {
+  const std::string payload = journal_encode(record);
+  char checksum[24];
+  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64, fnv1a64(payload));
+  const std::string line =
+      std::string(kMagic) + ' ' + payload + ' ' + checksum + '\n';
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  if (++unflushed_ >= flush_every_) {
+    std::fflush(file_);
+    fsync(fileno(file_));
+    unflushed_ = 0;
+  }
+}
+
+void ResultJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+  fsync(fileno(file_));
+  unflushed_ = 0;
+}
+
+}  // namespace xtv

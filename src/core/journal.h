@@ -1,0 +1,87 @@
+// Crash-safe result journal for resumable chip verification.
+//
+// A full-chip audit is a multi-hour batch job; a killed process must not
+// forfeit the victims already analyzed. The verifier therefore appends
+// one record per *completed* eligible victim (screened-out or fully
+// analyzed) to an append-only text journal:
+//
+//   xtvj1 <payload> <fnv1a-64 checksum of payload>\n
+//
+// Doubles are serialized as C hexfloats, so a journaled finding
+// round-trips bit-exactly and a resumed run reproduces the uninterrupted
+// report verbatim. Appends are batched and fsync'd every `flush_every`
+// records (and on close), bounding lost work to one batch.
+//
+// A process killed mid-write leaves a torn final line; load() verifies
+// each record's checksum and field count and stops at the first bad one,
+// returning only the intact prefix plus its byte offset so the writer
+// can truncate the torn tail before appending fresh records.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+
+namespace xtv {
+
+/// One journaled victim outcome. Screened victims carry only accounting
+/// fields (net, cpu, aggressor-drop counters); analyzed ones the full
+/// finding.
+struct JournalRecord {
+  bool screened = false;
+  VictimFinding finding;
+};
+
+/// Serializes a record to its single-line journal payload (no checksum
+/// framing) and back. Exposed for tests; round-trips bit-exactly.
+std::string journal_encode(const JournalRecord& record);
+
+/// Decodes a payload line; returns false on any malformed field.
+bool journal_decode(const std::string& payload, JournalRecord& record);
+
+class ResultJournal {
+ public:
+  struct LoadResult {
+    std::vector<JournalRecord> records;
+    /// Byte offset just past the last intact record — the truncation
+    /// point for a writer resuming after a crash.
+    long valid_bytes = 0;
+    /// True when bytes past valid_bytes were present (torn/corrupt tail).
+    bool tail_discarded = false;
+  };
+
+  /// Reads every intact record of `path`. A missing file is an empty
+  /// journal, not an error.
+  static LoadResult load(const std::string& path);
+
+  /// Opens `path` for appending. With `resume` false the file is
+  /// truncated; with `resume` true it is truncated only past the intact
+  /// prefix (discarding a torn tail), and appends continue after it.
+  /// Records are fsync'd every `flush_every` appends. Throws
+  /// NumericalError(kInvalidInput) when the file cannot be opened.
+  ResultJournal(const std::string& path, bool resume, std::size_t flush_every = 16);
+  ~ResultJournal();
+
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  /// Appends one record (thread-safe; workers call this directly).
+  void append(const JournalRecord& record);
+
+  /// Flushes buffered records to the OS and fsyncs.
+  void flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t flush_every_;
+  std::size_t unflushed_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace xtv

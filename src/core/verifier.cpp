@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "core/analytic_estimates.h"
 #include "core/delay_analyzer.h"
+#include "core/journal.h"
+#include "util/deadline.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace xtv {
@@ -20,6 +27,192 @@ void record_first_error(VictimFinding& finding, const std::exception& e) {
   const auto* numerical = dynamic_cast<const NumericalError*>(&e);
   finding.error_code =
       numerical ? numerical->code() : StatusCode::kInternal;
+}
+
+bool is_deadline_error(const std::exception& e) {
+  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
+  return numerical && numerical->code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Full analysis of one victim cluster: eligibility, the Devgan screen,
+/// the retry/degradation ladder under the per-cluster deadline, and the
+/// optional delay/EM passes. Runs on a worker thread; everything it
+/// touches is either const, internally synchronized (CharacterizedLibrary,
+/// FaultInjector), or local. Returns nullopt for ineligible victims (no
+/// retained aggressor survives the window/correlation filters).
+std::optional<JournalRecord> analyze_victim(
+    const ChipVerifier& verifier, const Extractor& extractor,
+    CharacterizedLibrary& chars, GlitchAnalyzer& analyzer,
+    const ChipDesign& design, const std::vector<NetSummary>& summaries,
+    const PruneResult& pruned, std::size_t v, const VerifierOptions& options) {
+  const double vdd = extractor.tech().vdd;
+
+  ThreadCpuTimer victim_timer;
+  CancelToken budget(options.cluster_deadline_ms > 0.0
+                         ? Deadline::after_seconds(options.cluster_deadline_ms *
+                                                   1e-3)
+                         : Deadline::unlimited());
+
+  JournalRecord record;
+  VictimFinding& finding = record.finding;
+  finding.net = v;
+  bool eligible = false;
+  try {
+    auto [victim, aggressors] =
+        verifier.build_victim_cluster(design, summaries, pruned, v, &finding);
+    if (aggressors.empty()) return std::nullopt;
+    eligible = true;
+
+    if (options.use_noise_screen) {
+      // Conservative pre-screen: the sum of per-aggressor Devgan bounds
+      // caps the combined glitch; below the margin, skip the simulation.
+      double bound = 0.0;
+      for (const AggressorSpec& agg : aggressors)
+        bound += devgan_noise_bound(victim, agg, extractor, chars);
+      if (bound < options.glitch_threshold * vdd) {
+        record.screened = true;
+        finding.cpu_seconds = victim_timer.elapsed();
+        return record;
+      }
+    }
+
+    // Recovery ladder. Rung 0 runs the options untouched (plus the
+    // cluster budget token) so a clean pass is bit-identical to a serial
+    // or ladder-free run; each later rung trades accuracy or speed for
+    // robustness, and the last (analytic bound) cannot fail, so no
+    // cluster is ever silently skipped. A rung cancelled by the deadline
+    // skips straight to the bound — the remaining rungs share the same
+    // expired budget and could only burn more wall time failing.
+    GlitchResult res;
+    bool have_sim = false;
+    bool deadline_expired = false;
+    GlitchAnalysisOptions base = options.glitch;
+    base.cancel = &budget;
+    try {
+      res = analyzer.analyze(victim, aggressors, base);
+      have_sim = true;
+      finding.status = FindingStatus::kAnalyzed;
+    } catch (const std::exception& e) {
+      record_first_error(finding, e);
+      ++finding.retries;
+      deadline_expired = is_deadline_error(e);
+    }
+    if (!have_sim && !deadline_expired) {
+      // Rung 1: halved timestep (Newton on a stiff cluster often
+      // converges once the per-step excitation change shrinks).
+      GlitchAnalysisOptions retry = base;
+      retry.dt =
+          0.5 * (retry.dt > 0.0 ? retry.dt : retry.tstop / 2000.0);
+      try {
+        res = analyzer.analyze(victim, aggressors, retry);
+        have_sim = true;
+        finding.status = FindingStatus::kAnalyzedAfterRetry;
+      } catch (const std::exception& e) {
+        record_first_error(finding, e);
+        ++finding.retries;
+        deadline_expired = is_deadline_error(e);
+      }
+      // Rung 2: halved timestep + doubled reduced order (a too-small
+      // Krylov space shows up as a non-passive or inaccurate model).
+      if (!have_sim && !deadline_expired) {
+        const std::size_t base_order =
+            retry.mor.max_order > 0 ? retry.mor.max_order
+                                    : 8 * (1 + aggressors.size());
+        retry.mor.max_order = 2 * base_order;
+        try {
+          res = analyzer.analyze(victim, aggressors, retry);
+          have_sim = true;
+          finding.status = FindingStatus::kAnalyzedAfterRetry;
+        } catch (const std::exception& e) {
+          record_first_error(finding, e);
+          ++finding.retries;
+          deadline_expired = is_deadline_error(e);
+        }
+      }
+      // Rung 3: full unreduced-cluster simulation on the golden engine —
+      // slow, but immune to every reduction-side breakdown.
+      if (!have_sim && !deadline_expired) {
+        try {
+          res = analyzer.analyze_spice(victim, aggressors, base);
+          have_sim = true;
+          finding.status = FindingStatus::kFellBackToFullSim;
+        } catch (const std::exception& e) {
+          record_first_error(finding, e);
+          ++finding.retries;
+          deadline_expired = is_deadline_error(e);
+        }
+      }
+    }
+    if (have_sim) {
+      finding.peak = res.peak;
+      finding.peak_fraction = std::fabs(res.peak) / vdd;
+      finding.violation = finding.peak_fraction >= options.glitch_threshold;
+      finding.aggressors_analyzed = aggressors.size();
+      finding.reduced_order = res.reduced_order;
+      finding.driver_rms_current = res.victim_driver_rms_current;
+      finding.em_violation =
+          options.em_rms_limit > 0.0 &&
+          res.victim_driver_rms_current > options.em_rms_limit;
+
+      if (options.analyze_delay_change) {
+        // Timing recalculation: the victim as a SWITCHING net, aggressors
+        // forced opposite (worst case) vs the decoupled classic load.
+        DelayAnalyzer delays(extractor, chars);
+        DelayAnalysisOptions dopt;
+        dopt.driver_model = options.glitch.driver_model ==
+                                    DriverModelKind::kNonlinearTable
+                                ? DriverModelKind::kNonlinearTable
+                                : DriverModelKind::kLinearResistor;
+        dopt.victim_input_slew = design.nets[v].input_slew;
+        dopt.mor = options.glitch.mor;
+        try {
+          const CoupledDelayResult d =
+              delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
+          finding.delay_decoupled = d.delay_decoupled;
+          finding.delay_coupled = d.delay_coupled;
+        } catch (const std::exception&) {
+          // A victim that never completes its transition within the window
+          // (or whose budget ran out mid-pass) is reported with zeroed
+          // delays rather than aborting the audit.
+        }
+      }
+    } else {
+      // Rung 4: Devgan analytic bound. Conservative (each term is an
+      // upper bound on that aggressor's contribution), so the reported
+      // peak is >= the true peak and a pass here is a real pass. A
+      // budget-expired cluster lands here as kDeadlineBound: still
+      // accounted, still conservative, and the pool slot is freed.
+      double bound = 0.0;
+      for (const AggressorSpec& agg : aggressors)
+        bound += devgan_noise_bound(victim, agg, extractor, chars);
+      bound = std::min(bound, vdd);
+      finding.status = deadline_expired ? FindingStatus::kDeadlineBound
+                                        : FindingStatus::kFellBackToBound;
+      finding.peak = victim.held_high ? -bound : bound;
+      finding.peak_fraction = bound / vdd;
+      finding.violation = finding.peak_fraction >= options.glitch_threshold;
+      finding.aggressors_analyzed = aggressors.size();
+    }
+  } catch (const std::exception& e) {
+    // Per-cluster isolation: even a failure outside the ladder (cluster
+    // construction, screening, the bound itself) must not abort the chip
+    // sweep. The victim is reported maximally pessimistically for manual
+    // review.
+    record_first_error(finding, e);
+    eligible = true;
+    finding.status = FindingStatus::kFailed;
+    finding.peak = -vdd;
+    finding.peak_fraction = 1.0;
+    finding.violation = true;
+  }
+  if (!eligible) return std::nullopt;
+  finding.cpu_seconds = victim_timer.elapsed();
+  return record;
+}
+
+bool counts_as_analyzed(FindingStatus s) {
+  return s == FindingStatus::kAnalyzed ||
+         s == FindingStatus::kAnalyzedAfterRetry;
 }
 
 }  // namespace
@@ -107,6 +300,9 @@ std::pair<VictimSpec, std::vector<AggressorSpec>> ChipVerifier::build_victim_clu
 
 VerificationReport ChipVerifier::verify(const ChipDesign& design,
                                         const VerifierOptions& options) {
+  if (options.resume && options.journal_path.empty())
+    throw std::runtime_error("ChipVerifier: resume requires journal_path");
+
   VerificationReport report;
   Timer total;
 
@@ -116,156 +312,85 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   report.prune_stats = pruned.stats;
 
   GlitchAnalyzer analyzer(extractor_, chars_);
-  const double vdd = extractor_.tech().vdd;
 
+  // Candidate victims in stable net order — the report order, regardless
+  // of which worker (or which prior run) produced each result.
+  std::vector<std::size_t> candidates;
   for (std::size_t v = 0; v < design.nets.size(); ++v) {
     if (pruned.retained[v].empty()) continue;
     if (options.latch_inputs_only && !design.nets[v].latch_input) continue;
-    if (options.max_victims > 0 && report.victims_analyzed >= options.max_victims)
-      break;
+    candidates.push_back(v);
+  }
 
-    VictimFinding finding;
-    finding.net = v;
-    bool counted_eligible = false;
-    try {
-      auto [victim, aggressors] =
-          build_victim_cluster(design, summaries, pruned, v, &finding);
-      if (aggressors.empty()) continue;
-      counted_eligible = true;
-      ++report.victims_eligible;
+  // Resume: intact journal records stand in for re-analysis; the journal
+  // itself is truncated past its intact prefix so fresh appends follow.
+  std::map<std::size_t, JournalRecord> journaled;
+  std::unique_ptr<ResultJournal> journal;
+  if (!options.journal_path.empty()) {
+    if (options.resume)
+      for (auto& rec : ResultJournal::load(options.journal_path).records)
+        journaled.insert_or_assign(rec.finding.net, std::move(rec));
+    journal = std::make_unique<ResultJournal>(options.journal_path,
+                                              options.resume);
+  }
 
-      if (options.use_noise_screen) {
-        // Conservative pre-screen: the sum of per-aggressor Devgan bounds
-        // caps the combined glitch; below the margin, skip the simulation.
-        double bound = 0.0;
-        for (const AggressorSpec& agg : aggressors)
-          bound += devgan_noise_bound(victim, agg, extractor_, chars_);
-        if (bound < options.glitch_threshold * extractor_.tech().vdd) {
-          ++report.victims_screened_out;
-          continue;
-        }
-      }
+  std::vector<std::size_t> work;
+  for (std::size_t v : candidates)
+    if (!journaled.count(v)) work.push_back(v);
 
-      // Recovery ladder. Rung 0 runs the options untouched so a clean pass
-      // is bit-identical to a build without the ladder; each later rung
-      // trades accuracy or speed for robustness, and the last (analytic
-      // bound) cannot fail, so no cluster is ever silently skipped.
-      GlitchResult res;
-      bool have_sim = false;
-      try {
-        res = analyzer.analyze(victim, aggressors, options.glitch);
-        have_sim = true;
-        finding.status = FindingStatus::kAnalyzed;
-      } catch (const std::exception& e) {
-        record_first_error(finding, e);
-        ++finding.retries;
-      }
-      if (!have_sim) {
-        ++report.victims_retried;
-        // Rung 1: halved timestep (Newton on a stiff cluster often
-        // converges once the per-step excitation change shrinks).
-        GlitchAnalysisOptions retry = options.glitch;
-        retry.dt =
-            0.5 * (retry.dt > 0.0 ? retry.dt : retry.tstop / 2000.0);
-        try {
-          res = analyzer.analyze(victim, aggressors, retry);
-          have_sim = true;
-          finding.status = FindingStatus::kAnalyzedAfterRetry;
-        } catch (const std::exception& e) {
-          record_first_error(finding, e);
-          ++finding.retries;
-        }
-        // Rung 2: halved timestep + doubled reduced order (a too-small
-        // Krylov space shows up as a non-passive or inaccurate model).
-        if (!have_sim) {
-          const std::size_t base_order =
-              retry.mor.max_order > 0 ? retry.mor.max_order
-                                      : 8 * (1 + aggressors.size());
-          retry.mor.max_order = 2 * base_order;
-          try {
-            res = analyzer.analyze(victim, aggressors, retry);
-            have_sim = true;
-            finding.status = FindingStatus::kAnalyzedAfterRetry;
-          } catch (const std::exception& e) {
-            record_first_error(finding, e);
-            ++finding.retries;
-          }
-        }
-        // Rung 3: full unreduced-cluster simulation on the golden engine —
-        // slow, but immune to every reduction-side breakdown.
-        if (!have_sim) {
-          try {
-            res = analyzer.analyze_spice(victim, aggressors, options.glitch);
-            have_sim = true;
-            finding.status = FindingStatus::kFellBackToFullSim;
-          } catch (const std::exception& e) {
-            record_first_error(finding, e);
-            ++finding.retries;
-          }
-        }
-      }
-      if (have_sim) {
-        finding.peak = res.peak;
-        finding.peak_fraction = std::fabs(res.peak) / vdd;
-        finding.violation = finding.peak_fraction >= options.glitch_threshold;
-        finding.aggressors_analyzed = aggressors.size();
-        finding.cpu_seconds = res.cpu_seconds;
-        finding.reduced_order = res.reduced_order;
-        finding.driver_rms_current = res.victim_driver_rms_current;
-        finding.em_violation =
-            options.em_rms_limit > 0.0 &&
-            res.victim_driver_rms_current > options.em_rms_limit;
+  std::map<std::size_t, JournalRecord> fresh;
+  std::mutex fresh_mutex;
+  auto run_one = [&](std::size_t v) {
+    std::optional<JournalRecord> outcome =
+        analyze_victim(*this, extractor_, chars_, analyzer, design, summaries,
+                       pruned, v, options);
+    if (!outcome) return;
+    if (journal) journal->append(*outcome);
+    std::lock_guard<std::mutex> lock(fresh_mutex);
+    fresh.emplace(v, std::move(*outcome));
+  };
 
-        if (options.analyze_delay_change) {
-          // Timing recalculation: the victim as a SWITCHING net, aggressors
-          // forced opposite (worst case) vs the decoupled classic load.
-          DelayAnalyzer delays(extractor_, chars_);
-          DelayAnalysisOptions dopt;
-          dopt.driver_model = options.glitch.driver_model ==
-                                      DriverModelKind::kNonlinearTable
-                                  ? DriverModelKind::kNonlinearTable
-                                  : DriverModelKind::kLinearResistor;
-          dopt.victim_input_slew = design.nets[v].input_slew;
-          dopt.mor = options.glitch.mor;
-          try {
-            const CoupledDelayResult d =
-                delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
-            finding.delay_decoupled = d.delay_decoupled;
-            finding.delay_coupled = d.delay_coupled;
-          } catch (const std::exception&) {
-            // A victim that never completes its transition within the window
-            // is reported with zeroed delays rather than aborting the audit.
-          }
-        }
-      } else {
-        // Rung 4: Devgan analytic bound. Conservative (each term is an
-        // upper bound on that aggressor's contribution), so the reported
-        // peak is >= the true peak and a pass here is a real pass.
-        double bound = 0.0;
-        for (const AggressorSpec& agg : aggressors)
-          bound += devgan_noise_bound(victim, agg, extractor_, chars_);
-        bound = std::min(bound, vdd);
-        finding.status = FindingStatus::kFellBackToBound;
-        finding.peak = victim.held_high ? -bound : bound;
-        finding.peak_fraction = bound / vdd;
-        finding.violation = finding.peak_fraction >= options.glitch_threshold;
-        finding.aggressors_analyzed = aggressors.size();
-      }
-    } catch (const std::exception& e) {
-      // Per-cluster isolation: even a failure outside the ladder (cluster
-      // construction, screening, the bound itself) must not abort the chip
-      // sweep. The victim is reported maximally pessimistically for manual
-      // review.
-      record_first_error(finding, e);
-      if (!counted_eligible) ++report.victims_eligible;
-      finding.status = FindingStatus::kFailed;
-      finding.peak = -vdd;
-      finding.peak_fraction = 1.0;
-      finding.violation = true;
+  // max_victims caps *analyzed* victims, which only a serial sweep can
+  // define deterministically (the cap depends on each prior victim's
+  // outcome) — bounded debug runs stay single-threaded.
+  if (options.threads <= 1 || options.max_victims > 0) {
+    std::size_t analyzed = 0;
+    for (const auto& [v, rec] : journaled)
+      if (!rec.screened && counts_as_analyzed(rec.finding.status)) ++analyzed;
+    for (std::size_t v : work) {
+      if (options.max_victims > 0 && analyzed >= options.max_victims) break;
+      run_one(v);
+      const auto it = fresh.find(v);
+      if (it != fresh.end() && !it->second.screened &&
+          counts_as_analyzed(it->second.finding.status))
+        ++analyzed;
     }
+  } else {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(work.size(),
+                      [&](std::size_t i) { run_one(work[i]); });
+  }
+  if (journal) journal->flush();
 
-    report.findings.push_back(finding);
-    switch (finding.status) {
+  // Merge in candidate order: journaled and fresh results interleave into
+  // the exact report an uninterrupted serial run would have produced.
+  for (std::size_t v : candidates) {
+    const JournalRecord* rec = nullptr;
+    if (const auto it = journaled.find(v); it != journaled.end())
+      rec = &it->second;
+    else if (const auto it2 = fresh.find(v); it2 != fresh.end())
+      rec = &it2->second;
+    if (!rec) continue;  // ineligible, or past the max_victims cutoff
+
+    ++report.victims_eligible;
+    report.total_cpu_seconds += rec->finding.cpu_seconds;
+    if (rec->screened) {
+      ++report.victims_screened_out;
+      continue;
+    }
+    report.findings.push_back(rec->finding);
+    const VictimFinding& f = report.findings.back();
+    switch (f.status) {
       case FindingStatus::kAnalyzed:
       case FindingStatus::kAnalyzedAfterRetry:
         ++report.victims_analyzed;
@@ -274,13 +399,18 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       case FindingStatus::kFellBackToBound:
         ++report.victims_fallback;
         break;
+      case FindingStatus::kDeadlineBound:
+        ++report.victims_fallback;
+        ++report.victims_deadline_bound;
+        break;
       case FindingStatus::kFailed:
         ++report.victims_failed;
         break;
     }
-    if (finding.violation) ++report.violations;
+    if (f.retries > 0) ++report.victims_retried;
+    if (f.violation) ++report.violations;
   }
-  report.total_cpu_seconds = total.elapsed();
+  report.wall_seconds = total.elapsed();
   return report;
 }
 
@@ -296,16 +426,16 @@ std::string VerificationReport::to_string() const {
   out << buf;
   std::snprintf(buf, sizeof(buf),
                 "analyzed %zu victims (%zu screened out analytically), "
-                "%zu violations, %.2f s total\n",
+                "%zu violations, %.2f s cpu / %.2f s wall\n",
                 victims_analyzed, victims_screened_out, violations,
-                total_cpu_seconds);
+                total_cpu_seconds, wall_seconds);
   out << buf;
   if (victims_retried + victims_fallback + victims_failed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "recovery: %zu of %zu victims retried, %zu fell back "
-                  "(full-sim or bound), %zu failed every rung\n",
+                  "(full-sim or bound, %zu on deadline), %zu failed every rung\n",
                   victims_retried, victims_eligible, victims_fallback,
-                  victims_failed);
+                  victims_deadline_bound, victims_failed);
     out << buf;
   }
   for (const auto& f : findings) {

@@ -39,6 +39,26 @@ struct VerifierOptions {
   /// during the worst-case event (A); 0 disables the check. Findings whose
   /// RMS current exceeds it are flagged as EM violations.
   double em_rms_limit = 0.0;
+
+  // --- Execution model: parallelism, deadlines, resume (DESIGN.md §8) ---
+
+  /// Worker threads sharding the eligible victims (<= 1 = serial).
+  /// Findings are merged in victim-net order, so a clean parallel run
+  /// reproduces the serial report. max_victims > 0 forces serial
+  /// execution: the cap is defined by serial analysis order.
+  std::size_t threads = 1;
+  /// Per-cluster wall-clock budget (ms; 0 = unlimited). A cluster that
+  /// exhausts it mid-simulation is cancelled cooperatively and reported
+  /// through the conservative Devgan bound as FindingStatus::kDeadlineBound
+  /// instead of stalling its worker.
+  double cluster_deadline_ms = 0.0;
+  /// When non-empty, every completed eligible victim is appended to this
+  /// crash-safe journal (see core/journal.h) so a killed run can resume.
+  std::string journal_path;
+  /// Resume from journal_path: victims with an intact journal record are
+  /// merged from it without re-analysis (a torn tail from the crash is
+  /// discarded); the rest run normally. Requires journal_path.
+  bool resume = false;
 };
 
 /// How a victim's reported numbers were obtained. Production runs must
@@ -50,6 +70,7 @@ enum class FindingStatus {
   kAnalyzedAfterRetry,  ///< MOR succeeded after a timestep/order retry
   kFellBackToFullSim,   ///< full unreduced-cluster (golden SPICE) simulation
   kFellBackToBound,     ///< conservative Devgan analytic bound (peak >= true)
+  kDeadlineBound,       ///< cluster wall-clock budget expired; Devgan bound
   kFailed,              ///< every rung failed; peak pessimistically = Vdd
 };
 
@@ -59,6 +80,7 @@ inline const char* finding_status_name(FindingStatus s) {
     case FindingStatus::kAnalyzedAfterRetry: return "analyzed-after-retry";
     case FindingStatus::kFellBackToFullSim: return "full-sim-fallback";
     case FindingStatus::kFellBackToBound: return "bound-fallback";
+    case FindingStatus::kDeadlineBound: return "deadline-bound";
     case FindingStatus::kFailed: return "failed";
   }
   return "unknown";
@@ -76,6 +98,9 @@ struct VictimFinding {
   std::size_t aggressors_analyzed = 0;
   std::size_t aggressors_dropped_by_correlation = 0;
   std::size_t aggressors_dropped_by_window = 0;
+  /// Compute time this victim consumed on its worker thread (all ladder
+  /// rungs, screening, and the delay pass included) — summable across
+  /// workers, unlike the report's wall_seconds.
   double cpu_seconds = 0.0;
   std::size_t reduced_order = 0;
 
@@ -102,8 +127,14 @@ struct VerificationReport {
   std::size_t victims_retried = 0;       ///< needed >= 1 recovery-ladder step
   std::size_t victims_fallback = 0;      ///< full-sim or analytic-bound result
   std::size_t victims_failed = 0;        ///< every ladder rung failed
+  std::size_t victims_deadline_bound = 0;  ///< budget expired (subset of fallback)
   std::size_t violations = 0;
+  /// Summed per-victim compute time across all workers. Under N threads
+  /// this exceeds wall_seconds by up to a factor of N; the ratio is the
+  /// realized parallel efficiency.
   double total_cpu_seconds = 0.0;
+  /// End-to-end wall time of the verify() call (pruning included).
+  double wall_seconds = 0.0;
 
   std::string to_string() const;
 };

@@ -162,6 +162,7 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
   if (XTV_INJECT_FAULT(FaultSite::kReducedNewton))
     throw NumericalError(StatusCode::kNewtonDivergence,
                          "ReducedSimulator: injected Newton divergence");
+  poll_cancel(options.cancel, "ReducedSimulator");
   const double dt = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
   const std::size_t q = order();
   const std::size_t p = port_count();
@@ -196,6 +197,7 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
     double h = std::min(dt, options.tstop - t);
     int halvings = 0;
     for (;;) {
+      poll_cancel(options.cancel, "ReducedSimulator");
       const double a = (options.trapezoidal ? 2.0 : 1.0) / h;
       // beta_k: BE: -x_{k-1}/h; TRAP: -(2/h) x_{k-1} - xdot_{k-1}.
       for (std::size_t i = 0; i < q; ++i) {

@@ -22,6 +22,7 @@
 #include "mor/sympvl.h"
 #include "netlist/circuit.h"
 #include "spice/waveform.h"
+#include "util/deadline.h"
 
 namespace xtv {
 
@@ -41,6 +42,11 @@ struct ReducedSimOptions {
   /// volts is rejected and retried at half the step. 0 (default) keeps
   /// the fixed-step behavior exactly.
   double lte_vtol = 0.0;
+  /// Cooperative cancellation: polled once per attempted time step; an
+  /// expired/cancelled token raises kDeadlineExceeded (the verifier's
+  /// per-cluster wall-clock budget). Null = never cancelled. Not owned;
+  /// must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ReducedSimResult {

@@ -162,6 +162,7 @@ bool Simulator::newton_solve(Vector& x, double t, double geq_scale,
   const std::size_t nv = static_cast<std::size_t>(circuit_.node_count() - 1);
 
   for (int iter = 0; iter < options.max_newton; ++iter) {
+    poll_cancel(options.cancel, "Simulator");
     ++iterations;
     TripletList jac(n, n);
     Vector rhs(n, 0.0);
@@ -264,6 +265,7 @@ TransientResult Simulator::transient(const TransientOptions& options,
                                      const std::vector<int>& probe_nodes) {
   if (options.tstop <= 0.0)
     throw std::runtime_error("Simulator: tstop must be positive");
+  poll_cancel(options.cancel, "Simulator");
   const double dt0 = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
 
   // Start from DC; capacitor currents start at zero (steady state).

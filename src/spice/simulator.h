@@ -15,6 +15,7 @@
 #include "linalg/sparse_matrix.h"
 #include "netlist/circuit.h"
 #include "spice/waveform.h"
+#include "util/deadline.h"
 
 namespace xtv {
 
@@ -46,6 +47,12 @@ struct TransientOptions {
   bool adaptive = false;
   double lte_vtol = 5e-3;      ///< volts of estimated LTE per step
   double max_dt_growth = 16.0; ///< cap on dt relative to the base step
+
+  /// Cooperative cancellation: polled once per Newton iteration (a full
+  /// sparse refactor can dominate a step, so per-step polling would be
+  /// too coarse); an expired/cancelled token raises kDeadlineExceeded.
+  /// Null = never cancelled. Not owned; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 struct TransientResult {

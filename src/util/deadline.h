@@ -1,0 +1,97 @@
+// Wall-clock budgets and cooperative cancellation for long-running
+// cluster analyses.
+//
+// Chip-level verification is a batch job over tens of thousands of
+// independent clusters; a single pathological long-chain RC cluster must
+// not be allowed to stall a worker (and with it the whole run) for hours.
+// The verifier therefore gives each cluster a wall-clock Deadline and
+// threads a CancelToken through the analysis options; the transient
+// engines poll the token in their time-stepping loops and raise
+// StatusCode::kDeadlineExceeded when the budget is gone, which the
+// verifier's degradation ladder converts into the conservative analytic
+// bound (FindingStatus::kDeadlineBound) instead of a hung pool slot.
+//
+// Polling cost: one steady_clock read per accepted/attempted time step —
+// nanoseconds against the microseconds-to-milliseconds a step costs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "util/status.h"
+
+namespace xtv {
+
+/// A wall-clock budget. Default-constructed deadlines never expire, so
+/// "no budget configured" needs no special-casing at the poll sites.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `seconds` of wall time from now (<= 0 expires immediately).
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.bounded_ = true;
+    d.expires_at_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                       std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// The never-expiring deadline (same as default construction).
+  static Deadline unlimited() { return Deadline(); }
+
+  bool bounded() const { return bounded_; }
+  bool expired() const { return bounded_ && clock::now() >= expires_at_; }
+
+  /// Seconds until expiry; negative once expired, +inf when unbounded.
+  double remaining_seconds() const {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expires_at_ - clock::now()).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  bool bounded_ = false;
+  clock::time_point expires_at_{};
+};
+
+/// Cooperative cancellation: the owner cancels (or attaches a Deadline),
+/// the worker polls. Immovable because poll sites hold a raw pointer; the
+/// token outlives the analysis call it is passed to.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or the attached deadline passed.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) || deadline_.expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// Poll-and-throw helper for the inner loops: raises the typed,
+  /// ladder-recoverable kDeadlineExceeded with the caller's context.
+  void check(const char* where) const {
+    if (cancelled())
+      throw NumericalError(StatusCode::kDeadlineExceeded,
+                           std::string(where) + ": cluster budget exhausted");
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_{};
+};
+
+/// Null-safe poll for options structs carrying an optional token pointer.
+inline void poll_cancel(const CancelToken* token, const char* where) {
+  if (token) token->check(where);
+}
+
+}  // namespace xtv

@@ -29,6 +29,7 @@ enum class StatusCode {
   kNewtonDivergence,   ///< DC or transient Newton failed to converge
   kNonFiniteWaveform,  ///< NaN/Inf detected in a simulated waveform
   kStepSizeCollapse,   ///< step rejection halved dt below the retry budget
+  kDeadlineExceeded,   ///< cluster wall-clock budget exhausted (cooperative)
   kInvalidInput,       ///< malformed caller input; retrying cannot help
   kInternal,           ///< unclassified failure
 };
@@ -43,6 +44,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kNewtonDivergence: return "newton-divergence";
     case StatusCode::kNonFiniteWaveform: return "non-finite-waveform";
     case StatusCode::kStepSizeCollapse: return "step-size-collapse";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kInternal: return "internal";
   }

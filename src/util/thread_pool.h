@@ -1,0 +1,64 @@
+// Fixed-size worker pool for sharding independent cluster analyses.
+//
+// The verifier's unit of work is one victim cluster — embarrassingly
+// parallel, compute-bound, no shared mutable state beyond the (mutexed)
+// cell-model cache and the thread-safe FaultInjector. A plain
+// mutex/condvar task queue is therefore enough: tasks are coarse
+// (milliseconds to seconds each), so queue overhead is irrelevant and
+// work stealing would buy nothing.
+//
+// Tasks must not throw; a task that does anyway has its first exception
+// captured and rethrown from wait_idle(), so bugs surface instead of
+// vanishing on a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xtv {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task leaked (the pool stays usable afterwards).
+  void wait_idle();
+
+  /// Runs fn(0) .. fn(count - 1) across the pool and waits. Indices are
+  /// claimed in order from a shared counter, so early indices start
+  /// first; completion order is unspecified.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace xtv

@@ -1,8 +1,10 @@
 // Wall-clock timing for the speed-up measurements quoted in the paper
-// (MPVL vs SPICE CPU-time ratios in Sections 5).
+// (MPVL vs SPICE CPU-time ratios in Sections 5), plus a per-thread CPU
+// stopwatch for honest compute accounting under oversubscribed workers.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace xtv {
 
@@ -23,6 +25,33 @@ class Timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// CPU-time stopwatch for the *calling thread*: counts only time this
+/// thread actually executed, so concurrent victims timesharing a core
+/// don't each bill the same second (a wall timer would). Summed across
+/// workers this gives the true compute cost of a parallel sweep. Must be
+/// read on the thread that constructed it.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  /// CPU seconds this thread consumed since construction.
+  double elapsed() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+      return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#endif
+    // Portable fallback: process CPU time (over-counts under concurrency,
+    // but never regresses to wall time).
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace xtv

@@ -81,6 +81,48 @@ TEST_F(IntegrationFixture, LoadIgnoresStaleCache) {
   std::remove(path.c_str());
 }
 
+TEST_F(IntegrationFixture, LoadRejectsCorruptCurrentCacheNamingTheLine) {
+  // A file that *claims* to be a current cache but is damaged must throw
+  // (pointing at the bad line), never feed garbage models into analysis.
+  const std::string path = "/tmp/xtv_corrupt_cache.txt";
+  auto write = [&](const char* text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(text, f);
+    std::fclose(f);
+  };
+  auto expect_rejected = [&](const char* text, const char* needle) {
+    write(text);
+    CharacterizedLibrary fresh(*lib_);
+    try {
+      fresh.load(path);
+      FAIL() << "expected NumericalError for: " << text;
+    } catch (const NumericalError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kInvalidInput);
+      EXPECT_NE(std::string(e.what()).find(path + ":"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+    // The failed load must leave the cache empty — no partial ingestion.
+    EXPECT_FALSE(fresh.has_model("INV_X2"));
+  };
+
+  // Truncated mid-record.
+  expect_rejected("xtv-cellmodels-v3 1\ncell INV_X2\n1e-15 2e-15\n",
+                  "truncated");
+  // Malformed numeric field.
+  expect_rejected("xtv-cellmodels-v3 1\ncell INV_X2\n1e-15 2e-15 abc 100\n",
+                  "malformed");
+  // Non-finite table data is data corruption, not a model.
+  expect_rejected(
+      "xtv-cellmodels-v3 1\ncell INV_X2\n1e-15 2e-15 100 100\n"
+      "table rise_delay 2 2\n1e-10 2e-10\n1e-15 2e-15\n1 2 nan 4\n",
+      "non-finite");
+  // A wrong record header at the top level.
+  expect_rejected("xtv-cellmodels-v3 1\nnotacell INV_X2\n", "expected cell");
+  std::remove(path.c_str());
+}
+
 TEST_F(IntegrationFixture, TransistorDcDriverMatchesDirectDcSolve) {
   const CellMaster& master = lib_->by_name("INV_X2");
   TransistorDcDriver driver(master, kTech, SourceWave::dc(0.0), 0.02);
