@@ -1,0 +1,98 @@
+// Resource-governance overhead microbenchmark (DESIGN.md §9): the memory
+// accounting arena adds two relaxed atomic RMWs per tracked allocation —
+// this bench measures what that costs on the hot DenseMatrix churn path
+// (no scope vs. account-only scope vs. enforced generous budget) and on an
+// end-to-end verify() of a small chip. The claim under test: governance is
+// free when off and well under the noise floor of one cluster analysis
+// when on.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+#include "linalg/dense_matrix.h"
+#include "util/resource.h"
+
+using namespace xtv;
+
+namespace {
+
+/// Allocates/destroys `iters` matrices of `n` x `n`, returning seconds.
+/// The sum defeats dead-code elimination.
+double churn(std::size_t iters, std::size_t n, double& sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    DenseMatrix m(n, n);
+    m(0, 0) = static_cast<double>(i);
+    sink += m(0, 0);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Resource-governance overhead ==\n\n");
+
+  const std::size_t kIters = 20000;
+  const std::size_t kN = 64;
+  double sink = 0.0;
+
+  // Warm the allocator so the first variant is not paying page faults.
+  churn(kIters / 4, kN, sink);
+
+  const double no_scope = churn(kIters, kN, sink);
+  double account_only = 0.0;
+  {
+    resource::ClusterScope scope;
+    account_only = churn(kIters, kN, sink);
+  }
+  double enforced = 0.0;
+  {
+    resource::ClusterScope scope(std::size_t{1} << 30);  // 1 GiB: never hit
+    enforced = churn(kIters, kN, sink);
+  }
+
+  std::printf("DenseMatrix churn (%zu x %zu, %zu allocations):\n", kN, kN,
+              kIters);
+  std::printf("  no scope       : %8.3f ms (%.1f ns/alloc)\n", no_scope * 1e3,
+              no_scope * 1e9 / kIters);
+  std::printf("  account only   : %8.3f ms (%.1f ns/alloc, %+.1f%%)\n",
+              account_only * 1e3, account_only * 1e9 / kIters,
+              100.0 * (account_only - no_scope) / no_scope);
+  std::printf("  enforced budget: %8.3f ms (%.1f ns/alloc, %+.1f%%)\n",
+              enforced * 1e3, enforced * 1e9 / kIters,
+              100.0 * (enforced - no_scope) / no_scope);
+
+  // End to end: a small audit with governance off vs. generously on.
+  bench::Context ctx;
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 120;
+  chip_opt.tracks = 8;
+  const ChipDesign design = generate_dsp_chip(ctx.library, chip_opt);
+  ChipVerifier verifier(ctx.extractor, ctx.chars);
+
+  VerifierOptions off;
+  off.glitch.align_aggressors = false;
+  off.glitch.tstop = 3e-9;
+  VerifierOptions on = off;
+  on.cluster_mem_mb = 1024.0;
+  on.global_mem_soft_mb = 64.0 * 1024.0;
+
+  const VerificationReport warm = verifier.verify(design, off);
+  const VerificationReport r_off = verifier.verify(design, off);
+  const VerificationReport r_on = verifier.verify(design, on);
+  (void)warm;
+
+  std::printf("\nverify() on %zu nets (%zu eligible victims):\n",
+              design.nets.size(), r_off.victims_eligible);
+  std::printf("  governance off : %8.3f s\n", r_off.wall_seconds);
+  std::printf("  governance on  : %8.3f s (%+.1f%%, watchdog + budgets)\n",
+              r_on.wall_seconds,
+              100.0 * (r_on.wall_seconds - r_off.wall_seconds) /
+                  r_off.wall_seconds);
+  std::printf("\n(sink %.1f to keep the optimizer honest)\n", sink);
+  return 0;
+}

@@ -7,6 +7,8 @@
 // Build & run:  ./build/examples/chip_audit [net_count] [flags]
 //   --threads N               worker threads (default 1 = serial)
 //   --cluster-deadline-ms MS  per-cluster wall-clock budget (0 = unlimited)
+//   --cluster-mem-mb MB       per-cluster memory budget (0 = unlimited)
+//   --global-mem-soft-mb MB   soft RSS limit; sheds largest queued clusters
 //   --journal PATH            append completed victims to a crash-safe journal
 //   --resume                  skip victims already in the journal (needs --journal)
 #include <cstdio>
@@ -47,6 +49,10 @@ int main(int argc, char** argv) {
       options.threads = static_cast<std::size_t>(std::atoi(value(arg)));
     } else if (std::strcmp(arg, "--cluster-deadline-ms") == 0) {
       options.cluster_deadline_ms = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--cluster-mem-mb") == 0) {
+      options.cluster_mem_mb = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--global-mem-soft-mb") == 0) {
+      options.global_mem_soft_mb = std::atof(value(arg));
     } else if (std::strcmp(arg, "--journal") == 0) {
       options.journal_path = value(arg);
     } else if (std::strcmp(arg, "--resume") == 0) {
@@ -79,19 +85,31 @@ int main(int argc, char** argv) {
     std::printf("  %zu worker threads\n", options.threads);
   if (options.cluster_deadline_ms > 0.0)
     std::printf("  per-cluster budget %.1f ms\n", options.cluster_deadline_ms);
+  if (options.cluster_mem_mb > 0.0)
+    std::printf("  per-cluster memory budget %.3f MiB\n", options.cluster_mem_mb);
+  if (options.global_mem_soft_mb > 0.0)
+    std::printf("  soft RSS limit %.1f MiB\n", options.global_mem_soft_mb);
   if (!options.journal_path.empty())
     std::printf("  journal %s%s\n", options.journal_path.c_str(),
                 options.resume ? " (resuming)" : "");
 
   ChipVerifier verifier(extractor, chars);
-  const VerificationReport report = verifier.verify(design, options);
+  VerificationReport report;
+  try {
+    report = verifier.verify(design, options);
+  } catch (const std::exception& e) {
+    // Configuration errors (e.g. --resume against a journal written under
+    // different options) are reported, not crashed on.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   std::printf("\n%s", report.to_string().c_str());
   std::printf("robustness: eligible=%zu analyzed=%zu screened=%zu retried=%zu "
-              "fallback=%zu (deadline=%zu) failed=%zu\n",
+              "fallback=%zu (deadline=%zu resource=%zu) failed=%zu\n",
               report.victims_eligible, report.victims_analyzed,
               report.victims_screened_out, report.victims_retried,
               report.victims_fallback, report.victims_deadline_bound,
-              report.victims_failed);
+              report.victims_resource_bound, report.victims_failed);
   for (const auto& f : report.findings) {
     if (f.status == FindingStatus::kAnalyzed) continue;
     std::printf("  net %zu: %s (%zu retries%s%s)\n", f.net,

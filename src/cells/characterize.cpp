@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "spice/simulator.h"
+#include "util/resource.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -414,6 +415,10 @@ const CellModel& CharacterizedLibrary::model(const std::string& cell_name) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(cell_name);
   if (it != cache_.end()) return it->second;
+  // One-time shared work must not bill (or breach) whichever victim's
+  // memory budget happens to trigger it — that would make a breach depend
+  // on analysis order.
+  resource::ClusterScope::Exemption exempt;
   const CellMaster& master = library_.by_name(cell_name);
   auto [ins, ok] =
       cache_.emplace(cell_name, characterize_cell(master, library_.tech(), options_));

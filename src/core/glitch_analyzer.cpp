@@ -213,7 +213,9 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
 
   Timer timer;
   poll_cancel(options.cancel, "GlitchAnalyzer::analyze");
-  ReducedModel model = sympvl_reduce(built.network, true, options.mor);
+  SympvlOptions mor = options.mor;
+  mor.cancel = options.cancel;  // deadlines reach into the Krylov sweep
+  ReducedModel model = sympvl_reduce(built.network, true, mor);
   ReducedSimulator sim(model);
 
   // Victim driver.

@@ -16,6 +16,7 @@ namespace xtv {
 namespace {
 
 constexpr const char* kMagic = "xtvj1";
+constexpr const char* kHeaderMagic = "xtvjh";
 constexpr std::size_t kFieldCount = 18;
 
 std::uint64_t fnv1a64(const std::string& s) {
@@ -161,12 +162,31 @@ ResultJournal::LoadResult ResultJournal::load(const std::string& path) {
 
   const std::size_t magic_len = std::strlen(kMagic);
   std::string line;
+  bool first_line = true;
   while (std::getline(in, line)) {
     // A record is only intact if its terminating newline made it to disk:
     // getline at EOF without the delimiter is exactly the torn-write case.
     const bool has_newline =
         result.valid_bytes + static_cast<long>(line.size()) < file_bytes;
     if (!has_newline) break;
+    if (first_line) {
+      first_line = false;
+      // Optional header: "xtvjh <16-hex options hash>".
+      if (line.compare(0, magic_len, kHeaderMagic) == 0 &&
+          line.size() > magic_len + 1 && line[magic_len] == ' ') {
+        const std::string hash_text = line.substr(magic_len + 1);
+        char* end = nullptr;
+        const std::uint64_t hash =
+            std::strtoull(hash_text.c_str(), &end, 16);
+        if (hash_text.empty() ||
+            end != hash_text.c_str() + hash_text.size())
+          break;
+        result.has_header = true;
+        result.header_hash = hash;
+        result.valid_bytes += static_cast<long>(line.size()) + 1;
+        continue;
+      }
+    }
     if (line.compare(0, magic_len, kMagic) != 0 ||
         line.size() <= magic_len + 1 || line[magic_len] != ' ')
       break;
@@ -191,11 +211,32 @@ ResultJournal::LoadResult ResultJournal::load(const std::string& path) {
 }
 
 ResultJournal::ResultJournal(const std::string& path, bool resume,
+                             std::uint64_t options_hash,
                              std::size_t flush_every)
     : path_(path), flush_every_(flush_every > 0 ? flush_every : 1) {
+  bool write_header = true;
   if (resume) {
     // Cut the torn tail (if any) so fresh appends follow intact records.
     const LoadResult prior = load(path);
+    if (prior.valid_bytes > 0) {
+      // Findings are only comparable across runs with identical
+      // result-affecting options; the header is the proof.
+      if (!prior.has_header)
+        throw NumericalError(StatusCode::kInvalidInput,
+                             "ResultJournal: cannot resume " + path +
+                                 ": journal has no options header");
+      if (prior.header_hash != options_hash) {
+        char msg[160];
+        std::snprintf(msg, sizeof(msg),
+                      "journal options hash %016" PRIx64
+                      " does not match current options hash %016" PRIx64
+                      "; re-run without --resume",
+                      prior.header_hash, options_hash);
+        throw NumericalError(StatusCode::kInvalidInput,
+                             "ResultJournal: cannot resume " + path + ": " +
+                                 msg);
+      }
+    }
     file_ = std::fopen(path.c_str(), prior.valid_bytes > 0 ? "r+b" : "wb");
     if (file_ && prior.valid_bytes > 0) {
       if (ftruncate(fileno(file_), prior.valid_bytes) != 0) {
@@ -203,6 +244,7 @@ ResultJournal::ResultJournal(const std::string& path, bool resume,
         file_ = nullptr;
       } else {
         std::fseek(file_, 0, SEEK_END);
+        write_header = false;  // intact header already on disk
       }
     }
   } else {
@@ -211,6 +253,14 @@ ResultJournal::ResultJournal(const std::string& path, bool resume,
   if (!file_)
     throw NumericalError(StatusCode::kInvalidInput,
                          "ResultJournal: cannot open " + path);
+  if (write_header) {
+    char line[40];
+    std::snprintf(line, sizeof(line), "%s %016" PRIx64 "\n", kHeaderMagic,
+                  options_hash);
+    std::fwrite(line, 1, std::strlen(line), file_);
+    std::fflush(file_);
+    fsync(fileno(file_));
+  }
 }
 
 ResultJournal::~ResultJournal() {

@@ -5,7 +5,13 @@
 // one record per *completed* eligible victim (screened-out or fully
 // analyzed) to an append-only text journal:
 //
+//   xtvjh <options-hash>                      (header, first line)
 //   xtvj1 <payload> <fnv1a-64 checksum of payload>\n
+//
+// The header stamps the FNV-1a hash of the result-affecting
+// VerifierOptions (see options_result_hash); a --resume against a journal
+// written under different options is refused instead of silently merging
+// incomparable findings.
 //
 // Doubles are serialized as C hexfloats, so a journaled finding
 // round-trips bit-exactly and a resumed run reproduces the uninterrupted
@@ -18,6 +24,7 @@
 // can truncate the torn tail before appending fresh records.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -51,6 +58,9 @@ class ResultJournal {
     long valid_bytes = 0;
     /// True when bytes past valid_bytes were present (torn/corrupt tail).
     bool tail_discarded = false;
+    /// Header line present and intact; `header_hash` is its options hash.
+    bool has_header = false;
+    std::uint64_t header_hash = 0;
   };
 
   /// Reads every intact record of `path`. A missing file is an empty
@@ -58,11 +68,14 @@ class ResultJournal {
   static LoadResult load(const std::string& path);
 
   /// Opens `path` for appending. With `resume` false the file is
-  /// truncated; with `resume` true it is truncated only past the intact
-  /// prefix (discarding a torn tail), and appends continue after it.
-  /// Records are fsync'd every `flush_every` appends. Throws
-  /// NumericalError(kInvalidInput) when the file cannot be opened.
-  ResultJournal(const std::string& path, bool resume, std::size_t flush_every = 16);
+  /// truncated and a header stamping `options_hash` is written; with
+  /// `resume` true it is truncated only past the intact prefix (discarding
+  /// a torn tail), appends continue after it, and the existing header must
+  /// match `options_hash` — a mismatch (or a header-less non-empty
+  /// journal) throws NumericalError(kInvalidInput), as does a file that
+  /// cannot be opened. Records are fsync'd every `flush_every` appends.
+  ResultJournal(const std::string& path, bool resume,
+                std::uint64_t options_hash = 0, std::size_t flush_every = 16);
   ~ResultJournal();
 
   ResultJournal(const ResultJournal&) = delete;

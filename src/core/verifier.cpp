@@ -1,7 +1,10 @@
 #include "core/verifier.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +15,8 @@
 #include "core/delay_analyzer.h"
 #include "core/journal.h"
 #include "util/deadline.h"
+#include "util/fault_injection.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -34,6 +39,11 @@ bool is_deadline_error(const std::exception& e) {
   return numerical && numerical->code() == StatusCode::kDeadlineExceeded;
 }
 
+bool is_resource_error(const std::exception& e) {
+  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
+  return numerical && numerical->code() == StatusCode::kResourceExceeded;
+}
+
 /// Full analysis of one victim cluster: eligibility, the Devgan screen,
 /// the retry/degradation ladder under the per-cluster deadline, and the
 /// optional delay/EM passes. Runs on a worker thread; everything it
@@ -44,7 +54,8 @@ std::optional<JournalRecord> analyze_victim(
     const ChipVerifier& verifier, const Extractor& extractor,
     CharacterizedLibrary& chars, GlitchAnalyzer& analyzer,
     const ChipDesign& design, const std::vector<NetSummary>& summaries,
-    const PruneResult& pruned, std::size_t v, const VerifierOptions& options) {
+    const PruneResult& pruned, std::size_t v, const VerifierOptions& options,
+    bool shed) {
   const double vdd = extractor.tech().vdd;
 
   ThreadCpuTimer victim_timer;
@@ -52,6 +63,13 @@ std::optional<JournalRecord> analyze_victim(
                          ? Deadline::after_seconds(options.cluster_deadline_ms *
                                                    1e-3)
                          : Deadline::unlimited());
+  // Memory budget for everything this victim allocates (dense matrices,
+  // Krylov blocks, waveforms) on this thread. A breach surfaces as the
+  // typed kResourceExceeded inside a ladder rung.
+  resource::ClusterScope mem_scope(
+      options.cluster_mem_mb > 0.0
+          ? static_cast<std::size_t>(options.cluster_mem_mb * 1024.0 * 1024.0)
+          : 0);
 
   JournalRecord record;
   VictimFinding& finding = record.finding;
@@ -63,7 +81,7 @@ std::optional<JournalRecord> analyze_victim(
     if (aggressors.empty()) return std::nullopt;
     eligible = true;
 
-    if (options.use_noise_screen) {
+    if (options.use_noise_screen && !shed) {
       // Conservative pre-screen: the sum of per-aggressor Devgan bounds
       // caps the combined glitch; below the margin, skip the simulation.
       double bound = 0.0;
@@ -86,18 +104,31 @@ std::optional<JournalRecord> analyze_victim(
     GlitchResult res;
     bool have_sim = false;
     bool deadline_expired = false;
+    // A memory-budget breach, like an expired deadline, skips the
+    // remaining simulation rungs: every later rung uses MORE memory
+    // (doubled order, full unreduced circuit), so retrying can only
+    // breach again. A shed victim starts here — admission control
+    // decided it must not be admitted to simulation at all.
+    bool resource_exhausted = shed;
+    if (shed) {
+      finding.error = "shed under global memory pressure";
+      finding.error_code = StatusCode::kResourceExceeded;
+    }
     GlitchAnalysisOptions base = options.glitch;
     base.cancel = &budget;
-    try {
-      res = analyzer.analyze(victim, aggressors, base);
-      have_sim = true;
-      finding.status = FindingStatus::kAnalyzed;
-    } catch (const std::exception& e) {
-      record_first_error(finding, e);
-      ++finding.retries;
-      deadline_expired = is_deadline_error(e);
+    if (!resource_exhausted) {
+      try {
+        res = analyzer.analyze(victim, aggressors, base);
+        have_sim = true;
+        finding.status = FindingStatus::kAnalyzed;
+      } catch (const std::exception& e) {
+        record_first_error(finding, e);
+        ++finding.retries;
+        deadline_expired = is_deadline_error(e);
+        resource_exhausted = is_resource_error(e);
+      }
     }
-    if (!have_sim && !deadline_expired) {
+    if (!have_sim && !deadline_expired && !resource_exhausted) {
       // Rung 1: halved timestep (Newton on a stiff cluster often
       // converges once the per-step excitation change shrinks).
       GlitchAnalysisOptions retry = base;
@@ -111,10 +142,11 @@ std::optional<JournalRecord> analyze_victim(
         record_first_error(finding, e);
         ++finding.retries;
         deadline_expired = is_deadline_error(e);
+        resource_exhausted = is_resource_error(e);
       }
       // Rung 2: halved timestep + doubled reduced order (a too-small
       // Krylov space shows up as a non-passive or inaccurate model).
-      if (!have_sim && !deadline_expired) {
+      if (!have_sim && !deadline_expired && !resource_exhausted) {
         const std::size_t base_order =
             retry.mor.max_order > 0 ? retry.mor.max_order
                                     : 8 * (1 + aggressors.size());
@@ -127,11 +159,12 @@ std::optional<JournalRecord> analyze_victim(
           record_first_error(finding, e);
           ++finding.retries;
           deadline_expired = is_deadline_error(e);
+          resource_exhausted = is_resource_error(e);
         }
       }
       // Rung 3: full unreduced-cluster simulation on the golden engine —
       // slow, but immune to every reduction-side breakdown.
-      if (!have_sim && !deadline_expired) {
+      if (!have_sim && !deadline_expired && !resource_exhausted) {
         try {
           res = analyzer.analyze_spice(victim, aggressors, base);
           have_sim = true;
@@ -140,6 +173,7 @@ std::optional<JournalRecord> analyze_victim(
           record_first_error(finding, e);
           ++finding.retries;
           deadline_expired = is_deadline_error(e);
+          resource_exhausted = is_resource_error(e);
         }
       }
     }
@@ -180,14 +214,19 @@ std::optional<JournalRecord> analyze_victim(
       // Rung 4: Devgan analytic bound. Conservative (each term is an
       // upper bound on that aggressor's contribution), so the reported
       // peak is >= the true peak and a pass here is a real pass. A
-      // budget-expired cluster lands here as kDeadlineBound: still
-      // accounted, still conservative, and the pool slot is freed.
+      // budget-expired cluster lands here as kDeadlineBound, an
+      // over-budget or shed one as kResourceBound: still accounted,
+      // still conservative, and the pool slot is freed. The exemption
+      // makes this rung live up to "cannot fail": computing the bound
+      // for an already-over-budget cluster must not re-raise the breach.
+      resource::ClusterScope::Exemption exempt;
       double bound = 0.0;
       for (const AggressorSpec& agg : aggressors)
         bound += devgan_noise_bound(victim, agg, extractor, chars);
       bound = std::min(bound, vdd);
-      finding.status = deadline_expired ? FindingStatus::kDeadlineBound
-                                        : FindingStatus::kFellBackToBound;
+      finding.status = resource_exhausted ? FindingStatus::kResourceBound
+                       : deadline_expired ? FindingStatus::kDeadlineBound
+                                          : FindingStatus::kFellBackToBound;
       finding.peak = victim.held_high ? -bound : bound;
       finding.peak_fraction = bound / vdd;
       finding.violation = finding.peak_fraction >= options.glitch_threshold;
@@ -215,7 +254,56 @@ bool counts_as_analyzed(FindingStatus s) {
          s == FindingStatus::kAnalyzedAfterRetry;
 }
 
+/// FNV-1a accumulator for options hashing. Doubles hash by bit pattern:
+/// two option sets are "the same" exactly when every field is bit-equal,
+/// which is also the precondition for bit-identical findings.
+struct OptionsHasher {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    bytes(&bits, sizeof(bits));
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+};
+
 }  // namespace
+
+std::uint64_t options_result_hash(const VerifierOptions& o) {
+  OptionsHasher h;
+  h.f64(o.prune.ratio_threshold);
+  h.f64(o.prune.abs_floor);
+  h.u64(o.prune.max_aggressors);
+  h.u64(o.prune.use_driver_strength ? 1 : 0);
+  h.u64(static_cast<std::uint64_t>(o.glitch.driver_model));
+  h.f64(o.glitch.fixed_resistance);
+  h.f64(o.glitch.tstop);
+  h.f64(o.glitch.dt);
+  h.u64(o.glitch.mor.max_order);
+  h.f64(o.glitch.mor.deflation_tol);
+  h.u64(o.glitch.align_aggressors ? 1 : 0);
+  h.u64(o.glitch.spice_exploit_linearity ? 1 : 0);
+  h.f64(o.glitch.default_switch_time);
+  h.f64(o.glitch_threshold);
+  h.u64(o.latch_inputs_only ? 1 : 0);
+  h.u64(o.max_victims);
+  h.u64(o.analyze_delay_change ? 1 : 0);
+  h.u64(o.use_noise_screen ? 1 : 0);
+  h.f64(o.em_rms_limit);
+  // Budgets affect results (they decide which findings become bounds);
+  // threads/journal_path/resume affect only scheduling and are excluded.
+  h.f64(o.cluster_deadline_ms);
+  h.f64(o.cluster_mem_mb);
+  h.f64(o.global_mem_soft_mb);
+  return h.h;
+}
 
 ChipVerifier::ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars)
     : extractor_(extractor), chars_(chars) {}
@@ -324,31 +412,95 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
 
   // Resume: intact journal records stand in for re-analysis; the journal
   // itself is truncated past its intact prefix so fresh appends follow.
+  // The journal header must carry the current options hash — findings
+  // produced under different options are not comparable, so a mismatched
+  // resume is refused rather than silently merged.
+  const std::uint64_t ohash = options_result_hash(options);
   std::map<std::size_t, JournalRecord> journaled;
   std::unique_ptr<ResultJournal> journal;
   if (!options.journal_path.empty()) {
-    if (options.resume)
-      for (auto& rec : ResultJournal::load(options.journal_path).records)
+    if (options.resume) {
+      ResultJournal::LoadResult prior = ResultJournal::load(options.journal_path);
+      if (prior.valid_bytes > 0 &&
+          (!prior.has_header || prior.header_hash != ohash)) {
+        char hashes[96];
+        std::snprintf(hashes, sizeof(hashes),
+                      "(journal hash %016" PRIx64 ", current %016" PRIx64 ")",
+                      prior.has_header ? prior.header_hash : 0, ohash);
+        throw NumericalError(StatusCode::kInvalidInput,
+                             "ChipVerifier: journal " + options.journal_path +
+                                 " was written with different "
+                                 "result-affecting options " +
+                                 hashes +
+                                 "; re-run without --resume to start fresh");
+      }
+      for (auto& rec : prior.records)
         journaled.insert_or_assign(rec.finding.net, std::move(rec));
+    }
     journal = std::make_unique<ResultJournal>(options.journal_path,
-                                              options.resume);
+                                              options.resume, ohash);
   }
 
   std::vector<std::size_t> work;
   for (std::size_t v : candidates)
     if (!journaled.count(v)) work.push_back(v);
 
+  // Admission control: while the RSS watchdog reports memory pressure,
+  // victims with the largest retained clusters (the dominant memory
+  // axis) are shed to their conservative Devgan bound instead of being
+  // admitted to simulation. The threshold is the median footprint of
+  // this run's work list, so shedding targets the largest half first.
+  const resource::MemoryGovernor& governor = resource::MemoryGovernor::instance();
+  auto footprint = [&](std::size_t v) { return pruned.retained[v].size(); };
+  std::size_t shed_threshold = 0;
+  if (!work.empty()) {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(work.size());
+    for (std::size_t v : work) sizes.push_back(footprint(v));
+    std::sort(sizes.begin(), sizes.end());
+    shed_threshold = sizes[sizes.size() / 2];
+  }
+
+  const double vdd = extractor_.tech().vdd;
   std::map<std::size_t, JournalRecord> fresh;
   std::mutex fresh_mutex;
   auto run_one = [&](std::size_t v) {
-    std::optional<JournalRecord> outcome =
-        analyze_victim(*this, extractor_, chars_, analyzer, design, summaries,
-                       pruned, v, options);
+    // Injection decisions inside this task are keyed on the victim id, so
+    // a threaded run disturbs exactly the victims a serial run would.
+    FaultInjector::ScopedVictim victim_ctx(v);
+    std::optional<JournalRecord> outcome;
+    try {
+      if (XTV_INJECT_FAULT(FaultSite::kVictimTask))
+        throw std::runtime_error(
+            "ChipVerifier: injected worker-task fault outside the ladder");
+      const bool shed =
+          governor.under_pressure() && footprint(v) >= shed_threshold;
+      outcome = analyze_victim(*this, extractor_, chars_, analyzer, design,
+                               summaries, pruned, v, options, shed);
+    } catch (const std::exception& e) {
+      // A failure outside the ladder (task setup, the journal, the
+      // pessimistic path itself) becomes a typed kFailed finding attached
+      // to this victim — never a lost index or a dead worker.
+      JournalRecord rec;
+      rec.finding.net = v;
+      record_first_error(rec.finding, e);
+      rec.finding.status = FindingStatus::kFailed;
+      rec.finding.peak = -vdd;
+      rec.finding.peak_fraction = 1.0;
+      rec.finding.violation = true;
+      outcome = std::move(rec);
+    }
     if (!outcome) return;
     if (journal) journal->append(*outcome);
     std::lock_guard<std::mutex> lock(fresh_mutex);
     fresh.emplace(v, std::move(*outcome));
   };
+
+  // RSS watchdog for the duration of the sweep (no-op when disabled).
+  std::optional<resource::RssWatchdog> watchdog;
+  if (options.global_mem_soft_mb > 0.0)
+    watchdog.emplace(static_cast<std::size_t>(options.global_mem_soft_mb *
+                                              1024.0 * 1024.0));
 
   // max_victims caps *analyzed* victims, which only a serial sweep can
   // define deterministically (the cap depends on each prior victim's
@@ -366,6 +518,13 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         ++analyzed;
     }
   } else {
+    // Smallest clusters first: when pressure arises mid-run, what remains
+    // queued is the largest clusters — exactly what shedding targets.
+    // Merge order (below) and victim-keyed injection are both execution-
+    // order independent, so this cannot change a clean run's report.
+    std::stable_sort(work.begin(), work.end(), [&](std::size_t a, std::size_t b) {
+      return footprint(a) < footprint(b);
+    });
     ThreadPool pool(options.threads);
     pool.parallel_for(work.size(),
                       [&](std::size_t i) { run_one(work[i]); });
@@ -403,6 +562,10 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         ++report.victims_fallback;
         ++report.victims_deadline_bound;
         break;
+      case FindingStatus::kResourceBound:
+        ++report.victims_fallback;
+        ++report.victims_resource_bound;
+        break;
       case FindingStatus::kFailed:
         ++report.victims_failed;
         break;
@@ -433,9 +596,11 @@ std::string VerificationReport::to_string() const {
   if (victims_retried + victims_fallback + victims_failed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "recovery: %zu of %zu victims retried, %zu fell back "
-                  "(full-sim or bound, %zu on deadline), %zu failed every rung\n",
+                  "(full-sim or bound, %zu on deadline, %zu on memory), "
+                  "%zu failed every rung\n",
                   victims_retried, victims_eligible, victims_fallback,
-                  victims_deadline_bound, victims_failed);
+                  victims_deadline_bound, victims_resource_bound,
+                  victims_failed);
     out << buf;
   }
   for (const auto& f : findings) {

@@ -6,6 +6,7 @@
 // a noise-margin threshold.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "chipgen/dsp_chip.h"
@@ -57,9 +58,29 @@ struct VerifierOptions {
   std::string journal_path;
   /// Resume from journal_path: victims with an intact journal record are
   /// merged from it without re-analysis (a torn tail from the crash is
-  /// discarded); the rest run normally. Requires journal_path.
+  /// discarded); the rest run normally. Requires journal_path, and the
+  /// journal's options-hash header must match the current options.
   bool resume = false;
+
+  // --- Resource governance: memory budgets and shedding (DESIGN.md §9) ---
+
+  /// Per-cluster memory budget (MiB; 0 = unlimited) covering dense
+  /// matrices, Krylov blocks, and waveform storage of one victim's
+  /// analysis. A cluster that breaches it degrades to the conservative
+  /// Devgan bound (FindingStatus::kResourceBound) instead of OOMing.
+  double cluster_mem_mb = 0.0;
+  /// Process-wide soft RSS limit (MiB; 0 = watchdog off). While resident
+  /// set stays above it, admission control sheds the largest queued
+  /// clusters to their Devgan bound instead of letting the kernel's OOM
+  /// killer end the run.
+  double global_mem_soft_mb = 0.0;
 };
+
+/// FNV-1a hash over the result-affecting fields of `options` (pruning,
+/// analysis, thresholds, budgets — NOT threads/journal_path/resume, which
+/// change scheduling but never a finding). Stamped into the journal
+/// header; resume refuses a journal written under a different hash.
+std::uint64_t options_result_hash(const VerifierOptions& options);
 
 /// How a victim's reported numbers were obtained. Production runs must
 /// account for every victim: a cluster whose reduced-model analysis breaks
@@ -71,6 +92,7 @@ enum class FindingStatus {
   kFellBackToFullSim,   ///< full unreduced-cluster (golden SPICE) simulation
   kFellBackToBound,     ///< conservative Devgan analytic bound (peak >= true)
   kDeadlineBound,       ///< cluster wall-clock budget expired; Devgan bound
+  kResourceBound,       ///< memory budget breached or shed; Devgan bound
   kFailed,              ///< every rung failed; peak pessimistically = Vdd
 };
 
@@ -81,6 +103,7 @@ inline const char* finding_status_name(FindingStatus s) {
     case FindingStatus::kFellBackToFullSim: return "full-sim-fallback";
     case FindingStatus::kFellBackToBound: return "bound-fallback";
     case FindingStatus::kDeadlineBound: return "deadline-bound";
+    case FindingStatus::kResourceBound: return "resource-bound";
     case FindingStatus::kFailed: return "failed";
   }
   return "unknown";
@@ -128,6 +151,7 @@ struct VerificationReport {
   std::size_t victims_fallback = 0;      ///< full-sim or analytic-bound result
   std::size_t victims_failed = 0;        ///< every ladder rung failed
   std::size_t victims_deadline_bound = 0;  ///< budget expired (subset of fallback)
+  std::size_t victims_resource_bound = 0;  ///< memory budget/shed (subset of fallback)
   std::size_t violations = 0;
   /// Summed per-victim compute time across all workers. Under N threads
   /// this exceeds wall_seconds by up to a factor of N; the ratio is the

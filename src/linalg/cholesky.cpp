@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/fault_injection.h"
+#include "util/fp_guard.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -23,6 +24,7 @@ Cholesky::Cholesky(const DenseMatrix& g, double tol) {
 
   // Build the upper factor row by row: F(i,j) for j >= i, so that
   // G = F^T F. This is the classic algorithm on the transposed convention.
+  FpKernelGuard fp("cholesky_factor");
   f_ = DenseMatrix(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {
@@ -38,6 +40,7 @@ Cholesky::Cholesky(const DenseMatrix& g, double tol) {
       }
     }
   }
+  fp.check();
 }
 
 Vector Cholesky::apply_f(const Vector& v) const {

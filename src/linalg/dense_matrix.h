@@ -10,18 +10,26 @@
 #include <string>
 #include <vector>
 
+#include "util/resource.h"
+
 namespace xtv {
 
 using Vector = std::vector<double>;
 
-/// Row-major dense matrix of doubles.
+/// Row-major dense matrix of doubles. Storage is charged against the
+/// thread's active resource::ClusterScope (if any), so an over-budget
+/// cluster raises the typed kResourceExceeded at the allocation that
+/// breaches — before the allocation happens.
 class DenseMatrix {
  public:
   DenseMatrix() = default;
 
   /// rows x cols matrix, zero-initialized.
   DenseMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows),
+        cols_(cols),
+        charge_(rows * cols * sizeof(double)),
+        data_(rows * cols, 0.0) {}
 
   /// Identity matrix of size n.
   static DenseMatrix identity(std::size_t n);
@@ -60,6 +68,9 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  // Declared before data_: the budget check runs (and may throw) before
+  // the storage is allocated, and releases after it is freed.
+  resource::MemCharge charge_;
   std::vector<double> data_;
 };
 

@@ -7,6 +7,8 @@
 #include "linalg/dense_lu.h"
 #include "linalg/sym_eigen.h"
 #include "util/fault_injection.h"
+#include "util/fp_guard.h"
+#include "util/resource.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -14,7 +16,9 @@ namespace xtv {
 ReducedSimulator::ReducedSimulator(const ReducedModel& model) {
   // Diagonalize T = Q^T D Q once; the whole transient then runs in the
   // eigenbasis.
+  FpKernelGuard fp("reduced_eigen");
   const SymEigen eig = sym_eigen(model.t);
+  fp.check();
   d_ = eig.eigenvalues;
   // Clamp the tiny negative round-off eigenvalues a PSD T can exhibit; a
   // genuinely indefinite T would indicate a broken reduction and is
@@ -81,8 +85,13 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
 
   const Vector u = input_currents(t);
 
+  // Checked only on the converged path: a diverging iterate may overflow
+  // transiently and still be rescued by a halved step, but a "converged"
+  // solution with invalid/overflow evidence in the FP flags is poison.
+  FpKernelGuard fp("reduced_newton");
   for (int iter = 0; iter < options.max_newton; ++iter) {
     ++iterations;
+    fp.rearm();
     // Port voltages and total currents at the trial point.
     const Vector vports = matvec_transposed(eta_, x);
     Vector itotal = u;
@@ -133,12 +142,20 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
 
     for (std::size_t i = 0; i < q; ++i) x[i] += dx[i];
 
-    // Converged when the port-voltage change is negligible.
+    // Converged when the port-voltage change is negligible. A NaN dv must
+    // not count as converged (fabs(NaN) > tol is false), so finiteness is
+    // part of the convergence predicate.
     double max_dv = 0.0;
+    bool finite = true;
     const Vector dv = matvec_transposed(eta_, dx);
-    for (std::size_t pp = 0; pp < p; ++pp)
+    for (std::size_t pp = 0; pp < p; ++pp) {
+      finite = finite && std::isfinite(dv[pp]);
       max_dv = std::max(max_dv, std::fabs(dv[pp]));
-    if (max_dv < options.v_abstol) return true;
+    }
+    if (finite && max_dv < options.v_abstol) {
+      fp.check();
+      return true;
+    }
   }
   return false;
 }
@@ -166,6 +183,13 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
   const double dt = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
   const std::size_t q = order();
   const std::size_t p = port_count();
+
+  // Charge the expected waveform storage (2 doubles per sample per port)
+  // up front, so an over-budget transient fails before the time loop runs
+  // rather than after minutes of stepping.
+  resource::ScopedCharge wave_bytes;
+  wave_bytes.add((static_cast<std::size_t>(options.tstop / dt) + 2) * p * 2 *
+                 sizeof(double));
 
   // DC start.
   Vector x(q, 0.0);

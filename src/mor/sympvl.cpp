@@ -8,6 +8,8 @@
 #include "linalg/dense_lu.h"
 #include "linalg/sym_eigen.h"
 #include "util/fault_injection.h"
+#include "util/fp_guard.h"
+#include "util/resource.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -69,9 +71,16 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
       options.max_order > 0 ? std::min(options.max_order, n)
                             : std::min(4 * p, n);
 
-  // Step 1: G = F^T F;  L = F^{-T} B.
+  // Step 1: G = F^T F;  L = F^{-T} B. (Cholesky carries its own FP guard;
+  // ours starts after it so neither clears the other's evidence.)
   Cholesky chol(g);
+  FpKernelGuard fp("sympvl_reduce");
   const DenseMatrix l = chol.solve_ft(b);
+
+  // Krylov storage charged against the cluster's memory budget: each
+  // accepted basis vector later needs a matching A*v image in the
+  // projection step, hence 2 n-vectors per accepted direction.
+  resource::ScopedCharge krylov_bytes;
 
   // A v = F^{-T} C F^{-1} v, applied without forming A.
   auto apply_a = [&](const Vector& v) {
@@ -91,10 +100,12 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
   std::vector<Vector> last_block;   // most recent accepted block
   // Seed block: columns of L.
   for (std::size_t j = 0; j < p && basis.size() < q_max; ++j) {
+    poll_cancel(options.cancel, "sympvl_reduce/seed");
     Vector v = l.column(j);
     const double r = orthogonalize(v, basis);
     if (r <= defl) continue;  // deflated: linearly dependent input column
     scale(v, 1.0 / r);
+    krylov_bytes.add(2 * n * sizeof(double));
     basis.push_back(v);
     last_block.push_back(basis.back());
   }
@@ -103,6 +114,7 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
     std::vector<Vector> next_block;
     for (const Vector& u : last_block) {
       if (basis.size() >= q_max) break;
+      poll_cancel(options.cancel, "sympvl_reduce/sweep");
       Vector v = apply_a(u);
       const double pre = norm2(v);
       const double r = orthogonalize(v, basis);
@@ -110,6 +122,7 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
       // produced (local scale), or absolutely tiny.
       if (r <= options.deflation_tol * std::max(pre, 1e-300)) continue;
       scale(v, 1.0 / r);
+      krylov_bytes.add(2 * n * sizeof(double));
       basis.push_back(v);
       next_block.push_back(basis.back());
     }
@@ -138,6 +151,7 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
   model.rho = DenseMatrix(q, p);
   for (std::size_t i = 0; i < q; ++i)
     for (std::size_t j = 0; j < p; ++j) model.rho(i, j) = dot(basis[i], l.column(j));
+  fp.check();
   return model;
 }
 

@@ -23,6 +23,7 @@
 
 #include "linalg/dense_matrix.h"
 #include "netlist/rc_network.h"
+#include "util/deadline.h"
 
 namespace xtv {
 
@@ -57,6 +58,9 @@ struct ReducedModel {
 struct SympvlOptions {
   std::size_t max_order = 0;      ///< 0 = automatic: min(4 * ports, n)
   double deflation_tol = 1e-8;    ///< relative column-norm cutoff in the sweep
+  /// Optional cooperative-cancel token, polled once per Krylov vector so a
+  /// deadline or shed request cannot stall inside a long MOR sweep.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs SyMPVL on dense MNA matrices. `g` must be SPD (every node needs a

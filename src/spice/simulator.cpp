@@ -9,7 +9,9 @@
 #include "linalg/ordering.h"
 #include "spice/mosfet_eval.h"
 #include "util/fault_injection.h"
+#include "util/fp_guard.h"
 #include "util/log.h"
+#include "util/resource.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -161,9 +163,14 @@ bool Simulator::newton_solve(Vector& x, double t, double geq_scale,
   const std::size_t n = unknown_count();
   const std::size_t nv = static_cast<std::size_t>(circuit_.node_count() - 1);
 
+  // Checked only on the converged path: gmin stepping and damping recover
+  // transient overflow on purpose, but converged-with-FP-evidence is a
+  // silently poisoned operating point.
+  FpKernelGuard fp("spice_newton");
   for (int iter = 0; iter < options.max_newton; ++iter) {
     poll_cancel(options.cancel, "Simulator");
     ++iterations;
+    fp.rearm();
     TripletList jac(n, n);
     Vector rhs(n, 0.0);
     assemble(x, t, geq_scale, method, prev_x, gmin, jac, rhs);
@@ -197,11 +204,16 @@ bool Simulator::newton_solve(Vector& x, double t, double geq_scale,
     for (std::size_t i = 0; i < n; ++i) {
       const double dv = x_new[i] - x[i];
       x[i] += alpha * dv;
-      if (i < nv &&
-          std::fabs(dv) > options.v_abstol + options.v_reltol * std::fabs(x[i]))
+      // A NaN dv must not pass as converged (fabs(NaN) > tol is false).
+      if (!std::isfinite(dv) ||
+          (i < nv && std::fabs(dv) >
+                         options.v_abstol + options.v_reltol * std::fabs(x[i])))
         converged = false;
     }
-    if (converged && alpha == 1.0) return true;
+    if (converged && alpha == 1.0) {
+      fp.check();
+      return true;
+    }
   }
   return false;
 }
@@ -267,6 +279,12 @@ TransientResult Simulator::transient(const TransientOptions& options,
     throw std::runtime_error("Simulator: tstop must be positive");
   poll_cancel(options.cancel, "Simulator");
   const double dt0 = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
+
+  // Charge the expected probe-waveform storage (2 doubles per sample per
+  // probe) against the cluster's memory budget before stepping begins.
+  resource::ScopedCharge wave_bytes;
+  wave_bytes.add((static_cast<std::size_t>(options.tstop / dt0) + 2) *
+                 probe_nodes.size() * 2 * sizeof(double));
 
   // Start from DC; capacitor currents start at zero (steady state).
   const Vector v0 = dc_operating_point();

@@ -8,6 +8,11 @@
 // breakdown on exactly the third cluster analyzed — every rung of the
 // verifier's retry/degradation ladder becomes reachable on demand.
 //
+// When the verifier binds a ScopedVictim, decisions switch from the
+// global arrival order to a per-(site, victim) hit index mixed with the
+// victim net id — the same victims are disturbed whether the run uses one
+// worker thread or sixteen, so parallel chaos runs stay reproducible.
+//
 // Release-path cost: when nothing is armed (the production state) a site
 // is one relaxed atomic-bool load. Defining XTV_DISABLE_FAULT_INJECTION
 // compiles the hooks out entirely.
@@ -18,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 
 namespace xtv {
 
@@ -31,6 +37,8 @@ enum class FaultSite : int {
   kReducedNewton,       ///< mor: reduced-model transient Newton divergence
   kSpiceNewton,         ///< spice: full-circuit Newton divergence
   kWaveformFinite,      ///< analyzers: NaN/Inf waveform detection
+  kFpTrap,              ///< util: FpKernelGuard check (forced FP exception)
+  kVictimTask,          ///< core: verifier worker task outside the ladder
   kCount,               ///< number of sites (not a site)
 };
 
@@ -40,6 +48,24 @@ class FaultInjector {
  public:
   /// Process-wide instance used by every instrumented site.
   static FaultInjector& instance();
+
+  /// Sentinel for "no victim context on this thread".
+  static constexpr std::uint64_t kNoVictim = ~std::uint64_t{0};
+
+  /// Binds the enclosing victim net id to this thread while alive, making
+  /// injection decisions a pure function of (site, victim, per-victim hit
+  /// index) instead of the global arrival order — so a run with
+  /// --threads 8 disturbs exactly the same victims as a serial run.
+  class ScopedVictim {
+   public:
+    explicit ScopedVictim(std::uint64_t victim_net);
+    ~ScopedVictim();
+    ScopedVictim(const ScopedVictim&) = delete;
+    ScopedVictim& operator=(const ScopedVictim&) = delete;
+
+   private:
+    std::uint64_t prev_;
+  };
 
   /// Arms `site`: starting from the next hit, every `period`-th hit fires
   /// (period 1 = every hit). `max_fires` caps the total number of forced
@@ -70,12 +96,21 @@ class FaultInjector {
   FaultInjector() = default;
   bool should_fail_slow(FaultSite site);
 
+  struct VictimState {
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
   struct SiteState {
     bool armed = false;
     std::uint64_t period = 1;
     std::uint64_t max_fires = 0;
     std::uint64_t hits = 0;
     std::uint64_t fires = 0;
+    /// Per-victim counters used when a ScopedVictim is bound: decisions
+    /// are keyed on (victim, per-victim hit index), independent of the
+    /// interleaving of other victims' hits.
+    std::unordered_map<std::uint64_t, VictimState> by_victim;
   };
 
   mutable std::mutex mutex_;

@@ -1,0 +1,62 @@
+// Scoped floating-point exception trapping for the numerical kernels.
+//
+// A NaN born inside Cholesky, Lanczos, or a Newton solve can propagate
+// silently through thousands of downstream operations before (maybe)
+// tripping an after-the-fact waveform-finite check — by which point the
+// offending kernel is long gone from the stack. FpKernelGuard instead
+// samples the hardware's accrued-exception flags (fetestexcept) at the
+// boundaries of each kernel: the constructor clears FE_INVALID|FE_OVERFLOW,
+// the kernel runs, and check() raises a typed NumericalError naming the
+// kernel if either flag accrued. Only invalid and overflow are trapped —
+// underflow and inexact are normal in well-conditioned RC arithmetic.
+//
+// Iterative solvers that legitimately overflow on diverging iterates and
+// then recover via damping call rearm() at the top of each iteration and
+// check() only on the converged path, so a transient excursion never
+// condemns a successful solve.
+#pragma once
+
+#include <cfenv>
+#include <string>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace xtv {
+
+class FpKernelGuard {
+ public:
+  /// Flags treated as errors. Divide-by-zero folds into the same policy as
+  /// overflow (an RC network never legitimately divides by zero; when it
+  /// happens the Inf becomes NaN within a few ops anyway).
+  static constexpr int kTrapped = FE_INVALID | FE_OVERFLOW | FE_DIVBYZERO;
+
+  explicit FpKernelGuard(const char* kernel) : kernel_(kernel) {
+    std::feclearexcept(kTrapped);
+  }
+
+  /// Clears accrued flags; iterative solvers call this per iteration so a
+  /// recovered excursion leaves no stale evidence.
+  void rearm() const { std::feclearexcept(kTrapped); }
+
+  /// Raises kFpException naming the kernel if a trapped flag accrued since
+  /// construction/rearm(). Also the injection point for FaultSite::kFpTrap.
+  void check() const {
+    const int raised = std::fetestexcept(kTrapped);
+    if (raised == 0 && !XTV_INJECT_FAULT(FaultSite::kFpTrap)) return;
+    std::string what(kernel_);
+    what += ": floating-point exception (";
+    if (raised & FE_INVALID) what += "invalid ";
+    if (raised & FE_OVERFLOW) what += "overflow ";
+    if (raised & FE_DIVBYZERO) what += "div-by-zero ";
+    if (raised == 0) what += "injected ";
+    what.back() = ')';
+    std::feclearexcept(kTrapped);  // don't double-report in an outer guard
+    throw NumericalError(StatusCode::kFpException, what);
+  }
+
+ private:
+  const char* kernel_;
+};
+
+}  // namespace xtv

@@ -28,8 +28,10 @@ enum class StatusCode {
   kNotPassive,         ///< reduced T has a genuinely negative eigenvalue
   kNewtonDivergence,   ///< DC or transient Newton failed to converge
   kNonFiniteWaveform,  ///< NaN/Inf detected in a simulated waveform
+  kFpException,        ///< FP invalid/overflow trapped inside a kernel
   kStepSizeCollapse,   ///< step rejection halved dt below the retry budget
   kDeadlineExceeded,   ///< cluster wall-clock budget exhausted (cooperative)
+  kResourceExceeded,   ///< cluster memory budget exhausted (accounted)
   kInvalidInput,       ///< malformed caller input; retrying cannot help
   kInternal,           ///< unclassified failure
 };
@@ -43,8 +45,10 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kNotPassive: return "not-passive";
     case StatusCode::kNewtonDivergence: return "newton-divergence";
     case StatusCode::kNonFiniteWaveform: return "non-finite-waveform";
+    case StatusCode::kFpException: return "fp-exception";
     case StatusCode::kStepSizeCollapse: return "step-size-collapse";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kResourceExceeded: return "resource-exceeded";
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kInternal: return "internal";
   }

@@ -43,13 +43,23 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   // One claiming task per worker beats one task per index: the queue is
-  // touched thread_count times, not count times.
+  // touched thread_count times, not count times. Every index runs even
+  // when some indices throw; the first exception resurfaces at the end.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    submit([next, count, &fn] {
+    submit([this, next, count, &fn] {
+      // Isolate each index: a throwing fn(i) must not abort this worker's
+      // claim loop and silently skip every index it would have claimed.
+      // The first exception is still surfaced from wait_idle().
       for (std::size_t i = next->fetch_add(1); i < count;
-           i = next->fetch_add(1))
-        fn(i);
+           i = next->fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
     });
   }
   wait_idle();

@@ -45,7 +45,9 @@ class ThreadPool {
 
   /// Runs fn(0) .. fn(count - 1) across the pool and waits. Indices are
   /// claimed in order from a shared counter, so early indices start
-  /// first; completion order is unspecified.
+  /// first; completion order is unspecified. A throwing fn(i) does not
+  /// prevent the remaining indices from running; the first exception is
+  /// rethrown after every index has executed.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,303 @@
+// Chaos soak: randomized adversity against the verifier's failure-semantics
+// contract (DESIGN.md §9).
+//
+// Each trial draws a random execution environment — worker threads, tight
+// cluster deadlines, tiny memory budgets, armed fault-injection sites,
+// forced memory pressure, and a simulated kill-9 (journal truncated at a
+// random byte, then resumed) — runs a full verification of a fixed small
+// design, and checks that:
+//
+//   1. verify() never lets an exception escape (no crash, no abort);
+//   2. the accounting invariant holds: every eligible victim is reported
+//      exactly once (analyzed + screened + fallback + failed);
+//   3. every finding's status is internally consistent (a retry count,
+//      error message, and peak_fraction matching what the status promises);
+//   4. undisturbed victims — status kAnalyzed with zero retries — are
+//      bit-identical to an unconstrained serial reference run: adversity
+//      may degrade a victim's result, never silently change it.
+//
+// Exit status 0 iff every trial upholds the contract. Run the reduced
+// smoke via ctest (ChaosSoak.Smoke) or the full soak directly:
+//   ./build/tests/chaos/chaos_soak --trials 100 --seed 1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "chipgen/dsp_chip.h"
+#include "core/journal.h"
+#include "core/verifier.h"
+#include "util/fault_injection.h"
+#include "util/prng.h"
+#include "util/resource.h"
+
+using namespace xtv;
+
+namespace {
+
+std::size_t g_checks_failed = 0;
+
+void expect(bool ok, std::size_t trial, const char* what,
+            const std::string& detail = "") {
+  if (ok) return;
+  ++g_checks_failed;
+  std::fprintf(stderr, "trial %zu: CONTRACT VIOLATION: %s%s%s\n", trial, what,
+               detail.empty() ? "" : ": ", detail.c_str());
+}
+
+struct TrialConfig {
+  std::size_t threads = 1;
+  double deadline_ms = 0.0;
+  double mem_mb = 0.0;
+  bool pressure = false;
+  bool kill_resume = false;
+  std::vector<FaultSite> armed;
+  std::vector<std::uint64_t> periods;
+  std::vector<std::uint64_t> caps;
+
+  std::string to_string() const {
+    std::string s = "threads=" + std::to_string(threads);
+    char buf[64];
+    if (deadline_ms > 0.0) {
+      std::snprintf(buf, sizeof(buf), " deadline=%.0fms", deadline_ms);
+      s += buf;
+    }
+    if (mem_mb > 0.0) {
+      std::snprintf(buf, sizeof(buf), " mem=%.3fMiB", mem_mb);
+      s += buf;
+    }
+    if (pressure) s += " pressure";
+    if (kill_resume) s += " kill+resume";
+    for (std::size_t i = 0; i < armed.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), " %s(p=%llu,cap=%llu)",
+                    fault_site_name(armed[i]),
+                    static_cast<unsigned long long>(periods[i]),
+                    static_cast<unsigned long long>(caps[i]));
+      s += buf;
+    }
+    return s;
+  }
+};
+
+TrialConfig draw_config(Prng& rng) {
+  TrialConfig cfg;
+  cfg.threads = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  if (rng.bernoulli(0.5)) {
+    const double choices[] = {1.0, 5.0, 20.0};
+    cfg.deadline_ms = choices[rng.uniform_int(0, 2)];
+  }
+  if (rng.bernoulli(0.5)) {
+    const double choices[] = {0.004, 0.02, 0.1};
+    cfg.mem_mb = choices[rng.uniform_int(0, 2)];
+  }
+  cfg.pressure = rng.bernoulli(0.2);
+  cfg.kill_resume = rng.bernoulli(0.4);
+
+  const FaultSite pool[] = {
+      FaultSite::kCholeskyFactor, FaultSite::kLanczosSweep,
+      FaultSite::kPassivityCheck, FaultSite::kReducedNewton,
+      FaultSite::kSpiceNewton,    FaultSite::kWaveformFinite,
+      FaultSite::kFpTrap,         FaultSite::kVictimTask,
+  };
+  const int n_armed = rng.uniform_int(0, 2);
+  for (int i = 0; i < n_armed; ++i) {
+    const std::uint64_t period_choices[] = {1, 3, 5, 9};
+    const std::uint64_t cap_choices[] = {0, 1, 3};
+    cfg.armed.push_back(pool[rng.uniform_int(0, 7)]);
+    cfg.periods.push_back(period_choices[rng.uniform_int(0, 3)]);
+    cfg.caps.push_back(cap_choices[rng.uniform_int(0, 2)]);
+  }
+  return cfg;
+}
+
+/// Simulates a kill-9 mid-write: keep a random byte prefix of the journal
+/// (possibly cutting a record — or the header — in half).
+void truncate_journal(const std::string& path, Prng& rng) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) return;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size > 0) {
+    const long keep = static_cast<long>(rng.uniform(0.0, 1.0) * size);
+    if (ftruncate(fileno(f), keep) != 0)
+      std::fprintf(stderr, "warning: ftruncate(%s) failed\n", path.c_str());
+  }
+  std::fclose(f);
+}
+
+void check_contract(std::size_t trial, const VerificationReport& r,
+                    const std::map<std::size_t, VictimFinding>& reference,
+                    bool faults_armed) {
+  // Accounting invariant: nobody vanishes, nobody is double-counted.
+  expect(r.victims_eligible == r.victims_analyzed + r.victims_screened_out +
+                                   r.victims_fallback + r.victims_failed,
+         trial, "accounting invariant broken");
+  expect(r.victims_deadline_bound + r.victims_resource_bound <=
+             r.victims_fallback,
+         trial, "bound counters exceed fallback count");
+
+  for (const VictimFinding& f : r.findings) {
+    const std::string net = "net " + std::to_string(f.net);
+    expect(f.peak_fraction >= 0.0 && f.peak_fraction <= 1.0 + 1e-12, trial,
+           "peak_fraction out of [0,1]", net);
+    switch (f.status) {
+      case FindingStatus::kAnalyzed:
+        expect(f.retries == 0, trial, "kAnalyzed with retries", net);
+        expect(f.error.empty(), trial, "kAnalyzed with an error", net);
+        break;
+      case FindingStatus::kAnalyzedAfterRetry:
+      case FindingStatus::kFellBackToFullSim:
+      case FindingStatus::kFellBackToBound:
+        expect(f.retries >= 1, trial, "degraded status without a retry", net);
+        expect(!f.error.empty(), trial, "degraded status without an error",
+               net);
+        break;
+      case FindingStatus::kDeadlineBound:
+        expect(f.retries >= 1, trial, "kDeadlineBound without a retry", net);
+        // error_code keeps the FIRST failure class seen, so with injected
+        // faults an earlier rung's error may legitimately precede the
+        // deadline; without faults the deadline must be the first error.
+        expect(faults_armed || f.error_code == StatusCode::kDeadlineExceeded,
+               trial, "kDeadlineBound without kDeadlineExceeded", net);
+        break;
+      case FindingStatus::kResourceBound:
+        // Either a budget breach inside a rung (counted as a retry) or an
+        // admission-control shed (no rung ever ran).
+        expect(f.retries >= 1 || f.error.find("shed") != std::string::npos,
+               trial, "kResourceBound neither breached nor shed", net);
+        expect(faults_armed || f.error_code == StatusCode::kResourceExceeded,
+               trial, "kResourceBound without kResourceExceeded", net);
+        break;
+      case FindingStatus::kFailed:
+        expect(!f.error.empty(), trial, "kFailed without an error", net);
+        expect(f.violation && f.peak_fraction == 1.0, trial,
+               "kFailed not maximally pessimistic", net);
+        break;
+    }
+
+    // Certification: an undisturbed victim must match the unconstrained
+    // reference bit-for-bit — adversity degrades, never perturbs.
+    if (f.status == FindingStatus::kAnalyzed && f.retries == 0) {
+      const auto it = reference.find(f.net);
+      expect(it != reference.end(), trial, "analyzed net missing in reference",
+             net);
+      if (it == reference.end()) continue;
+      const VictimFinding& ref = it->second;
+      if (ref.status != FindingStatus::kAnalyzed) continue;  // ref degraded
+      const bool identical =
+          f.peak == ref.peak && f.peak_fraction == ref.peak_fraction &&
+          f.violation == ref.violation &&
+          f.reduced_order == ref.reduced_order &&
+          f.aggressors_analyzed == ref.aggressors_analyzed;
+      expect(identical, trial, "certified finding differs from reference", net);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t trials = 50;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
+      trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else {
+      std::fprintf(stderr, "usage: chaos_soak [--trials N] [--seed S]\n");
+      return 2;
+    }
+  }
+
+  const Technology tech = Technology::default_250nm();
+  CellLibrary library(tech);
+  CharacterizeOptions copt;
+  copt.iv_grid = 11;
+  CharacterizedLibrary chars(library, copt);
+  Extractor extractor(tech);
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 80;
+  chip_opt.tracks = 8;
+  const ChipDesign design = generate_dsp_chip(library, chip_opt);
+
+  VerifierOptions base;
+  base.glitch.align_aggressors = false;
+  base.glitch.tstop = 3e-9;
+
+  ChipVerifier verifier(extractor, chars);
+  std::printf("chaos_soak: %zu trials, seed %llu\n", trials,
+              static_cast<unsigned long long>(seed));
+  std::printf("reference run (unconstrained, serial)...\n");
+  const VerificationReport ref_report = verifier.verify(design, base);
+  std::map<std::size_t, VictimFinding> reference;
+  for (const VictimFinding& f : ref_report.findings) reference[f.net] = f;
+  std::printf("  %zu eligible victims, %zu violations\n",
+              ref_report.victims_eligible, ref_report.violations);
+
+  const std::string journal_path =
+      "chaos_soak_" + std::to_string(::getpid()) + ".journal";
+  Prng rng(seed);
+  std::size_t escapes = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const TrialConfig cfg = draw_config(rng);
+    VerifierOptions options = base;
+    options.threads = cfg.threads;
+    options.cluster_deadline_ms = cfg.deadline_ms;
+    options.cluster_mem_mb = cfg.mem_mb;
+    if (cfg.kill_resume) options.journal_path = journal_path;
+
+    FaultInjector::instance().reset();
+    for (std::size_t i = 0; i < cfg.armed.size(); ++i)
+      FaultInjector::instance().arm(cfg.armed[i], cfg.periods[i], cfg.caps[i]);
+    resource::MemoryGovernor::instance().force_pressure(cfg.pressure);
+
+    bool escaped = false;
+    VerificationReport report;
+    try {
+      report = verifier.verify(design, options);
+      if (cfg.kill_resume) {
+        // Kill-9 simulation: tear the journal at a random byte, then
+        // resume. Injection is re-armed so the re-analyzed victims see
+        // the same per-victim fault schedule.
+        truncate_journal(journal_path, rng);
+        FaultInjector::instance().reset();
+        for (std::size_t i = 0; i < cfg.armed.size(); ++i)
+          FaultInjector::instance().arm(cfg.armed[i], cfg.periods[i],
+                                        cfg.caps[i]);
+        options.resume = true;
+        report = verifier.verify(design, options);
+      }
+    } catch (const std::exception& e) {
+      escaped = true;
+      ++escapes;
+      ++g_checks_failed;
+      std::fprintf(stderr, "trial %zu: ESCAPED EXCEPTION: %s [%s]\n", trial,
+                   e.what(), cfg.to_string().c_str());
+    }
+
+    FaultInjector::instance().reset();
+    resource::MemoryGovernor::instance().force_pressure(false);
+    std::remove(journal_path.c_str());
+
+    if (!escaped) {
+      const std::size_t before = g_checks_failed;
+      check_contract(trial, report, reference, !cfg.armed.empty());
+      std::printf(
+          "trial %3zu: ok=%s analyzed=%zu fallback=%zu (ddl=%zu mem=%zu) "
+          "failed=%zu [%s]\n",
+          trial, g_checks_failed == before ? "yes" : "NO",
+          report.victims_analyzed, report.victims_fallback,
+          report.victims_deadline_bound, report.victims_resource_bound,
+          report.victims_failed, cfg.to_string().c_str());
+    }
+  }
+
+  std::printf("\nchaos_soak: %zu trials, %zu contract violations, "
+              "%zu escaped exceptions\n",
+              trials, g_checks_failed, escapes);
+  return g_checks_failed == 0 ? 0 : 1;
+}
