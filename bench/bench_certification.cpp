@@ -1,0 +1,101 @@
+// Certification overhead benchmark (DESIGN.md §10): a-posteriori residual
+// certification adds num_freqs exact sparse solves per accepted MOR result,
+// plus whatever upward order escalation the tolerance forces. This bench
+// measures verify() on the standard 120-net workload in three modes —
+// certify off / certify on / certify + 25% SPICE cross-audit — and writes
+// the numbers to BENCH_certification.json for the nightly trend job.
+//
+// The claim under test: certification costs < 15% end-to-end, because the
+// q x q reduced solves and a handful of sparse factorization at shifted
+// pencils are small next to the transient simulation of each cluster.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+
+using namespace xtv;
+
+int main() {
+  std::printf("== Certification overhead ==\n\n");
+
+  bench::Context ctx;
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 120;
+  chip_opt.tracks = 8;
+  const ChipDesign design = generate_dsp_chip(ctx.library, chip_opt);
+  ChipVerifier verifier(ctx.extractor, ctx.chars);
+
+  VerifierOptions off;
+  off.glitch.align_aggressors = false;
+  off.glitch.tstop = 3e-9;
+
+  VerifierOptions cert = off;
+  cert.certify = true;
+
+  VerifierOptions audit = cert;
+  audit.audit_fraction = 0.25;
+
+  const VerificationReport warm = verifier.verify(design, off);
+  (void)warm;
+  const VerificationReport r_off = verifier.verify(design, off);
+  const VerificationReport r_cert = verifier.verify(design, cert);
+  const VerificationReport r_audit = verifier.verify(design, audit);
+
+  const double cert_overhead =
+      100.0 * (r_cert.wall_seconds - r_off.wall_seconds) / r_off.wall_seconds;
+  const double audit_overhead =
+      100.0 * (r_audit.wall_seconds - r_off.wall_seconds) / r_off.wall_seconds;
+
+  std::printf("verify() on %zu nets (%zu eligible victims):\n",
+              design.nets.size(), r_off.victims_eligible);
+  std::printf("  certify off          : %8.3f s\n", r_off.wall_seconds);
+  std::printf("  certify on           : %8.3f s (%+.1f%%)\n",
+              r_cert.wall_seconds, cert_overhead);
+  std::printf("    certified %zu, accuracy-bound %zu, %zu order escalations on "
+              "%zu victims\n",
+              r_cert.victims_certified, r_cert.victims_accuracy_bound,
+              r_cert.order_escalations, r_cert.victims_escalated);
+  std::printf("  certify + 25%% audit  : %8.3f s (%+.1f%%)\n",
+              r_audit.wall_seconds, audit_overhead);
+  std::printf("    audited %zu, failures %zu, max peak err %.3g V, max time "
+              "err %.3g s\n",
+              r_audit.victims_audited, r_audit.audit_failures,
+              r_audit.audit_max_peak_err, r_audit.audit_max_time_err);
+  std::printf("\ncertify-only overhead target: < 15%% -> %s\n",
+              cert_overhead < 15.0 ? "MET" : "MISSED");
+
+  FILE* json = std::fopen("BENCH_certification.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"nets\": %zu,\n", design.nets.size());
+    std::fprintf(json, "  \"victims_eligible\": %zu,\n", r_off.victims_eligible);
+    std::fprintf(json, "  \"wall_s_certify_off\": %.6f,\n", r_off.wall_seconds);
+    std::fprintf(json, "  \"wall_s_certify_on\": %.6f,\n", r_cert.wall_seconds);
+    std::fprintf(json, "  \"wall_s_certify_audit25\": %.6f,\n",
+                 r_audit.wall_seconds);
+    std::fprintf(json, "  \"certify_overhead_pct\": %.3f,\n", cert_overhead);
+    std::fprintf(json, "  \"audit_overhead_pct\": %.3f,\n", audit_overhead);
+    std::fprintf(json, "  \"victims_certified\": %zu,\n",
+                 r_cert.victims_certified);
+    std::fprintf(json, "  \"victims_accuracy_bound\": %zu,\n",
+                 r_cert.victims_accuracy_bound);
+    std::fprintf(json, "  \"victims_escalated\": %zu,\n",
+                 r_cert.victims_escalated);
+    std::fprintf(json, "  \"order_escalations\": %zu,\n",
+                 r_cert.order_escalations);
+    std::fprintf(json, "  \"victims_audited\": %zu,\n", r_audit.victims_audited);
+    std::fprintf(json, "  \"audit_failures\": %zu,\n", r_audit.audit_failures);
+    std::fprintf(json, "  \"audit_max_peak_err_v\": %.6g,\n",
+                 r_audit.audit_max_peak_err);
+    std::fprintf(json, "  \"audit_max_time_err_s\": %.6g,\n",
+                 r_audit.audit_max_time_err);
+    std::fprintf(json, "  \"overhead_target_pct\": 15.0,\n");
+    std::fprintf(json, "  \"overhead_target_met\": %s\n",
+                 cert_overhead < 15.0 ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_certification.json\n");
+  }
+  return 0;
+}

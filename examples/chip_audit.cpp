@@ -11,9 +11,23 @@
 //   --global-mem-soft-mb MB   soft RSS limit; sheds largest queued clusters
 //   --journal PATH            append completed victims to a crash-safe journal
 //   --resume                  skip victims already in the journal (needs --journal)
+//   --mor-order Q             starting reduced-model order (default 16)
+//   --certify                 a-posteriori accuracy certificates + escalation
+//   --cert-tol T              max relative transfer-fn error (default 0.02)
+//   --cert-freqs N            sample frequencies per certificate (default 5)
+//   --max-mor-order Q         escalation ladder order ceiling (default 64)
+//   --audit-fraction F        fraction of MOR results re-run on golden SPICE
+//   --audit-peak-tol F        audit peak tolerance as fraction of Vdd
+//   --fail-on LIST            exit 3 when any finding is at least as severe as
+//                             any listed status (comma-separated names, e.g.
+//                             "accuracy-bound,failed" or "kFailed") — CI gate
+#include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <string>
 
 #include "chipgen/dsp_chip.h"
 #include "core/verifier.h"
@@ -36,6 +50,7 @@ int main(int argc, char** argv) {
   options.glitch.align_aggressors = true;   // worst-case alignment search
   options.glitch.tstop = 4e-9;
 
+  int fail_on_severity = INT_MAX;  // --fail-on CI gate; INT_MAX = disabled
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -57,6 +72,35 @@ int main(int argc, char** argv) {
       options.journal_path = value(arg);
     } else if (std::strcmp(arg, "--resume") == 0) {
       options.resume = true;
+    } else if (std::strcmp(arg, "--mor-order") == 0) {
+      options.glitch.mor.max_order =
+          static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--certify") == 0) {
+      options.certify = true;
+    } else if (std::strcmp(arg, "--cert-tol") == 0) {
+      options.cert_rel_tol = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--cert-freqs") == 0) {
+      options.cert_freqs = static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--max-mor-order") == 0) {
+      options.max_mor_order = static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--audit-fraction") == 0) {
+      options.audit_fraction = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--audit-peak-tol") == 0) {
+      options.audit_peak_tol_frac = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--fail-on") == 0) {
+      std::istringstream list(value(arg));
+      for (std::string name; std::getline(list, name, ',');) {
+        if (name.empty()) continue;
+        FindingStatus s;
+        if (!parse_finding_status(name, &s)) {
+          std::fprintf(stderr,
+                       "--fail-on: unknown finding status \"%s\"\n",
+                       name.c_str());
+          return 2;
+        }
+        fail_on_severity = std::min(fail_on_severity,
+                                    finding_status_severity(s));
+      }
     } else if (arg[0] != '-') {
       chip_options.net_count = static_cast<std::size_t>(std::atoi(arg));
     } else {
@@ -92,6 +136,14 @@ int main(int argc, char** argv) {
   if (!options.journal_path.empty())
     std::printf("  journal %s%s\n", options.journal_path.c_str(),
                 options.resume ? " (resuming)" : "");
+  if (options.certify)
+    std::printf("  certifying reduced models (rel tol %.3g, %zu freqs, "
+                "order ceiling %zu)\n",
+                options.cert_rel_tol, options.cert_freqs,
+                options.max_mor_order);
+  if (options.audit_fraction > 0.0)
+    std::printf("  auditing %.0f%% of MOR results on the golden engine\n",
+                100.0 * options.audit_fraction);
 
   ChipVerifier verifier(extractor, chars);
   VerificationReport report;
@@ -105,13 +157,27 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s", report.to_string().c_str());
   std::printf("robustness: eligible=%zu analyzed=%zu screened=%zu retried=%zu "
-              "fallback=%zu (deadline=%zu resource=%zu) failed=%zu\n",
+              "fallback=%zu (deadline=%zu resource=%zu accuracy=%zu) "
+              "failed=%zu\n",
               report.victims_eligible, report.victims_analyzed,
               report.victims_screened_out, report.victims_retried,
               report.victims_fallback, report.victims_deadline_bound,
-              report.victims_resource_bound, report.victims_failed);
+              report.victims_resource_bound, report.victims_accuracy_bound,
+              report.victims_failed);
+  if (options.certify)
+    std::printf("accuracy: certified=%zu escalated=%zu (order raises=%zu) "
+                "accuracy-bound=%zu\n",
+                report.victims_certified, report.victims_escalated,
+                report.order_escalations, report.victims_accuracy_bound);
+  if (report.victims_audited > 0)
+    std::printf("audit: sampled=%zu out-of-tolerance=%zu "
+                "worst peak delta=%.4g V worst arrival delta=%.3g s\n",
+                report.victims_audited, report.audit_failures,
+                report.audit_max_peak_err, report.audit_max_time_err);
   for (const auto& f : report.findings) {
-    if (f.status == FindingStatus::kAnalyzed) continue;
+    if (f.status == FindingStatus::kAnalyzed ||
+        f.status == FindingStatus::kCertified)
+      continue;
     std::printf("  net %zu: %s (%zu retries%s%s)\n", f.net,
                 finding_status_name(f.status), f.retries,
                 f.error.empty() ? "" : ", first error: ",
@@ -132,5 +198,20 @@ int main(int argc, char** argv) {
               report.wall_seconds, report.total_cpu_seconds,
               report.victims_analyzed);
   chars.save("xtv_cells.cache");
+
+  // CI gate: any finding at least as severe as the worst-tolerated status
+  // fails the run with a distinct exit code (2 = config error, 3 = gated).
+  if (fail_on_severity != INT_MAX) {
+    std::size_t gated = 0;
+    for (const auto& f : report.findings)
+      if (finding_status_severity(f.status) >= fail_on_severity) ++gated;
+    if (gated > 0) {
+      std::fprintf(stderr,
+                   "--fail-on: %zu finding(s) at or above the gated "
+                   "severity\n",
+                   gated);
+      return 3;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,28 @@
+// libFuzzer harness for the SPICE deck parser (built only under -DXTV_FUZZ=ON
+// with clang). Mirrors the contract in tests/test_deck_fuzz.cpp: any byte
+// string must either parse into a Circuit or be rejected with
+// std::runtime_error — never crash or leak another exception type. Seed it
+// with the deterministic corpus:
+//
+//   ./build/fuzz/fuzz_spice_deck tests/corpus/
+//
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/spice_deck.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string deck(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)xtv::parse_spice_deck(deck);
+  } catch (const std::runtime_error&) {
+    // Typed rejection is the documented failure mode.
+  } catch (...) {
+    // Anything else escaping the parser is a bug worth a crash report.
+    std::abort();
+  }
+  return 0;
+}

@@ -158,6 +158,8 @@ std::vector<double> GlitchAnalyzer::align_switch_times(
   // is probed with its nonlinear table model.
   GlitchAnalysisOptions probe = options;
   probe.align_aggressors = false;
+  probe.certify = false;  // probes inform alignment only; certifying them
+                          // would charge the exact-solve cost per aggressor
   if (probe.driver_model == DriverModelKind::kTransistor)
     probe.driver_model = DriverModelKind::kNonlinearTable;
   std::vector<double> latency(aggressors.size(), 0.0);
@@ -216,6 +218,25 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   SympvlOptions mor = options.mor;
   mor.cancel = options.cancel;  // deadlines reach into the Krylov sweep
   ReducedModel model = sympvl_reduce(built.network, true, mor);
+
+  // A-posteriori certificate against the exact cluster, probed over the
+  // band this transient resolves (slowest feature 1/tstop up to a few
+  // samples per step). Never throws on accuracy failure — the verifier's
+  // escalation ladder reads the verdict; deadline expiry still propagates.
+  Certificate certificate;
+  bool certified = false;
+  if (options.certify) {
+    CertifyOptions copt;
+    copt.num_freqs = options.cert_freqs;
+    const double dt_eff =
+        options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
+    copt.s_min = 1.0 / options.tstop;
+    copt.s_max = 1.0 / (4.0 * dt_eff);
+    copt.cancel = options.cancel;
+    certificate = certify_reduced_model(built.network, model, true, copt);
+    certified = certificate.pass(options.cert_rel_tol);
+  }
+
   ReducedSimulator sim(model);
 
   // Victim driver.
@@ -272,6 +293,8 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   GlitchResult out;
   out.cpu_seconds = timer.elapsed();
   out.reduced_order = model.order();
+  out.certificate = std::move(certificate);
+  out.certified = certified;
   out.victim_wave = res.port_voltages[ClusterPorts::receiver(0)];
   out.peak = out.victim_wave.peak_deviation();
   out.peak_at_driver =

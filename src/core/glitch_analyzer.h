@@ -21,6 +21,7 @@
 #include "cells/characterize.h"
 #include "cells/driver_models.h"
 #include "core/cluster.h"
+#include "mor/certify.h"
 #include "mor/reduced_sim.h"
 #include "spice/simulator.h"
 #include "spice/waveform.h"
@@ -50,6 +51,19 @@ struct GlitchAnalysisOptions {
   /// loops (including alignment probe runs); an expired token aborts the
   /// analysis with kDeadlineExceeded. Null = unbounded. Not owned.
   const CancelToken* cancel = nullptr;
+
+  // --- A-posteriori certification (DESIGN.md §10, MOR path only) ---
+
+  /// Certify the reduced model against the exact cluster transfer function
+  /// after every reduction; the Certificate (and its verdict at
+  /// cert_rel_tol) is attached to the GlitchResult. analyze() never throws
+  /// on a failed certificate — escalation is the verifier's job.
+  bool certify = false;
+  /// Max relative transfer-function error the certificate may carry.
+  double cert_rel_tol = 0.02;
+  /// Sample frequencies probed (log-spaced over the band the transient
+  /// resolves: 1/tstop .. 1/(4 dt)).
+  std::size_t cert_freqs = 5;
 };
 
 struct GlitchResult {
@@ -66,6 +80,13 @@ struct GlitchResult {
   /// holding cell sources/sinks while fighting the glitch.
   double victim_driver_rms_current = 0.0;   ///< A (RMS over the window)
   double victim_driver_peak_current = 0.0;  ///< A (max |i|)
+
+  /// A-posteriori accuracy certificate of the reduced model (filled by the
+  /// MOR path when GlitchAnalysisOptions::certify is set).
+  Certificate certificate;
+  /// certificate.pass(options.cert_rel_tol) — the verdict at the tolerance
+  /// the run was configured with.
+  bool certified = false;
 };
 
 class GlitchAnalyzer {

@@ -15,9 +15,13 @@ namespace xtv {
 
 namespace {
 
-constexpr const char* kMagic = "xtvj1";
+// Record format v2 ("xtvj2") appends the certification and audit fields;
+// v1 journals fail the magic check and are treated as a torn tail, and a
+// resume across the version bump is independently refused by the options
+// hash (the new knobs are hashed).
+constexpr const char* kMagic = "xtvj2";
 constexpr const char* kHeaderMagic = "xtvjh";
-constexpr std::size_t kFieldCount = 18;
+constexpr std::size_t kFieldCount = 25;
 
 std::uint64_t fnv1a64(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -104,7 +108,11 @@ std::string journal_encode(const JournalRecord& record) {
       << f.aggressors_dropped_by_window << ' ' << fmt_double(f.cpu_seconds)
       << ' ' << f.reduced_order << ' ' << fmt_double(f.delay_decoupled) << ' '
       << fmt_double(f.delay_coupled) << ' '
-      << fmt_double(f.driver_rms_current) << ' ' << (f.em_violation ? 1 : 0);
+      << fmt_double(f.driver_rms_current) << ' ' << (f.em_violation ? 1 : 0)
+      << ' ' << (f.certified ? 1 : 0) << ' ' << fmt_double(f.cert_max_rel_err)
+      << ' ' << f.cert_order_escalations << ' ' << (f.audited ? 1 : 0) << ' '
+      << (f.audit_pass ? 1 : 0) << ' ' << fmt_double(f.audit_peak_err) << ' '
+      << fmt_double(f.audit_time_err);
   return out.str();
 }
 
@@ -116,14 +124,15 @@ bool journal_decode(const std::string& payload, JournalRecord& record) {
 
   VictimFinding f;
   std::size_t screened = 0, status = 0, code = 0, violation = 0, em = 0;
+  std::size_t certified = 0, audited = 0, audit_pass = 0;
   if (!parse_size(tok[0], screened) || screened > 1) return false;
   if (!parse_size(tok[1], f.net)) return false;
   if (!parse_size(tok[2], status) ||
-      status > static_cast<std::size_t>(FindingStatus::kFailed))
+      status > static_cast<std::size_t>(FindingStatus::kAccuracyBound))
     return false;
   if (!parse_size(tok[3], f.retries)) return false;
   if (!parse_size(tok[4], code) ||
-      code > static_cast<std::size_t>(StatusCode::kInternal))
+      code > static_cast<std::size_t>(StatusCode::kCertificationFailed))
     return false;
   if (!unescape(tok[5], f.error)) return false;
   if (!parse_double(tok[6], f.peak)) return false;
@@ -138,11 +147,21 @@ bool journal_decode(const std::string& payload, JournalRecord& record) {
   if (!parse_double(tok[15], f.delay_coupled)) return false;
   if (!parse_double(tok[16], f.driver_rms_current)) return false;
   if (!parse_size(tok[17], em) || em > 1) return false;
+  if (!parse_size(tok[18], certified) || certified > 1) return false;
+  if (!parse_double(tok[19], f.cert_max_rel_err)) return false;
+  if (!parse_size(tok[20], f.cert_order_escalations)) return false;
+  if (!parse_size(tok[21], audited) || audited > 1) return false;
+  if (!parse_size(tok[22], audit_pass) || audit_pass > 1) return false;
+  if (!parse_double(tok[23], f.audit_peak_err)) return false;
+  if (!parse_double(tok[24], f.audit_time_err)) return false;
 
   f.status = static_cast<FindingStatus>(status);
   f.error_code = static_cast<StatusCode>(code);
   f.violation = violation != 0;
   f.em_violation = em != 0;
+  f.certified = certified != 0;
+  f.audited = audited != 0;
+  f.audit_pass = audit_pass != 0;
   record.screened = screened != 0;
   record.finding = std::move(f);
   return true;

@@ -44,6 +44,38 @@ bool is_resource_error(const std::exception& e) {
   return numerical && numerical->code() == StatusCode::kResourceExceeded;
 }
 
+/// splitmix64 finalizer — the audit lottery must be a pure function of
+/// (victim, seed) so a parallel run audits exactly what a serial run would.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool audit_selected(std::size_t v, const VerifierOptions& options) {
+  if (options.audit_fraction <= 0.0) return false;
+  if (options.audit_fraction >= 1.0) return true;
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(v) ^ mix64(options.audit_seed));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < options.audit_fraction;
+}
+
+/// Time of the waveform's largest deviation from its initial value — the
+/// quantity the audit compares across engines (glitch peak arrival).
+double wave_peak_time(const Waveform& w) {
+  double best = -1.0, t_peak = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double dev = std::fabs(w.value(i) - w.first_value());
+    if (dev > best) {
+      best = dev;
+      t_peak = w.time(i);
+    }
+  }
+  return t_peak;
+}
+
 /// Full analysis of one victim cluster: eligibility, the Devgan screen,
 /// the retry/degradation ladder under the per-cluster deadline, and the
 /// optional delay/EM passes. Runs on a worker thread; everything it
@@ -116,6 +148,13 @@ std::optional<JournalRecord> analyze_victim(
     }
     GlitchAnalysisOptions base = options.glitch;
     base.cancel = &budget;
+    base.certify = options.certify;
+    base.cert_rel_tol = options.cert_rel_tol;
+    base.cert_freqs = options.cert_freqs;
+    // The options that produced the accepted MOR result — the escalation
+    // ladder raises order FROM these, and the audit replays them on the
+    // golden engine, so both compare like against like.
+    GlitchAnalysisOptions mor_used = base;
     if (!resource_exhausted) {
       try {
         res = analyzer.analyze(victim, aggressors, base);
@@ -138,6 +177,7 @@ std::optional<JournalRecord> analyze_victim(
         res = analyzer.analyze(victim, aggressors, retry);
         have_sim = true;
         finding.status = FindingStatus::kAnalyzedAfterRetry;
+        mor_used = retry;
       } catch (const std::exception& e) {
         record_first_error(finding, e);
         ++finding.retries;
@@ -155,6 +195,7 @@ std::optional<JournalRecord> analyze_victim(
           res = analyzer.analyze(victim, aggressors, retry);
           have_sim = true;
           finding.status = FindingStatus::kAnalyzedAfterRetry;
+          mor_used = retry;
         } catch (const std::exception& e) {
           record_first_error(finding, e);
           ++finding.retries;
@@ -177,6 +218,68 @@ std::optional<JournalRecord> analyze_victim(
         }
       }
     }
+
+    // Upward escalation ladder (certify runs): a MOR result whose
+    // certificate failed is re-reduced at raised Krylov order — each step
+    // adds moments, tightening the Padé approximant — until it certifies,
+    // the order ceiling is hit, or the Krylov basis is exhausted (order
+    // stops growing: the model is already as exact as this cluster
+    // permits). Only then does the victim concede to the conservative
+    // bound as kAccuracyBound. Budget expiry mid-escalation routes to the
+    // usual deadline/resource statuses instead: an uncertified-but-
+    // plausible peak is NOT reported as if it were trustworthy.
+    bool accuracy_failed = false;
+    const bool mor_result =
+        have_sim && (finding.status == FindingStatus::kAnalyzed ||
+                     finding.status == FindingStatus::kAnalyzedAfterRetry);
+    if (options.certify && mor_result) {
+      std::size_t q = std::max(res.reduced_order, mor_used.mor.max_order);
+      while (!res.certified && !deadline_expired && !resource_exhausted &&
+             q < options.max_mor_order) {
+        q = std::min(q + options.mor_order_step, options.max_mor_order);
+        GlitchAnalysisOptions esc = mor_used;
+        esc.mor.max_order = q;
+        try {
+          GlitchResult raised = analyzer.analyze(victim, aggressors, esc);
+          ++finding.cert_order_escalations;
+          const bool grew = raised.reduced_order > res.reduced_order;
+          res = std::move(raised);
+          mor_used = esc;
+          if (!grew) break;  // basis exhausted; raising q again is a no-op
+        } catch (const std::exception& e) {
+          record_first_error(finding, e);
+          ++finding.retries;
+          deadline_expired = is_deadline_error(e);
+          resource_exhausted = is_resource_error(e);
+          break;
+        }
+      }
+      finding.certified = res.certified;
+      finding.cert_max_rel_err = res.certificate.max_rel_err;
+      if (res.certified) {
+        finding.status = FindingStatus::kCertified;
+      } else {
+        // The accepted result cannot vouch for itself: discard it and let
+        // the bound rung report conservatively.
+        have_sim = false;
+        if (!deadline_expired && !resource_exhausted) {
+          accuracy_failed = true;
+          if (finding.error.empty()) {
+            char detail[64];
+            std::snprintf(detail, sizeof(detail), "%.3g",
+                          res.certificate.max_rel_err);
+            finding.error = "accuracy certificate failed at order " +
+                            std::to_string(res.reduced_order) + ": rel err " +
+                            detail;
+            if (!res.certificate.passivity_ok)
+              finding.error += " (passivity/boundedness lost)";
+            if (!res.certificate.probe_error.empty())
+              finding.error += "; probe: " + res.certificate.probe_error;
+            finding.error_code = StatusCode::kCertificationFailed;
+          }
+        }
+      }
+    }
     if (have_sim) {
       finding.peak = res.peak;
       finding.peak_fraction = std::fabs(res.peak) / vdd;
@@ -187,6 +290,34 @@ std::optional<JournalRecord> analyze_victim(
       finding.em_violation =
           options.em_rms_limit > 0.0 &&
           res.victim_driver_rms_current > options.em_rms_limit;
+
+      // Sampled SPICE cross-audit: a deterministic victim-keyed lottery
+      // re-simulates this cluster on the golden engine (same abstraction
+      // the accepted MOR result used) and diffs glitch peak and arrival
+      // time. The audit only adds information — a finding never degrades
+      // because its golden run was refused by the deadline or the budget.
+      const bool mor_based =
+          finding.status == FindingStatus::kAnalyzed ||
+          finding.status == FindingStatus::kAnalyzedAfterRetry ||
+          finding.status == FindingStatus::kCertified;
+      if (mor_based && audit_selected(v, options)) {
+        try {
+          GlitchAnalysisOptions gold_opts = mor_used;
+          gold_opts.certify = false;
+          const GlitchResult gold =
+              analyzer.analyze_spice(victim, aggressors, gold_opts);
+          finding.audited = true;
+          finding.audit_peak_err = std::fabs(res.peak - gold.peak);
+          finding.audit_time_err = std::fabs(
+              wave_peak_time(res.victim_wave) - wave_peak_time(gold.victim_wave));
+          finding.audit_pass =
+              finding.audit_peak_err <= options.audit_peak_tol_frac * vdd &&
+              finding.audit_time_err <= options.audit_time_tol;
+        } catch (const std::exception&) {
+          // Golden run refused (deadline/budget) or broke down: the victim
+          // goes unaudited; its own result stands untouched.
+        }
+      }
 
       if (options.analyze_delay_change) {
         // Timing recalculation: the victim as a SWITCHING net, aggressors
@@ -226,6 +357,7 @@ std::optional<JournalRecord> analyze_victim(
       bound = std::min(bound, vdd);
       finding.status = resource_exhausted ? FindingStatus::kResourceBound
                        : deadline_expired ? FindingStatus::kDeadlineBound
+                       : accuracy_failed  ? FindingStatus::kAccuracyBound
                                           : FindingStatus::kFellBackToBound;
       finding.peak = victim.held_high ? -bound : bound;
       finding.peak_fraction = bound / vdd;
@@ -251,7 +383,8 @@ std::optional<JournalRecord> analyze_victim(
 
 bool counts_as_analyzed(FindingStatus s) {
   return s == FindingStatus::kAnalyzed ||
-         s == FindingStatus::kAnalyzedAfterRetry;
+         s == FindingStatus::kAnalyzedAfterRetry ||
+         s == FindingStatus::kCertified;
 }
 
 /// FNV-1a accumulator for options hashing. Doubles hash by bit pattern:
@@ -302,7 +435,43 @@ std::uint64_t options_result_hash(const VerifierOptions& o) {
   h.f64(o.cluster_deadline_ms);
   h.f64(o.cluster_mem_mb);
   h.f64(o.global_mem_soft_mb);
+  // Certification and audit knobs all steer statuses, escalations, or the
+  // audit fields of findings.
+  h.u64(o.certify ? 1 : 0);
+  h.f64(o.cert_rel_tol);
+  h.u64(o.cert_freqs);
+  h.u64(o.max_mor_order);
+  h.u64(o.mor_order_step);
+  h.f64(o.audit_fraction);
+  h.u64(o.audit_seed);
+  h.f64(o.audit_peak_tol_frac);
+  h.f64(o.audit_time_tol);
   return h.h;
+}
+
+bool parse_finding_status(const std::string& name, FindingStatus* out) {
+  static constexpr struct {
+    const char* enumerator;
+    FindingStatus status;
+  } kTable[] = {
+      {"kAnalyzed", FindingStatus::kAnalyzed},
+      {"kAnalyzedAfterRetry", FindingStatus::kAnalyzedAfterRetry},
+      {"kFellBackToFullSim", FindingStatus::kFellBackToFullSim},
+      {"kFellBackToBound", FindingStatus::kFellBackToBound},
+      {"kDeadlineBound", FindingStatus::kDeadlineBound},
+      {"kResourceBound", FindingStatus::kResourceBound},
+      {"kFailed", FindingStatus::kFailed},
+      {"kCertified", FindingStatus::kCertified},
+      {"kAccuracyBound", FindingStatus::kAccuracyBound},
+  };
+  for (const auto& entry : kTable) {
+    if (name == entry.enumerator ||
+        name == finding_status_name(entry.status)) {
+      *out = entry.status;
+      return true;
+    }
+  }
+  return false;
 }
 
 ChipVerifier::ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars)
@@ -554,6 +723,10 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       case FindingStatus::kAnalyzedAfterRetry:
         ++report.victims_analyzed;
         break;
+      case FindingStatus::kCertified:
+        ++report.victims_analyzed;
+        ++report.victims_certified;
+        break;
       case FindingStatus::kFellBackToFullSim:
       case FindingStatus::kFellBackToBound:
         ++report.victims_fallback;
@@ -566,11 +739,27 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         ++report.victims_fallback;
         ++report.victims_resource_bound;
         break;
+      case FindingStatus::kAccuracyBound:
+        ++report.victims_fallback;
+        ++report.victims_accuracy_bound;
+        break;
       case FindingStatus::kFailed:
         ++report.victims_failed;
         break;
     }
     if (f.retries > 0) ++report.victims_retried;
+    if (f.cert_order_escalations > 0) {
+      ++report.victims_escalated;
+      report.order_escalations += f.cert_order_escalations;
+    }
+    if (f.audited) {
+      ++report.victims_audited;
+      if (!f.audit_pass) ++report.audit_failures;
+      report.audit_max_peak_err =
+          std::max(report.audit_max_peak_err, f.audit_peak_err);
+      report.audit_max_time_err =
+          std::max(report.audit_max_time_err, f.audit_time_err);
+    }
     if (f.violation) ++report.violations;
   }
   report.wall_seconds = total.elapsed();
@@ -596,11 +785,29 @@ std::string VerificationReport::to_string() const {
   if (victims_retried + victims_fallback + victims_failed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "recovery: %zu of %zu victims retried, %zu fell back "
-                  "(full-sim or bound, %zu on deadline, %zu on memory), "
-                  "%zu failed every rung\n",
+                  "(full-sim or bound, %zu on deadline, %zu on memory, "
+                  "%zu on accuracy), %zu failed every rung\n",
                   victims_retried, victims_eligible, victims_fallback,
                   victims_deadline_bound, victims_resource_bound,
-                  victims_failed);
+                  victims_accuracy_bound, victims_failed);
+    out << buf;
+  }
+  if (victims_certified + victims_accuracy_bound + victims_escalated > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "certified: %zu victims carry a passing certificate "
+                  "(%zu escalated, %zu order raises total), "
+                  "%zu accuracy-bound\n",
+                  victims_certified, victims_escalated, order_escalations,
+                  victims_accuracy_bound);
+    out << buf;
+  }
+  if (victims_audited > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "audit: %zu victims cross-checked on the golden engine, "
+                  "%zu out of tolerance (worst peak delta %.4g V, "
+                  "worst arrival delta %.3g s)\n",
+                  victims_audited, audit_failures, audit_max_peak_err,
+                  audit_max_time_err);
     out << buf;
   }
   for (const auto& f : findings) {

@@ -74,6 +74,36 @@ struct VerifierOptions {
   /// clusters to their Devgan bound instead of letting the kernel's OOM
   /// killer end the run.
   double global_mem_soft_mb = 0.0;
+
+  // --- Certified accuracy (DESIGN.md §10) ---
+
+  /// Certify every reduced model a-posteriori against the exact cluster
+  /// transfer function; a failed certificate climbs the UPWARD escalation
+  /// ladder (raised Krylov order) before conceding to the conservative
+  /// bound as FindingStatus::kAccuracyBound.
+  bool certify = false;
+  /// Max relative transfer-function error a passing certificate may carry.
+  double cert_rel_tol = 0.02;
+  /// Sample frequencies per certificate (cost: one sparse LU solve each).
+  std::size_t cert_freqs = 5;
+  /// Ceiling on the Krylov order the escalation ladder may request.
+  std::size_t max_mor_order = 64;
+  /// Order increment per escalation step (q -> q + step, capped above).
+  std::size_t mor_order_step = 4;
+
+  // --- Sampled SPICE cross-audit of certified results ---
+
+  /// Fraction of MOR-analyzed victims re-simulated on the golden SPICE
+  /// path and diffed against the reduced result (0 = off, 1 = all).
+  /// Selection is a pure hash of (victim net, audit_seed), so a parallel
+  /// run audits exactly the victims a serial run would.
+  double audit_fraction = 0.0;
+  /// Seed of the victim-keyed audit lottery.
+  std::uint64_t audit_seed = 0xA0D17u;
+  /// Peak-glitch agreement tolerance, as a fraction of Vdd.
+  double audit_peak_tol_frac = 0.02;
+  /// Time-of-peak agreement tolerance (s).
+  double audit_time_tol = 5e-11;
 };
 
 /// FNV-1a hash over the result-affecting fields of `options` (pruning,
@@ -94,6 +124,9 @@ enum class FindingStatus {
   kDeadlineBound,       ///< cluster wall-clock budget expired; Devgan bound
   kResourceBound,       ///< memory budget breached or shed; Devgan bound
   kFailed,              ///< every rung failed; peak pessimistically = Vdd
+  // Appended after kFailed so serialized journal values stay stable.
+  kCertified,           ///< MOR analysis with a PASSING accuracy certificate
+  kAccuracyBound,       ///< certificate never passed (even escalated); Devgan bound
 };
 
 inline const char* finding_status_name(FindingStatus s) {
@@ -105,9 +138,33 @@ inline const char* finding_status_name(FindingStatus s) {
     case FindingStatus::kDeadlineBound: return "deadline-bound";
     case FindingStatus::kResourceBound: return "resource-bound";
     case FindingStatus::kFailed: return "failed";
+    case FindingStatus::kCertified: return "certified";
+    case FindingStatus::kAccuracyBound: return "accuracy-bound";
   }
   return "unknown";
 }
+
+/// Severity ranking for CI gating (chip_audit --fail-on): 0 is the best
+/// outcome; larger is worse. "--fail-on X" trips on any finding at least
+/// as severe as X.
+inline int finding_status_severity(FindingStatus s) {
+  switch (s) {
+    case FindingStatus::kCertified: return 0;
+    case FindingStatus::kAnalyzed: return 1;
+    case FindingStatus::kAnalyzedAfterRetry: return 2;
+    case FindingStatus::kFellBackToFullSim: return 3;
+    case FindingStatus::kFellBackToBound: return 4;
+    case FindingStatus::kDeadlineBound: return 5;
+    case FindingStatus::kResourceBound: return 6;
+    case FindingStatus::kAccuracyBound: return 7;
+    case FindingStatus::kFailed: return 8;
+  }
+  return 8;
+}
+
+/// Parses a FindingStatus from either its report name ("accuracy-bound")
+/// or its enumerator name ("kAccuracyBound"). Returns false on no match.
+bool parse_finding_status(const std::string& name, FindingStatus* out);
 
 struct VictimFinding {
   std::size_t net = 0;
@@ -135,6 +192,19 @@ struct VictimFinding {
   /// Electromigration audit (nonlinear driver model runs).
   double driver_rms_current = 0.0;  ///< A
   bool em_violation = false;        ///< RMS current above the configured limit
+
+  /// Certified accuracy (filled when VerifierOptions::certify is set and
+  /// the result came from the MOR path).
+  bool certified = false;           ///< accuracy certificate passed
+  double cert_max_rel_err = 0.0;    ///< worst sampled transfer-fn rel. error
+  std::size_t cert_order_escalations = 0;  ///< upward order raises taken
+
+  /// Sampled SPICE cross-audit (when this victim won the audit lottery and
+  /// the golden re-simulation completed).
+  bool audited = false;
+  bool audit_pass = false;          ///< within peak and time-of-peak tolerance
+  double audit_peak_err = 0.0;      ///< |MOR peak - SPICE peak| (V)
+  double audit_time_err = 0.0;      ///< |MOR t_peak - SPICE t_peak| (s)
 };
 
 struct VerificationReport {
@@ -152,6 +222,16 @@ struct VerificationReport {
   std::size_t victims_failed = 0;        ///< every ladder rung failed
   std::size_t victims_deadline_bound = 0;  ///< budget expired (subset of fallback)
   std::size_t victims_resource_bound = 0;  ///< memory budget/shed (subset of fallback)
+  /// Certified-accuracy accounting (certify runs).
+  std::size_t victims_certified = 0;       ///< passing certificate (subset of analyzed)
+  std::size_t victims_accuracy_bound = 0;  ///< certificate never passed (subset of fallback)
+  std::size_t victims_escalated = 0;       ///< needed >= 1 upward order raise
+  std::size_t order_escalations = 0;       ///< total order raises across victims
+  /// SPICE cross-audit accounting (audit_fraction > 0 runs).
+  std::size_t victims_audited = 0;
+  std::size_t audit_failures = 0;          ///< audited victims out of tolerance
+  double audit_max_peak_err = 0.0;         ///< worst |MOR - SPICE| peak (V)
+  double audit_max_time_err = 0.0;         ///< worst time-of-peak delta (s)
   std::size_t violations = 0;
   /// Summed per-victim compute time across all workers. Under N threads
   /// this exceeds wall_seconds by up to a factor of N; the ratio is the

@@ -1,0 +1,52 @@
+// Shifted sparse solves: factor (G + s C) once per shift and solve many
+// right-hand sides.
+//
+// The a-posteriori MOR certificate (mor/certify.h) needs the EXACT port
+// transfer function of an unreduced cluster, H(s) = B^T (G + s C)^{-1} B,
+// at a handful of sample frequencies. Clusters are sparse (a few nonzeros
+// per row), so each sample is one sparse LU of the shifted pencil plus p
+// triangular solves — far cheaper than densifying, and independent of the
+// reduction being audited.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+
+namespace xtv {
+
+/// Factors the pencil (G + s C) for caller-chosen real shifts s >= 0 and
+/// solves against dense right-hand-side blocks. The union sparsity pattern
+/// and the fill-reducing column order are computed once at construction;
+/// each shift pays only the numeric factorization.
+class ShiftedSparseSolver {
+ public:
+  /// `g` and `c` must be square and the same size. The min-degree order is
+  /// computed on the union pattern so every shift reuses it.
+  ShiftedSparseSolver(SparseMatrix g, SparseMatrix c);
+
+  std::size_t size() const { return n_; }
+
+  /// Solves (G + s C) X = B for the dense block `b` (n x k). Throws the
+  /// typed NumericalError(kSingularMatrix) when the shifted pencil is
+  /// singular at this s (possible at s = 0 for a G without resistive paths
+  /// to ground — the certificate treats that as a failed probe).
+  DenseMatrix solve(double s, const DenseMatrix& b) const;
+
+  /// Convenience: the p x p port transfer H(s) = B^T (G + s C)^{-1} B.
+  DenseMatrix transfer(double s, const DenseMatrix& b) const;
+
+ private:
+  /// Assembles G + s C on the union pattern.
+  SparseMatrix shifted(double s) const;
+
+  std::size_t n_ = 0;
+  SparseMatrix g_;
+  SparseMatrix c_;
+  std::vector<std::size_t> col_order_;
+};
+
+}  // namespace xtv

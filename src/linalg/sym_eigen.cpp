@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/status.h"
+
 namespace xtv {
 
 SymEigen sym_eigen(const DenseMatrix& a_in, double tol, int max_sweeps) {
@@ -23,11 +25,15 @@ SymEigen sym_eigen(const DenseMatrix& a_in, double tol, int max_sweeps) {
   const double norm = a.frobenius_norm();
   const double target = tol * (norm > 0.0 ? norm : 1.0);
 
+  bool converged = n <= 1;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
-    if (std::sqrt(off) <= target) break;
+    if (std::sqrt(off) <= target) {
+      converged = true;
+      break;
+    }
 
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -63,6 +69,22 @@ SymEigen sym_eigen(const DenseMatrix& a_in, double tol, int max_sweeps) {
         }
       }
     }
+  }
+
+  // Hard iteration cap: a matrix that has not met the off-diagonal target
+  // after max_sweeps full cyclic sweeps (a pathological T — NaN-poisoned or
+  // wildly scaled) must surface as a typed, ladder-recoverable condition,
+  // not as silently inaccurate eigenvalues. The final off-norm is
+  // recomputed because the loop may have exhausted its budget mid-sweep.
+  if (!converged) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+    if (!(std::sqrt(off) <= target))
+      throw NumericalError(StatusCode::kNoConvergence,
+                           "sym_eigen: Jacobi sweep hit the iteration cap (" +
+                               std::to_string(max_sweeps) +
+                               " sweeps) without converging");
   }
 
   // Sort ascending by eigenvalue.

@@ -20,7 +20,11 @@ struct SymEigen {
 /// Computes the eigendecomposition of a symmetric matrix with the cyclic
 /// Jacobi method. The input is symmetrized as (A + A^T)/2 first, so tiny
 /// asymmetries from accumulation do not matter. Converges to off-diagonal
-/// Frobenius norm <= tol * ||A||_F (or max_sweeps, whichever first).
+/// Frobenius norm <= tol * ||A||_F. max_sweeps is a HARD cap: a matrix
+/// still above the target after that many full cyclic sweeps raises the
+/// typed, ladder-recoverable NumericalError(kNoConvergence) instead of
+/// returning silently inaccurate eigenvalues (or spinning between the
+/// caller's CancelToken polls).
 SymEigen sym_eigen(const DenseMatrix& a, double tol = 1e-14,
                    int max_sweeps = 64);
 

@@ -1,0 +1,98 @@
+#include "mor/certify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/shifted_solver.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace xtv {
+
+namespace {
+
+/// Fallback sample band when the caller provides none: post-pruning
+/// clusters have time constants from tens of ps to a few ns, so shifts
+/// spanning 1e8..1e12 (1/s) bracket the dynamics the transient resolves.
+constexpr double kDefaultSMin = 1e8;
+constexpr double kDefaultSMax = 1e12;
+
+bool all_finite(const DenseMatrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (!std::isfinite(m(i, j))) return false;
+  return true;
+}
+
+}  // namespace
+
+Certificate certify_reduced_model(const SparseMatrix& g, const SparseMatrix& c,
+                                  const DenseMatrix& b, const ReducedModel& model,
+                                  const CertifyOptions& options) {
+  Certificate cert;
+  cert.order_used = model.order();
+
+  double s_lo = options.s_min > 0.0 ? options.s_min : kDefaultSMin;
+  double s_hi = options.s_max > s_lo ? options.s_max
+                                     : std::max(kDefaultSMax, 10.0 * s_lo);
+  const std::size_t k = std::max<std::size_t>(options.num_freqs, 1);
+  cert.freqs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double f = k > 1 ? static_cast<double>(i) / static_cast<double>(k - 1)
+                           : 0.5;
+    cert.freqs.push_back(s_lo * std::pow(s_hi / s_lo, f));
+  }
+
+  // Passivity/stability on the reduced pair: the symmetrized T must be PSD
+  // (provable in exact arithmetic, re-checked numerically here because a
+  // deflation-starved sweep can lose it to round-off). sym_eigen may throw
+  // its typed kNoConvergence on a pathological T — that too is "this model
+  // cannot be certified", not a run-stopper.
+  try {
+    if (XTV_INJECT_FAULT(FaultSite::kCertifyProbe))
+      throw NumericalError(StatusCode::kCertificationFailed,
+                           "certify_reduced_model: injected probe fault");
+    cert.passivity_ok = model.min_t_eigenvalue() >= -options.passivity_tol;
+
+    ShiftedSparseSolver exact(g, c);
+    for (const double s : cert.freqs) {
+      poll_cancel(options.cancel, "certify_reduced_model");
+      const DenseMatrix h_exact = exact.transfer(s, b);
+      const DenseMatrix h_reduced = model.transfer(s);
+      if (!all_finite(h_reduced)) {
+        // Bounded-port-response check: a pole on the probed axis means the
+        // reduced model is unusable regardless of its eigenvalues.
+        cert.passivity_ok = false;
+        cert.max_rel_err = std::numeric_limits<double>::infinity();
+        return cert;
+      }
+      const double scale = std::max(h_exact.frobenius_norm(), 1e-300);
+      DenseMatrix diff(h_exact.rows(), h_exact.cols());
+      for (std::size_t i = 0; i < diff.rows(); ++i)
+        for (std::size_t j = 0; j < diff.cols(); ++j)
+          diff(i, j) = h_exact(i, j) - h_reduced(i, j);
+      cert.max_rel_err =
+          std::max(cert.max_rel_err, diff.frobenius_norm() / scale);
+    }
+  } catch (const NumericalError& e) {
+    if (e.code() == StatusCode::kDeadlineExceeded) throw;
+    cert.probe_error = e.what();
+    cert.passivity_ok = false;
+    cert.max_rel_err = std::numeric_limits<double>::infinity();
+  } catch (const std::exception& e) {
+    cert.probe_error = e.what();
+    cert.passivity_ok = false;
+    cert.max_rel_err = std::numeric_limits<double>::infinity();
+  }
+  return cert;
+}
+
+Certificate certify_reduced_model(const RcNetwork& network,
+                                  const ReducedModel& model, bool couple,
+                                  const CertifyOptions& options) {
+  return certify_reduced_model(network.g_sparse(), network.c_sparse(couple),
+                               network.b_matrix(), model, options);
+}
+
+}  // namespace xtv

@@ -1,0 +1,91 @@
+// A-posteriori accuracy certification of SyMPVL reduced models.
+//
+// The paper's whole flow rests on the reduced (T, rho) pair being a
+// faithful matrix-Padé approximant of the cluster's port transfer
+// function; the moment-matching property guarantees that only near s = 0
+// and says nothing about a q chosen too small for a given cluster. This
+// layer makes accuracy a machine-checked contract (DESIGN.md §10): after
+// every reduction, the EXACT transfer function
+//     H(s_k) = B^T (G + s_k C)^{-1} B
+// is evaluated at a small set of sample frequencies via sparse LU solves
+// on the shifted pencil (linalg/shifted_solver.h) and compared against the
+// reduced
+//     Ĥ(s_k) = rho^T (I + s_k T)^{-1} rho.
+// The certificate also re-checks passivity numerically (nonnegative
+// eigenvalues of the symmetrized T) and that the reduced port response is
+// bounded (finite) at every sample. A failed certificate drives the
+// verifier's UPWARD escalation ladder — re-reduce at raised Krylov order —
+// the accuracy-side complement of the downward degradation ladder of §7.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "mor/sympvl.h"
+#include "netlist/rc_network.h"
+#include "util/deadline.h"
+
+namespace xtv {
+
+struct CertifyOptions {
+  /// Number of sample frequencies; log-spaced over [s_min, s_max].
+  std::size_t num_freqs = 5;
+  /// Sample band (rad/s-like real shifts). Zeros derive the band from the
+  /// transient the model will serve: callers pass 1/tstop .. 1/(4 dt) so
+  /// the certificate probes exactly the frequencies the simulation
+  /// resolves. The built-in fallback covers typical cluster dynamics.
+  double s_min = 0.0;
+  double s_max = 0.0;
+  /// Passivity tolerance on the smallest eigenvalue of the symmetrized T.
+  double passivity_tol = 1e-9;
+  /// Polled once per sample frequency so certification respects the
+  /// cluster's wall-clock budget. Not owned.
+  const CancelToken* cancel = nullptr;
+};
+
+/// The certificate: a machine-checked accuracy statement about one reduced
+/// model, relative to the exact (unreduced) cluster it came from.
+struct Certificate {
+  /// max over sample frequencies of
+  ///   ||H(s_k) - Ĥ(s_k)||_F / max(||H(s_k)||_F, tiny).
+  /// Infinity when the certificate could not be evaluated (singular shifted
+  /// pencil, non-finite reduced response, injected probe fault).
+  double max_rel_err = 0.0;
+  /// The sample shifts actually probed.
+  std::vector<double> freqs;
+  /// Symmetrized T is PSD within passivity_tol AND every probed reduced
+  /// response was finite.
+  bool passivity_ok = false;
+  /// Order q of the certified model.
+  std::size_t order_used = 0;
+  /// Non-empty when evaluation itself failed (the reason).
+  std::string probe_error;
+
+  /// The certificate's verdict at relative tolerance `rel_tol`.
+  bool pass(double rel_tol) const {
+    return passivity_ok && probe_error.empty() && max_rel_err <= rel_tol;
+  }
+};
+
+/// Certifies `model` against the exact sparse (g, c, b) description it was
+/// reduced from. Never throws on numerical breakdown of the probe solves —
+/// a certificate that cannot be evaluated reports passivity_ok = false,
+/// max_rel_err = inf, and the reason in probe_error, so the caller's
+/// escalation ladder (not an exception) decides what happens next.
+/// Deadline expiry (CertifyOptions::cancel) DOES throw the usual typed
+/// kDeadlineExceeded: an exhausted budget must stop the cluster, not be
+/// misread as an accuracy failure.
+Certificate certify_reduced_model(const SparseMatrix& g, const SparseMatrix& c,
+                                  const DenseMatrix& b, const ReducedModel& model,
+                                  const CertifyOptions& options = {});
+
+/// Convenience wrapper extracting the sparse pencil from the network the
+/// model was reduced from (couple must match the reduction call).
+Certificate certify_reduced_model(const RcNetwork& network,
+                                  const ReducedModel& model, bool couple = true,
+                                  const CertifyOptions& options = {});
+
+}  // namespace xtv

@@ -100,6 +100,47 @@ DenseMatrix RcNetwork::b_matrix() const {
   return b;
 }
 
+SparseMatrix RcNetwork::g_sparse() const {
+  const auto n = static_cast<std::size_t>(node_count());
+  TripletList t(n, n);
+  for (const auto& r : resistors_) {
+    const double cond = 1.0 / r.ohms;
+    if (r.a != kGround)
+      t.add(static_cast<std::size_t>(r.a), static_cast<std::size_t>(r.a), cond);
+    if (r.b != kGround)
+      t.add(static_cast<std::size_t>(r.b), static_cast<std::size_t>(r.b), cond);
+    if (r.a != kGround && r.b != kGround) {
+      t.add(static_cast<std::size_t>(r.a), static_cast<std::size_t>(r.b), -cond);
+      t.add(static_cast<std::size_t>(r.b), static_cast<std::size_t>(r.a), -cond);
+    }
+  }
+  for (std::size_t p = 0; p < ports_.size(); ++p)
+    t.add(static_cast<std::size_t>(ports_[p]), static_cast<std::size_t>(ports_[p]),
+          port_g_[p]);
+  return SparseMatrix::from_triplets(t);
+}
+
+SparseMatrix RcNetwork::c_sparse(bool couple) const {
+  const auto n = static_cast<std::size_t>(node_count());
+  TripletList t(n, n);
+  for (const auto& cap : capacitors_) {
+    const bool treat_coupled = couple || !cap.coupling;
+    if (cap.a != kGround)
+      t.add(static_cast<std::size_t>(cap.a), static_cast<std::size_t>(cap.a),
+            cap.farads);
+    if (cap.b != kGround)
+      t.add(static_cast<std::size_t>(cap.b), static_cast<std::size_t>(cap.b),
+            cap.farads);
+    if (treat_coupled && cap.a != kGround && cap.b != kGround) {
+      t.add(static_cast<std::size_t>(cap.a), static_cast<std::size_t>(cap.b),
+            -cap.farads);
+      t.add(static_cast<std::size_t>(cap.b), static_cast<std::size_t>(cap.a),
+            -cap.farads);
+    }
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
 double RcNetwork::node_total_cap(int node) const {
   check_endpoint(node);
   double total = 0.0;

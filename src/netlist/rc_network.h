@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "netlist/circuit.h"
 
 namespace xtv {
@@ -70,6 +71,12 @@ class RcNetwork {
   /// Port incidence matrix B (nodes x ports): B(node, p) = 1 at each port
   /// node.
   DenseMatrix b_matrix() const;
+
+  /// Sparse (CSC) variants of G and C with identical stamps — what the
+  /// certification layer factors as the shifted pencil (G + s C) without
+  /// densifying the cluster (mor/certify.h).
+  SparseMatrix g_sparse() const;
+  SparseMatrix c_sparse(bool couple = true) const;
 
   /// Total capacitance seen by a node (sum of incident caps, coupling caps
   /// included at full value).

@@ -36,6 +36,7 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kWaveformFinite: return "waveform-finite";
     case FaultSite::kFpTrap: return "fp-trap";
     case FaultSite::kVictimTask: return "victim-task";
+    case FaultSite::kCertifyProbe: return "certify-probe";
     case FaultSite::kCount: break;
   }
   return "unknown";

@@ -39,6 +39,7 @@ enum class FaultSite : int {
   kWaveformFinite,      ///< analyzers: NaN/Inf waveform detection
   kFpTrap,              ///< util: FpKernelGuard check (forced FP exception)
   kVictimTask,          ///< core: verifier worker task outside the ladder
+  kCertifyProbe,        ///< mor: a-posteriori certificate probe solve failure
   kCount,               ///< number of sites (not a site)
 };
 

@@ -34,6 +34,8 @@ enum class StatusCode {
   kResourceExceeded,   ///< cluster memory budget exhausted (accounted)
   kInvalidInput,       ///< malformed caller input; retrying cannot help
   kInternal,           ///< unclassified failure
+  kNoConvergence,      ///< iterative kernel hit its hard iteration cap
+  kCertificationFailed,  ///< reduced model failed its accuracy certificate
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -51,6 +53,8 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kResourceExceeded: return "resource-exceeded";
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kNoConvergence: return "no-convergence";
+    case StatusCode::kCertificationFailed: return "certification-failed";
   }
   return "unknown";
 }

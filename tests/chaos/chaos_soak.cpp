@@ -54,6 +54,8 @@ struct TrialConfig {
   double mem_mb = 0.0;
   bool pressure = false;
   bool kill_resume = false;
+  bool certify = false;
+  double audit_fraction = 0.0;
   std::vector<FaultSite> armed;
   std::vector<std::uint64_t> periods;
   std::vector<std::uint64_t> caps;
@@ -71,6 +73,11 @@ struct TrialConfig {
     }
     if (pressure) s += " pressure";
     if (kill_resume) s += " kill+resume";
+    if (certify) s += " certify";
+    if (audit_fraction > 0.0) {
+      std::snprintf(buf, sizeof(buf), " audit=%.2f", audit_fraction);
+      s += buf;
+    }
     for (std::size_t i = 0; i < armed.size(); ++i) {
       std::snprintf(buf, sizeof(buf), " %s(p=%llu,cap=%llu)",
                     fault_site_name(armed[i]),
@@ -95,18 +102,21 @@ TrialConfig draw_config(Prng& rng) {
   }
   cfg.pressure = rng.bernoulli(0.2);
   cfg.kill_resume = rng.bernoulli(0.4);
+  cfg.certify = rng.bernoulli(0.4);
+  if (cfg.certify && rng.bernoulli(0.3)) cfg.audit_fraction = 0.15;
 
   const FaultSite pool[] = {
       FaultSite::kCholeskyFactor, FaultSite::kLanczosSweep,
       FaultSite::kPassivityCheck, FaultSite::kReducedNewton,
       FaultSite::kSpiceNewton,    FaultSite::kWaveformFinite,
       FaultSite::kFpTrap,         FaultSite::kVictimTask,
+      FaultSite::kCertifyProbe,
   };
   const int n_armed = rng.uniform_int(0, 2);
   for (int i = 0; i < n_armed; ++i) {
     const std::uint64_t period_choices[] = {1, 3, 5, 9};
     const std::uint64_t cap_choices[] = {0, 1, 3};
-    cfg.armed.push_back(pool[rng.uniform_int(0, 7)]);
+    cfg.armed.push_back(pool[rng.uniform_int(0, 8)]);
     cfg.periods.push_back(period_choices[rng.uniform_int(0, 3)]);
     cfg.caps.push_back(cap_choices[rng.uniform_int(0, 2)]);
   }
@@ -130,14 +140,35 @@ void truncate_journal(const std::string& path, Prng& rng) {
 
 void check_contract(std::size_t trial, const VerificationReport& r,
                     const std::map<std::size_t, VictimFinding>& reference,
-                    bool faults_armed) {
+                    bool faults_armed, bool certify_on) {
   // Accounting invariant: nobody vanishes, nobody is double-counted.
   expect(r.victims_eligible == r.victims_analyzed + r.victims_screened_out +
                                    r.victims_fallback + r.victims_failed,
          trial, "accounting invariant broken");
-  expect(r.victims_deadline_bound + r.victims_resource_bound <=
+  expect(r.victims_deadline_bound + r.victims_resource_bound +
+                 r.victims_accuracy_bound <=
              r.victims_fallback,
          trial, "bound counters exceed fallback count");
+  expect(r.victims_certified <= r.victims_analyzed, trial,
+         "certified counter exceeds analyzed count");
+  {
+    // The certification/audit counters must agree with the findings.
+    std::size_t certified = 0, accuracy_bound = 0, escalated = 0, audited = 0;
+    for (const VictimFinding& f : r.findings) {
+      if (f.status == FindingStatus::kCertified) ++certified;
+      if (f.status == FindingStatus::kAccuracyBound) ++accuracy_bound;
+      if (f.cert_order_escalations > 0) ++escalated;
+      if (f.audited) ++audited;
+    }
+    expect(r.victims_certified == certified, trial,
+           "victims_certified disagrees with findings");
+    expect(r.victims_accuracy_bound == accuracy_bound, trial,
+           "victims_accuracy_bound disagrees with findings");
+    expect(r.victims_escalated == escalated, trial,
+           "victims_escalated disagrees with findings");
+    expect(r.victims_audited == audited, trial,
+           "victims_audited disagrees with findings");
+  }
 
   for (const VictimFinding& f : r.findings) {
     const std::string net = "net " + std::to_string(f.net);
@@ -176,11 +207,34 @@ void check_contract(std::size_t trial, const VerificationReport& r,
         expect(f.violation && f.peak_fraction == 1.0, trial,
                "kFailed not maximally pessimistic", net);
         break;
+      case FindingStatus::kCertified:
+        expect(certify_on, trial, "kCertified in a certify-off trial", net);
+        expect(f.certified, trial, "kCertified without the certified flag",
+               net);
+        break;
+      case FindingStatus::kAccuracyBound:
+        expect(certify_on, trial, "kAccuracyBound in a certify-off trial",
+               net);
+        expect(!f.certified, trial, "kAccuracyBound claims certified", net);
+        expect(!f.error.empty(), trial, "kAccuracyBound without an error",
+               net);
+        break;
     }
+    if (!certify_on)
+      expect(!f.certified && f.cert_order_escalations == 0, trial,
+             "certification fields set in a certify-off trial", net);
 
     // Certification: an undisturbed victim must match the unconstrained
-    // reference bit-for-bit — adversity degrades, never perturbs.
-    if (f.status == FindingStatus::kAnalyzed && f.retries == 0) {
+    // reference bit-for-bit — adversity degrades, never perturbs. With
+    // certify on, a kCertified victim that never retried or escalated ran
+    // the exact same accepted simulation the reference did — the
+    // certificate only READS the model — so its numbers must also match.
+    const bool undisturbed_analyzed =
+        f.status == FindingStatus::kAnalyzed && f.retries == 0;
+    const bool undisturbed_certified = f.status == FindingStatus::kCertified &&
+                                       f.retries == 0 &&
+                                       f.cert_order_escalations == 0;
+    if (undisturbed_analyzed || undisturbed_certified) {
       const auto it = reference.find(f.net);
       expect(it != reference.end(), trial, "analyzed net missing in reference",
              net);
@@ -248,6 +302,11 @@ int main(int argc, char** argv) {
     options.threads = cfg.threads;
     options.cluster_deadline_ms = cfg.deadline_ms;
     options.cluster_mem_mb = cfg.mem_mb;
+    options.certify = cfg.certify;
+    options.audit_fraction = cfg.audit_fraction;
+    // A forever-firing kCertifyProbe would otherwise climb every victim to
+    // the default ceiling; keep the chaos trials bounded.
+    options.max_mor_order = 24;
     if (cfg.kill_resume) options.journal_path = journal_path;
 
     FaultInjector::instance().reset();
@@ -285,7 +344,8 @@ int main(int argc, char** argv) {
 
     if (!escaped) {
       const std::size_t before = g_checks_failed;
-      check_contract(trial, report, reference, !cfg.armed.empty());
+      check_contract(trial, report, reference, !cfg.armed.empty(),
+                     cfg.certify);
       std::printf(
           "trial %3zu: ok=%s analyzed=%zu fallback=%zu (ddl=%zu mem=%zu) "
           "failed=%zu [%s]\n",

@@ -1,0 +1,9 @@
+* level-1 CMOS inverter with model cards
+.model nch NMOS (VT0=0.5 KP=120u LAMBDA=0.05)
+.model pch PMOS (VT0=-0.55 KP=40u LAMBDA=0.08)
+Vdd vdd 0 DC 2.5
+Vin in 0 PWL(0 0 0.2n 2.5)
+Mn out in 0 0 nch W=1u L=0.25u
+Mp out in vdd vdd pch W=2u L=0.25u
+Cload out 0 20f
+.end

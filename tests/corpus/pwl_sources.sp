@@ -1,0 +1,10 @@
+* PWL sources, continuation lines, and comments
+Vramp drv gnd PWL(0 0 0.5n 0
++ 1n 2.5 4n 2.5)
+Iagg 0 vic PWL(0 0, 1n 0,
++ 1.2n 80u, 2n 0) ; aggressor injection
+Rload drv vic 1k
+Cc drv vic 6f
+Cg vic 0 4f
+; trailing comment card
+.end

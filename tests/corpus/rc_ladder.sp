@@ -1,0 +1,9 @@
+* three-stage RC ladder driven by a DC source
+V1 in 0 DC 2.5
+R1 in n1 50
+R2 n1 n2 50
+R3 n2 out 50
+C1 n1 0 5f
+C2 n2 0 5f
+C3 out 0 12f
+.end

@@ -1,0 +1,10 @@
+* blank lines, odd spacing, early .end directive handling
+
+R1	in	out	100
+
+* a comment between cards
+
+C1 out 0 1p
+V1 in 0 1.0
+.end
+* cards after .end are still plain lines in this subset

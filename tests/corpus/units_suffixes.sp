@@ -1,0 +1,9 @@
+* engineering suffixes and unit annotations on every value class
+R1 a b 2.5kohm
+R2 b gnd 10MEG
+C1 a 0 4fF
+C2 b 0 0.001p
+V1 a 0 DC 2500m
+I1 0 b DC 1.5e-6
+R3 a gnd 1g
+.end

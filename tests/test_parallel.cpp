@@ -242,7 +242,7 @@ TEST_F(ParallelFixture, JournalLoadStopsAtTornTail) {
   // A crash mid-append leaves a torn, checksum-less final line.
   {
     std::ofstream out(path, std::ios::app | std::ios::binary);
-    out << "xtvj1 0 partial-record-cut-by-the-cra";
+    out << "xtvj2 0 partial-record-cut-by-the-cra";
   }
   auto torn = ResultJournal::load(path);
   EXPECT_EQ(torn.records.size(), 3u);
