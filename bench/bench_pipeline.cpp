@@ -1,0 +1,168 @@
+// Staged-pipeline benchmark (DESIGN.md §11): the reduced-model cache and
+// the per-thread workspace arena on their intended workload — a row-tiled
+// DSP-class design where every standard-cell row repeats the same cluster
+// pencils. Measures verify() with the cache off vs on (threads >= 4), the
+// realized cache hit rate, and the workspace allocator traffic per victim,
+// and writes BENCH_pipeline.json for the nightly trend job.
+//
+// Claims under test (the PR's acceptance bar):
+//  - cache hit rate > 30% on the tiled design (each row past the first
+//    should hit for nearly every victim);
+//  - cached wall-clock >= 1.3x faster than no-cache on the same design;
+//  - findings bit-identical between the two runs (the hit-reuse doctrine);
+//  - workspace pool hits dominate misses once the arenas are warm.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+#include "util/workspace.h"
+
+using namespace xtv;
+
+namespace {
+
+/// Bitwise comparison of the per-victim results of two reports.
+bool findings_identical(const VerificationReport& a,
+                        const VerificationReport& b) {
+  if (a.findings.size() != b.findings.size()) return false;
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    const VictimFinding& x = a.findings[i];
+    const VictimFinding& y = b.findings[i];
+    if (x.net != y.net || std::memcmp(&x.peak, &y.peak, sizeof(x.peak)) != 0 ||
+        x.status != y.status || x.retries != y.retries ||
+        x.reduced_order != y.reduced_order || x.certified != y.certified ||
+        std::memcmp(&x.cert_max_rel_err, &y.cert_max_rel_err,
+                    sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Staged pipeline: model cache + workspace arena ==\n\n");
+
+  std::size_t net_count = 400;
+  std::size_t rows = 4;
+  std::size_t threads = 4;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--nets") == 0)
+      net_count = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    else if (std::strcmp(argv[i], "--rows") == 0)
+      rows = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+  }
+
+  bench::Context ctx;
+  DspChipOptions chip_opt;
+  chip_opt.net_count = net_count;
+  chip_opt.tracks = 8 * rows;
+  chip_opt.replicate_rows = rows;
+  const ChipDesign design = generate_dsp_chip(ctx.library, chip_opt);
+  ChipVerifier verifier(ctx.extractor, ctx.chars);
+
+  VerifierOptions nocache;
+  nocache.glitch.align_aggressors = false;
+  nocache.glitch.tstop = 3e-9;
+  nocache.certify = true;  // cache reuse also skips certification probes
+  nocache.threads = threads;
+
+  VerifierOptions cached = nocache;
+  cached.model_cache_mb = 64.0;
+
+  std::printf("design: %zu nets in %zu identical rows, %zu threads\n\n",
+              design.nets.size(), rows, threads);
+
+  // Warm-up pass characterizes the cells and the thread-pool arenas so
+  // both timed passes see identical conditions.
+  (void)verifier.verify(design, nocache);
+  ctx.chars.save(bench::kCellCachePath);
+
+  workspace::reset_stats();
+  const VerificationReport r_off = verifier.verify(design, nocache);
+  const workspace::Stats ws_off = workspace::stats();
+
+  workspace::reset_stats();
+  const VerificationReport r_on = verifier.verify(design, cached);
+  const workspace::Stats ws_on = workspace::stats();
+
+  const std::size_t lookups = r_on.model_cache_hits + r_on.model_cache_misses;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(r_on.model_cache_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  const double speedup = r_on.wall_seconds > 0.0
+                             ? r_off.wall_seconds / r_on.wall_seconds
+                             : 0.0;
+  const bool identical = findings_identical(r_off, r_on);
+  const double victims =
+      static_cast<double>(r_off.victims_eligible > 0 ? r_off.victims_eligible
+                                                     : 1);
+
+  std::printf("cache off : %8.3f s wall, %.1f s cpu\n", r_off.wall_seconds,
+              r_off.total_cpu_seconds);
+  std::printf("  workspace: %zu acquires (%.1f per victim), %zu pool hits, "
+              "%zu misses, %.1f MiB reused\n",
+              ws_off.acquires, static_cast<double>(ws_off.acquires) / victims,
+              ws_off.pool_hits, ws_off.pool_misses,
+              static_cast<double>(ws_off.reused_bytes) / (1024.0 * 1024.0));
+  std::printf("cache on  : %8.3f s wall, %.1f s cpu (%.2fx)\n",
+              r_on.wall_seconds, r_on.total_cpu_seconds, speedup);
+  std::printf("  model cache: %zu hits / %zu lookups (%.0f%% hit rate), "
+              "%zu entries, %.1f MiB, %zu evictions\n",
+              r_on.model_cache_hits, lookups, 100.0 * hit_rate,
+              r_on.model_cache_entries,
+              static_cast<double>(r_on.model_cache_bytes) / (1024.0 * 1024.0),
+              r_on.model_cache_evictions);
+  std::printf("  workspace: %zu acquires (%.1f per victim), %zu pool hits, "
+              "%zu misses\n",
+              ws_on.acquires, static_cast<double>(ws_on.acquires) / victims,
+              ws_on.pool_hits, ws_on.pool_misses);
+  std::printf("findings bit-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("\ntargets: hit rate > 30%% -> %s, speedup >= 1.3x -> %s\n",
+              hit_rate > 0.30 ? "MET" : "MISSED",
+              speedup >= 1.3 ? "MET" : "MISSED");
+
+  FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"nets\": %zu,\n", design.nets.size());
+    std::fprintf(json, "  \"rows\": %zu,\n", rows);
+    std::fprintf(json, "  \"threads\": %zu,\n", threads);
+    std::fprintf(json, "  \"victims_eligible\": %zu,\n",
+                 r_off.victims_eligible);
+    std::fprintf(json, "  \"wall_s_cache_off\": %.6f,\n", r_off.wall_seconds);
+    std::fprintf(json, "  \"wall_s_cache_on\": %.6f,\n", r_on.wall_seconds);
+    std::fprintf(json, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(json, "  \"cache_hits\": %zu,\n", r_on.model_cache_hits);
+    std::fprintf(json, "  \"cache_misses\": %zu,\n", r_on.model_cache_misses);
+    std::fprintf(json, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+    std::fprintf(json, "  \"cache_entries\": %zu,\n", r_on.model_cache_entries);
+    std::fprintf(json, "  \"cache_bytes\": %zu,\n", r_on.model_cache_bytes);
+    std::fprintf(json, "  \"cache_evictions\": %zu,\n",
+                 r_on.model_cache_evictions);
+    std::fprintf(json, "  \"workspace_acquires_per_victim\": %.3f,\n",
+                 static_cast<double>(ws_on.acquires) / victims);
+    std::fprintf(json, "  \"workspace_pool_hits\": %zu,\n", ws_on.pool_hits);
+    std::fprintf(json, "  \"workspace_pool_misses\": %zu,\n",
+                 ws_on.pool_misses);
+    std::fprintf(json, "  \"workspace_reused_mib\": %.3f,\n",
+                 static_cast<double>(ws_on.reused_bytes) / (1024.0 * 1024.0));
+    std::fprintf(json, "  \"findings_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(json, "  \"hit_rate_target\": 0.30,\n");
+    std::fprintf(json, "  \"speedup_target\": 1.3,\n");
+    std::fprintf(json, "  \"targets_met\": %s\n",
+                 hit_rate > 0.30 && speedup >= 1.3 && identical ? "true"
+                                                                : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_pipeline.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -11,6 +11,12 @@
 //   --global-mem-soft-mb MB   soft RSS limit; sheds largest queued clusters
 //   --journal PATH            append completed victims to a crash-safe journal
 //   --resume                  skip victims already in the journal (needs --journal)
+//   --model-cache-mb MB       reduced-model cache budget (default 64; repeated
+//                             cluster pencils reuse their certified model)
+//   --no-model-cache          disable the reduced-model cache
+//   --cell-cache PATH         cell characterization cache file (default:
+//                             xtv_cells.cache next to the binary)
+//   --replicate-rows R        tile the design out of R identical rows
 //   --mor-order Q             starting reduced-model order (default 16)
 //   --certify                 a-posteriori accuracy certificates + escalation
 //   --cert-tol T              max relative transfer-fn error (default 0.02)
@@ -40,7 +46,6 @@ int main(int argc, char** argv) {
   const Technology tech = Technology::default_250nm();
   CellLibrary library(tech);
   CharacterizedLibrary chars(library);
-  chars.load("xtv_cells.cache");
   Extractor extractor(tech);
 
   DspChipOptions chip_options;
@@ -49,6 +54,18 @@ int main(int argc, char** argv) {
   options.glitch_threshold = 0.10;          // flag peaks above 10% of Vdd
   options.glitch.align_aggressors = true;   // worst-case alignment search
   options.glitch.tstop = 4e-9;
+  options.model_cache_mb = 64.0;            // repeated clusters reuse models
+
+  // Cell characterization cache: default next to the binary (not the
+  // CWD), so every invocation of the same build shares one cache no
+  // matter where it is launched from.
+  std::string cell_cache = "xtv_cells.cache";
+  {
+    std::string self = argv[0] ? argv[0] : "";
+    const std::size_t slash = self.rfind('/');
+    if (slash != std::string::npos)
+      cell_cache = self.substr(0, slash + 1) + cell_cache;
+  }
 
   int fail_on_severity = INT_MAX;  // --fail-on CI gate; INT_MAX = disabled
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +89,15 @@ int main(int argc, char** argv) {
       options.journal_path = value(arg);
     } else if (std::strcmp(arg, "--resume") == 0) {
       options.resume = true;
+    } else if (std::strcmp(arg, "--model-cache-mb") == 0) {
+      options.model_cache_mb = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--no-model-cache") == 0) {
+      options.model_cache_mb = 0.0;
+    } else if (std::strcmp(arg, "--cell-cache") == 0) {
+      cell_cache = value(arg);
+    } else if (std::strcmp(arg, "--replicate-rows") == 0) {
+      chip_options.replicate_rows =
+          static_cast<std::size_t>(std::atoi(value(arg)));
     } else if (std::strcmp(arg, "--mor-order") == 0) {
       options.glitch.mor.max_order =
           static_cast<std::size_t>(std::atoi(value(arg)));
@@ -112,6 +138,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
     return 2;
   }
+  chars.load(cell_cache);
 
   std::printf("generating DSP-like design: %zu nets...\n", chip_options.net_count);
   const ChipDesign design = generate_dsp_chip(library, chip_options);
@@ -133,6 +160,10 @@ int main(int argc, char** argv) {
     std::printf("  per-cluster memory budget %.3f MiB\n", options.cluster_mem_mb);
   if (options.global_mem_soft_mb > 0.0)
     std::printf("  soft RSS limit %.1f MiB\n", options.global_mem_soft_mb);
+  if (options.model_cache_mb > 0.0)
+    std::printf("  reduced-model cache %.0f MiB\n", options.model_cache_mb);
+  if (chip_options.replicate_rows > 1)
+    std::printf("  %zu replicated rows\n", chip_options.replicate_rows);
   if (!options.journal_path.empty())
     std::printf("  journal %s%s\n", options.journal_path.c_str(),
                 options.resume ? " (resuming)" : "");
@@ -169,6 +200,17 @@ int main(int argc, char** argv) {
                 "accuracy-bound=%zu\n",
                 report.victims_certified, report.victims_escalated,
                 report.order_escalations, report.victims_accuracy_bound);
+  if (report.model_cache_hits + report.model_cache_misses > 0)
+    std::printf("model cache: hits=%zu misses=%zu (%.0f%% hit rate) "
+                "entries=%zu bytes=%.1f MiB evictions=%zu\n",
+                report.model_cache_hits, report.model_cache_misses,
+                100.0 * static_cast<double>(report.model_cache_hits) /
+                    static_cast<double>(report.model_cache_hits +
+                                        report.model_cache_misses),
+                report.model_cache_entries,
+                static_cast<double>(report.model_cache_bytes) /
+                    (1024.0 * 1024.0),
+                report.model_cache_evictions);
   if (report.victims_audited > 0)
     std::printf("audit: sampled=%zu out-of-tolerance=%zu "
                 "worst peak delta=%.4g V worst arrival delta=%.3g s\n",
@@ -197,7 +239,7 @@ int main(int argc, char** argv) {
   std::printf("wall time: %.1f s (%.1f s cpu) for %zu analyzed victims\n",
               report.wall_seconds, report.total_cpu_seconds,
               report.victims_analyzed);
-  chars.save("xtv_cells.cache");
+  chars.save(cell_cache);
 
   // CI gate: any finding at least as severe as the worst-tolerated status
   // fails the run with a distinct exit code (2 = config error, 3 = gated).

@@ -26,6 +26,49 @@ const char* kLoadPool[] = {
 
 ChipDesign generate_dsp_chip(const CellLibrary& library,
                              const DspChipOptions& options) {
+  if (options.replicate_rows > 1) {
+    // Row-tiled chip: generate one base row, then stamp it with offset
+    // net ids and tracks. Replicas are bit-identical electrically, so a
+    // verification run over the tiled chip repeats the base row's
+    // cluster pencils rows-fold (the model cache's best case — and an
+    // honest one: real standard-cell rows repeat exactly like this).
+    DspChipOptions row = options;
+    row.replicate_rows = 1;
+    const std::size_t rows = options.replicate_rows;
+    row.net_count = std::max<std::size_t>(options.net_count / rows, 2);
+    row.tracks = std::max<std::size_t>(options.tracks / rows, 3);
+    row.bus_count = options.bus_count / rows;
+    const ChipDesign base = generate_dsp_chip(library, row);
+
+    ChipDesign design;
+    design.clock_period = base.clock_period;
+    const std::size_t n0 = base.nets.size();
+    // Inter-row gap of 2 empty tracks: the coupling scan reaches at most
+    // 2 tracks, so rows never couple to each other.
+    const std::size_t track_stride = row.tracks + 2;
+    design.nets.reserve(n0 * rows);
+    design.couplings.reserve(base.couplings.size() * rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (const ChipNet& src : base.nets) {
+        ChipNet net = src;
+        net.id = src.id + r * n0;
+        net.track = src.track + r * track_stride;
+        design.nets.push_back(std::move(net));
+      }
+      for (const ChipCoupling& src : base.couplings) {
+        ChipCoupling c = src;
+        c.a += r * n0;
+        c.b += r * n0;
+        design.couplings.push_back(c);
+      }
+      for (const auto& [a, b] : base.complementary_pairs) {
+        design.correlations.add_complementary(a + r * n0, b + r * n0);
+        design.complementary_pairs.emplace_back(a + r * n0, b + r * n0);
+      }
+    }
+    return design;
+  }
+
   Prng rng(options.seed);
   ChipDesign design;
   design.clock_period = options.clock_period;

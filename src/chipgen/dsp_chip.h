@@ -65,6 +65,14 @@ struct DspChipOptions {
   std::size_t bus_drivers = 4;   ///< tri-state drivers per bus
   double latch_fraction = 0.15;  ///< fraction of nets feeding latches
   double clock_period = 5e-9;    ///< 200 MHz-class DSP
+  /// Tile the chip out of identical routing rows (>= 2 activates). One
+  /// base row of net_count/rows nets on tracks/rows tracks is generated,
+  /// then stamped `rows` times with net ids and tracks offset per row —
+  /// the standard-cell-row repetition real chips exhibit, and the
+  /// workload the reduced-model cache exploits: every replica presents
+  /// the same (G, C, B) pencils. Rows are electrically independent
+  /// (inter-row track gap exceeds the coupling scan range).
+  std::size_t replicate_rows = 1;
 };
 
 /// Generates the design. Deterministic in the seed.

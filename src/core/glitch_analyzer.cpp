@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/fault_injection.h"
+#include "util/resource.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -200,44 +201,119 @@ std::vector<double> GlitchAnalyzer::align_switch_times(
   return times;
 }
 
-GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
-                                     const std::vector<AggressorSpec>& aggressors,
-                                     const GlitchAnalysisOptions& options) {
+GlitchAnalyzer::PreparedCluster GlitchAnalyzer::prepare(
+    const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
+    const GlitchAnalysisOptions& options) {
   if (options.driver_model == DriverModelKind::kTransistor)
     throw std::runtime_error(
         "GlitchAnalyzer::analyze: transistor drivers need the SPICE path");
+  PreparedCluster prepared;
+  prepared.switch_times = align_switch_times(victim, aggressors, options);
+  prepared.built = build_cluster(victim, aggressors, options);
+  return prepared;
+}
 
-  const std::vector<double> switch_times =
-      align_switch_times(victim, aggressors, options);
-
-  BuiltCluster built = build_cluster(victim, aggressors, options);
-  const double vdd = extractor_.tech().vdd;
-
-  Timer timer;
+GlitchAnalyzer::ReducedOutcome GlitchAnalyzer::reduce(
+    const PreparedCluster& prepared, const GlitchAnalysisOptions& options) {
   poll_cancel(options.cancel, "GlitchAnalyzer::analyze");
   SympvlOptions mor = options.mor;
   mor.cancel = options.cancel;  // deadlines reach into the Krylov sweep
-  ReducedModel model = sympvl_reduce(built.network, true, mor);
 
-  // A-posteriori certificate against the exact cluster, probed over the
-  // band this transient resolves (slowest feature 1/tstop up to a few
-  // samples per step). Never throws on accuracy failure — the verifier's
-  // escalation ladder reads the verdict; deadline expiry still propagates.
+  // Certificate band: the frequencies this transient resolves (slowest
+  // feature 1/tstop up to a few samples per step).
+  const double dt_eff = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
+  const double s_min = 1.0 / options.tstop;
+  const double s_max = 1.0 / (4.0 * dt_eff);
+
+  ReducedOutcome out;
+  ModelCache* cache = options.model_cache;
+  ClusterFingerprint fp{};
+  // The dense pencil is assembled once: it keys the cache, and on a miss
+  // it feeds the reduction (the RcNetwork overload of sympvl_reduce
+  // assembles exactly these matrices).
+  const DenseMatrix g = prepared.built.network.g_matrix();
+  const DenseMatrix c = prepared.built.network.c_matrix(true);
+  const DenseMatrix b = prepared.built.network.b_matrix();
+  if (cache) {
+    fp = cluster_fingerprint(g, c, b, options.mor, options.certify,
+                             options.cert_rel_tol, options.cert_freqs, s_min,
+                             s_max);
+    if (auto hit = cache->lookup(fp)) {
+      out.payload = std::move(hit);
+      out.from_cache = true;
+      return out;
+    }
+  }
+
+  ReducedModel model = sympvl_reduce(g, c, b, mor);
+
+  // A-posteriori certificate against the exact cluster. Never throws on
+  // accuracy failure — the verifier's escalation ladder reads the verdict;
+  // deadline expiry still propagates.
   Certificate certificate;
   bool certified = false;
   if (options.certify) {
     CertifyOptions copt;
     copt.num_freqs = options.cert_freqs;
-    const double dt_eff =
-        options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
-    copt.s_min = 1.0 / options.tstop;
-    copt.s_max = 1.0 / (4.0 * dt_eff);
+    copt.s_min = s_min;
+    copt.s_max = s_max;
     copt.cancel = options.cancel;
-    certificate = certify_reduced_model(built.network, model, true, copt);
+    certificate = certify_reduced_model(prepared.built.network, model, true,
+                                        copt);
     certified = certificate.pass(options.cert_rel_tol);
   }
 
-  ReducedSimulator sim(model);
+  ReducedEigenSystem eigen = diagonalize_reduced(model);
+
+  if (cache) {
+    // Deep-copy the payload outside any ClusterScope: cache-owned storage
+    // outlives this victim, so it must not bind a charge to the victim's
+    // (soon dead) accounting scope.
+    std::shared_ptr<CachedReducedModel> payload;
+    {
+      resource::ClusterScope::Suspension off_the_books;
+      payload = std::make_shared<CachedReducedModel>();
+      payload->model = model;
+      payload->eigen.d = eigen.d;
+      payload->eigen.eta = eigen.eta;
+      payload->certificate = certificate;
+      payload->have_certificate = options.certify;
+      payload->certified = certified;
+      payload->account();
+    }
+    cache->insert(fp, payload);
+    out.payload = std::move(payload);
+  } else {
+    // No cache: the payload lives and dies with this victim, so the
+    // victim-scoped charges simply move along with the storage.
+    auto payload = std::make_shared<CachedReducedModel>();
+    payload->model = std::move(model);
+    payload->eigen = std::move(eigen);
+    payload->certificate = std::move(certificate);
+    payload->have_certificate = options.certify;
+    payload->certified = certified;
+    payload->account();
+    out.payload = std::move(payload);
+  }
+  return out;
+}
+
+GlitchResult GlitchAnalyzer::simulate_reduced(
+    const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
+    const PreparedCluster& prepared, const ReducedOutcome& reduced,
+    const GlitchAnalysisOptions& options) {
+  const BuiltCluster& built = prepared.built;
+  const std::vector<double>& switch_times = prepared.switch_times;
+  const CachedReducedModel& payload = *reduced.payload;
+  const double vdd = extractor_.tech().vdd;
+
+  Timer timer;
+  // Copy the (possibly shared, immutable) diagonalization into the
+  // simulator under the victim's scope. Cached and fresh payloads are
+  // bit-identical by the fingerprint contract, so the transient below
+  // cannot tell them apart.
+  ReducedSimulator sim(
+      ReducedEigenSystem{payload.eigen.d, payload.eigen.eta});
 
   // Victim driver.
   const CellModel& vic_model = chars_.model(victim.driver_cell);
@@ -292,9 +368,9 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
 
   GlitchResult out;
   out.cpu_seconds = timer.elapsed();
-  out.reduced_order = model.order();
-  out.certificate = std::move(certificate);
-  out.certified = certified;
+  out.reduced_order = payload.model.order();
+  out.certificate = payload.certificate;  // copy: the payload may be shared
+  out.certified = payload.certified;
   out.victim_wave = res.port_voltages[ClusterPorts::receiver(0)];
   out.peak = out.victim_wave.peak_deviation();
   out.peak_at_driver =
@@ -308,6 +384,7 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
   if (victim_holder) {
     const Waveform& vd = res.port_voltages[ClusterPorts::driver(0)];
     Waveform current;
+    current.reserve(vd.size());
     for (std::size_t i = 0; i < vd.size(); ++i)
       current.append(vd.time(i),
                      victim_holder->current(vd.value(i), vd.time(i)));
@@ -315,6 +392,18 @@ GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
     out.victim_driver_peak_current =
         std::max(std::fabs(current.max_value()), std::fabs(current.min_value()));
   }
+  return out;
+}
+
+GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,
+                                     const std::vector<AggressorSpec>& aggressors,
+                                     const GlitchAnalysisOptions& options) {
+  const PreparedCluster prepared = prepare(victim, aggressors, options);
+  Timer timer;
+  const ReducedOutcome reduced = reduce(prepared, options);
+  GlitchResult out = simulate_reduced(victim, aggressors, prepared, reduced,
+                                      options);
+  out.cpu_seconds = timer.elapsed();  // reduce + transient, as before
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "cells/driver_models.h"
 #include "core/cluster.h"
 #include "mor/certify.h"
+#include "mor/model_cache.h"
 #include "mor/reduced_sim.h"
 #include "spice/simulator.h"
 #include "spice/waveform.h"
@@ -64,6 +65,13 @@ struct GlitchAnalysisOptions {
   /// Sample frequencies probed (log-spaced over the band the transient
   /// resolves: 1/tstop .. 1/(4 dt)).
   std::size_t cert_freqs = 5;
+
+  /// Reduced-model cache shared across victims (mor/model_cache.h); null
+  /// disables reuse. A fingerprint hit skips SyMPVL, certification, and
+  /// the eigendecomposition entirely and is bit-identical to the fresh
+  /// computation by the fingerprint contract. Not owned; must outlive the
+  /// analysis (alignment probe runs inherit it).
+  ModelCache* model_cache = nullptr;
 };
 
 struct GlitchResult {
@@ -96,7 +104,9 @@ class GlitchAnalyzer {
   /// cost.
   GlitchAnalyzer(const Extractor& extractor, CharacterizedLibrary& chars);
 
-  /// MOR path (SyMPVL + reduced nonlinear transient).
+  /// MOR path (SyMPVL + reduced nonlinear transient). Equivalent to
+  /// prepare() -> reduce() -> simulate_reduced(); kept as the convenience
+  /// entry point for callers outside the staged pipeline.
   GlitchResult analyze(const VictimSpec& victim,
                        const std::vector<AggressorSpec>& aggressors,
                        const GlitchAnalysisOptions& options);
@@ -106,13 +116,47 @@ class GlitchAnalyzer {
                              const std::vector<AggressorSpec>& aggressors,
                              const GlitchAnalysisOptions& options);
 
- private:
+  // --- Staged MOR path (core/pipeline.h drives these directly) ---
+
   struct BuiltCluster {
     RcNetwork network;
     std::vector<double> agg_drive_r;    ///< per-aggressor effective R
     double victim_drive_r = 0.0;        ///< victim holding resistance
   };
 
+  /// Typed output of the BuildCluster stage: worst-case-aligned switch
+  /// times plus the extracted, terminated cluster network.
+  struct PreparedCluster {
+    std::vector<double> switch_times;
+    BuiltCluster built;
+  };
+
+  /// Typed output of the Reduce stage: the (possibly cache-served)
+  /// certified reduced model + diagonalization.
+  struct ReducedOutcome {
+    std::shared_ptr<const CachedReducedModel> payload;  ///< never null
+    bool from_cache = false;
+  };
+
+  /// BuildCluster stage: alignment probes (when enabled) + extraction.
+  PreparedCluster prepare(const VictimSpec& victim,
+                          const std::vector<AggressorSpec>& aggressors,
+                          const GlitchAnalysisOptions& options);
+
+  /// Reduce stage: SyMPVL + optional certificate + eigendecomposition,
+  /// consulting options.model_cache first when present.
+  ReducedOutcome reduce(const PreparedCluster& prepared,
+                        const GlitchAnalysisOptions& options);
+
+  /// SimulateReduced stage: terminations, reduced transient, peak/EM
+  /// measurements. Pure consumer of the previous stages' outputs.
+  GlitchResult simulate_reduced(const VictimSpec& victim,
+                                const std::vector<AggressorSpec>& aggressors,
+                                const PreparedCluster& prepared,
+                                const ReducedOutcome& reduced,
+                                const GlitchAnalysisOptions& options);
+
+ private:
   /// Extracts the cluster network, adds receiver loads and driver output
   /// caps, stamps port conductances per the chosen model.
   BuiltCluster build_cluster(const VictimSpec& victim,

@@ -11,10 +11,9 @@
 #include <optional>
 #include <sstream>
 
-#include "core/analytic_estimates.h"
-#include "core/delay_analyzer.h"
 #include "core/journal.h"
-#include "util/deadline.h"
+#include "core/pipeline.h"
+#include "mor/model_cache.h"
 #include "util/fault_injection.h"
 #include "util/resource.h"
 #include "util/thread_pool.h"
@@ -23,363 +22,6 @@
 namespace xtv {
 
 namespace {
-
-/// Keeps the FIRST failure the cluster exhibited: later ladder rungs may
-/// fail differently, but the root cause is what the report should show.
-void record_first_error(VictimFinding& finding, const std::exception& e) {
-  if (!finding.error.empty()) return;
-  finding.error = e.what();
-  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
-  finding.error_code =
-      numerical ? numerical->code() : StatusCode::kInternal;
-}
-
-bool is_deadline_error(const std::exception& e) {
-  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
-  return numerical && numerical->code() == StatusCode::kDeadlineExceeded;
-}
-
-bool is_resource_error(const std::exception& e) {
-  const auto* numerical = dynamic_cast<const NumericalError*>(&e);
-  return numerical && numerical->code() == StatusCode::kResourceExceeded;
-}
-
-/// splitmix64 finalizer — the audit lottery must be a pure function of
-/// (victim, seed) so a parallel run audits exactly what a serial run would.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-bool audit_selected(std::size_t v, const VerifierOptions& options) {
-  if (options.audit_fraction <= 0.0) return false;
-  if (options.audit_fraction >= 1.0) return true;
-  const std::uint64_t h =
-      mix64(static_cast<std::uint64_t>(v) ^ mix64(options.audit_seed));
-  // Top 53 bits -> uniform double in [0, 1).
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < options.audit_fraction;
-}
-
-/// Time of the waveform's largest deviation from its initial value — the
-/// quantity the audit compares across engines (glitch peak arrival).
-double wave_peak_time(const Waveform& w) {
-  double best = -1.0, t_peak = 0.0;
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    const double dev = std::fabs(w.value(i) - w.first_value());
-    if (dev > best) {
-      best = dev;
-      t_peak = w.time(i);
-    }
-  }
-  return t_peak;
-}
-
-/// Full analysis of one victim cluster: eligibility, the Devgan screen,
-/// the retry/degradation ladder under the per-cluster deadline, and the
-/// optional delay/EM passes. Runs on a worker thread; everything it
-/// touches is either const, internally synchronized (CharacterizedLibrary,
-/// FaultInjector), or local. Returns nullopt for ineligible victims (no
-/// retained aggressor survives the window/correlation filters).
-std::optional<JournalRecord> analyze_victim(
-    const ChipVerifier& verifier, const Extractor& extractor,
-    CharacterizedLibrary& chars, GlitchAnalyzer& analyzer,
-    const ChipDesign& design, const std::vector<NetSummary>& summaries,
-    const PruneResult& pruned, std::size_t v, const VerifierOptions& options,
-    bool shed) {
-  const double vdd = extractor.tech().vdd;
-
-  ThreadCpuTimer victim_timer;
-  CancelToken budget(options.cluster_deadline_ms > 0.0
-                         ? Deadline::after_seconds(options.cluster_deadline_ms *
-                                                   1e-3)
-                         : Deadline::unlimited());
-  // Memory budget for everything this victim allocates (dense matrices,
-  // Krylov blocks, waveforms) on this thread. A breach surfaces as the
-  // typed kResourceExceeded inside a ladder rung.
-  resource::ClusterScope mem_scope(
-      options.cluster_mem_mb > 0.0
-          ? static_cast<std::size_t>(options.cluster_mem_mb * 1024.0 * 1024.0)
-          : 0);
-
-  JournalRecord record;
-  VictimFinding& finding = record.finding;
-  finding.net = v;
-  bool eligible = false;
-  try {
-    auto [victim, aggressors] =
-        verifier.build_victim_cluster(design, summaries, pruned, v, &finding);
-    if (aggressors.empty()) return std::nullopt;
-    eligible = true;
-
-    if (options.use_noise_screen && !shed) {
-      // Conservative pre-screen: the sum of per-aggressor Devgan bounds
-      // caps the combined glitch; below the margin, skip the simulation.
-      double bound = 0.0;
-      for (const AggressorSpec& agg : aggressors)
-        bound += devgan_noise_bound(victim, agg, extractor, chars);
-      if (bound < options.glitch_threshold * vdd) {
-        record.screened = true;
-        finding.cpu_seconds = victim_timer.elapsed();
-        return record;
-      }
-    }
-
-    // Recovery ladder. Rung 0 runs the options untouched (plus the
-    // cluster budget token) so a clean pass is bit-identical to a serial
-    // or ladder-free run; each later rung trades accuracy or speed for
-    // robustness, and the last (analytic bound) cannot fail, so no
-    // cluster is ever silently skipped. A rung cancelled by the deadline
-    // skips straight to the bound — the remaining rungs share the same
-    // expired budget and could only burn more wall time failing.
-    GlitchResult res;
-    bool have_sim = false;
-    bool deadline_expired = false;
-    // A memory-budget breach, like an expired deadline, skips the
-    // remaining simulation rungs: every later rung uses MORE memory
-    // (doubled order, full unreduced circuit), so retrying can only
-    // breach again. A shed victim starts here — admission control
-    // decided it must not be admitted to simulation at all.
-    bool resource_exhausted = shed;
-    if (shed) {
-      finding.error = "shed under global memory pressure";
-      finding.error_code = StatusCode::kResourceExceeded;
-    }
-    GlitchAnalysisOptions base = options.glitch;
-    base.cancel = &budget;
-    base.certify = options.certify;
-    base.cert_rel_tol = options.cert_rel_tol;
-    base.cert_freqs = options.cert_freqs;
-    // The options that produced the accepted MOR result — the escalation
-    // ladder raises order FROM these, and the audit replays them on the
-    // golden engine, so both compare like against like.
-    GlitchAnalysisOptions mor_used = base;
-    if (!resource_exhausted) {
-      try {
-        res = analyzer.analyze(victim, aggressors, base);
-        have_sim = true;
-        finding.status = FindingStatus::kAnalyzed;
-      } catch (const std::exception& e) {
-        record_first_error(finding, e);
-        ++finding.retries;
-        deadline_expired = is_deadline_error(e);
-        resource_exhausted = is_resource_error(e);
-      }
-    }
-    if (!have_sim && !deadline_expired && !resource_exhausted) {
-      // Rung 1: halved timestep (Newton on a stiff cluster often
-      // converges once the per-step excitation change shrinks).
-      GlitchAnalysisOptions retry = base;
-      retry.dt =
-          0.5 * (retry.dt > 0.0 ? retry.dt : retry.tstop / 2000.0);
-      try {
-        res = analyzer.analyze(victim, aggressors, retry);
-        have_sim = true;
-        finding.status = FindingStatus::kAnalyzedAfterRetry;
-        mor_used = retry;
-      } catch (const std::exception& e) {
-        record_first_error(finding, e);
-        ++finding.retries;
-        deadline_expired = is_deadline_error(e);
-        resource_exhausted = is_resource_error(e);
-      }
-      // Rung 2: halved timestep + doubled reduced order (a too-small
-      // Krylov space shows up as a non-passive or inaccurate model).
-      if (!have_sim && !deadline_expired && !resource_exhausted) {
-        const std::size_t base_order =
-            retry.mor.max_order > 0 ? retry.mor.max_order
-                                    : 8 * (1 + aggressors.size());
-        retry.mor.max_order = 2 * base_order;
-        try {
-          res = analyzer.analyze(victim, aggressors, retry);
-          have_sim = true;
-          finding.status = FindingStatus::kAnalyzedAfterRetry;
-          mor_used = retry;
-        } catch (const std::exception& e) {
-          record_first_error(finding, e);
-          ++finding.retries;
-          deadline_expired = is_deadline_error(e);
-          resource_exhausted = is_resource_error(e);
-        }
-      }
-      // Rung 3: full unreduced-cluster simulation on the golden engine —
-      // slow, but immune to every reduction-side breakdown.
-      if (!have_sim && !deadline_expired && !resource_exhausted) {
-        try {
-          res = analyzer.analyze_spice(victim, aggressors, base);
-          have_sim = true;
-          finding.status = FindingStatus::kFellBackToFullSim;
-        } catch (const std::exception& e) {
-          record_first_error(finding, e);
-          ++finding.retries;
-          deadline_expired = is_deadline_error(e);
-          resource_exhausted = is_resource_error(e);
-        }
-      }
-    }
-
-    // Upward escalation ladder (certify runs): a MOR result whose
-    // certificate failed is re-reduced at raised Krylov order — each step
-    // adds moments, tightening the Padé approximant — until it certifies,
-    // the order ceiling is hit, or the Krylov basis is exhausted (order
-    // stops growing: the model is already as exact as this cluster
-    // permits). Only then does the victim concede to the conservative
-    // bound as kAccuracyBound. Budget expiry mid-escalation routes to the
-    // usual deadline/resource statuses instead: an uncertified-but-
-    // plausible peak is NOT reported as if it were trustworthy.
-    bool accuracy_failed = false;
-    const bool mor_result =
-        have_sim && (finding.status == FindingStatus::kAnalyzed ||
-                     finding.status == FindingStatus::kAnalyzedAfterRetry);
-    if (options.certify && mor_result) {
-      std::size_t q = std::max(res.reduced_order, mor_used.mor.max_order);
-      while (!res.certified && !deadline_expired && !resource_exhausted &&
-             q < options.max_mor_order) {
-        q = std::min(q + options.mor_order_step, options.max_mor_order);
-        GlitchAnalysisOptions esc = mor_used;
-        esc.mor.max_order = q;
-        try {
-          GlitchResult raised = analyzer.analyze(victim, aggressors, esc);
-          ++finding.cert_order_escalations;
-          const bool grew = raised.reduced_order > res.reduced_order;
-          res = std::move(raised);
-          mor_used = esc;
-          if (!grew) break;  // basis exhausted; raising q again is a no-op
-        } catch (const std::exception& e) {
-          record_first_error(finding, e);
-          ++finding.retries;
-          deadline_expired = is_deadline_error(e);
-          resource_exhausted = is_resource_error(e);
-          break;
-        }
-      }
-      finding.certified = res.certified;
-      finding.cert_max_rel_err = res.certificate.max_rel_err;
-      if (res.certified) {
-        finding.status = FindingStatus::kCertified;
-      } else {
-        // The accepted result cannot vouch for itself: discard it and let
-        // the bound rung report conservatively.
-        have_sim = false;
-        if (!deadline_expired && !resource_exhausted) {
-          accuracy_failed = true;
-          if (finding.error.empty()) {
-            char detail[64];
-            std::snprintf(detail, sizeof(detail), "%.3g",
-                          res.certificate.max_rel_err);
-            finding.error = "accuracy certificate failed at order " +
-                            std::to_string(res.reduced_order) + ": rel err " +
-                            detail;
-            if (!res.certificate.passivity_ok)
-              finding.error += " (passivity/boundedness lost)";
-            if (!res.certificate.probe_error.empty())
-              finding.error += "; probe: " + res.certificate.probe_error;
-            finding.error_code = StatusCode::kCertificationFailed;
-          }
-        }
-      }
-    }
-    if (have_sim) {
-      finding.peak = res.peak;
-      finding.peak_fraction = std::fabs(res.peak) / vdd;
-      finding.violation = finding.peak_fraction >= options.glitch_threshold;
-      finding.aggressors_analyzed = aggressors.size();
-      finding.reduced_order = res.reduced_order;
-      finding.driver_rms_current = res.victim_driver_rms_current;
-      finding.em_violation =
-          options.em_rms_limit > 0.0 &&
-          res.victim_driver_rms_current > options.em_rms_limit;
-
-      // Sampled SPICE cross-audit: a deterministic victim-keyed lottery
-      // re-simulates this cluster on the golden engine (same abstraction
-      // the accepted MOR result used) and diffs glitch peak and arrival
-      // time. The audit only adds information — a finding never degrades
-      // because its golden run was refused by the deadline or the budget.
-      const bool mor_based =
-          finding.status == FindingStatus::kAnalyzed ||
-          finding.status == FindingStatus::kAnalyzedAfterRetry ||
-          finding.status == FindingStatus::kCertified;
-      if (mor_based && audit_selected(v, options)) {
-        try {
-          GlitchAnalysisOptions gold_opts = mor_used;
-          gold_opts.certify = false;
-          const GlitchResult gold =
-              analyzer.analyze_spice(victim, aggressors, gold_opts);
-          finding.audited = true;
-          finding.audit_peak_err = std::fabs(res.peak - gold.peak);
-          finding.audit_time_err = std::fabs(
-              wave_peak_time(res.victim_wave) - wave_peak_time(gold.victim_wave));
-          finding.audit_pass =
-              finding.audit_peak_err <= options.audit_peak_tol_frac * vdd &&
-              finding.audit_time_err <= options.audit_time_tol;
-        } catch (const std::exception&) {
-          // Golden run refused (deadline/budget) or broke down: the victim
-          // goes unaudited; its own result stands untouched.
-        }
-      }
-
-      if (options.analyze_delay_change) {
-        // Timing recalculation: the victim as a SWITCHING net, aggressors
-        // forced opposite (worst case) vs the decoupled classic load.
-        DelayAnalyzer delays(extractor, chars);
-        DelayAnalysisOptions dopt;
-        dopt.driver_model = options.glitch.driver_model ==
-                                    DriverModelKind::kNonlinearTable
-                                ? DriverModelKind::kNonlinearTable
-                                : DriverModelKind::kLinearResistor;
-        dopt.victim_input_slew = design.nets[v].input_slew;
-        dopt.mor = options.glitch.mor;
-        try {
-          const CoupledDelayResult d =
-              delays.analyze(victim, /*victim_rising=*/true, aggressors, dopt);
-          finding.delay_decoupled = d.delay_decoupled;
-          finding.delay_coupled = d.delay_coupled;
-        } catch (const std::exception&) {
-          // A victim that never completes its transition within the window
-          // (or whose budget ran out mid-pass) is reported with zeroed
-          // delays rather than aborting the audit.
-        }
-      }
-    } else {
-      // Rung 4: Devgan analytic bound. Conservative (each term is an
-      // upper bound on that aggressor's contribution), so the reported
-      // peak is >= the true peak and a pass here is a real pass. A
-      // budget-expired cluster lands here as kDeadlineBound, an
-      // over-budget or shed one as kResourceBound: still accounted,
-      // still conservative, and the pool slot is freed. The exemption
-      // makes this rung live up to "cannot fail": computing the bound
-      // for an already-over-budget cluster must not re-raise the breach.
-      resource::ClusterScope::Exemption exempt;
-      double bound = 0.0;
-      for (const AggressorSpec& agg : aggressors)
-        bound += devgan_noise_bound(victim, agg, extractor, chars);
-      bound = std::min(bound, vdd);
-      finding.status = resource_exhausted ? FindingStatus::kResourceBound
-                       : deadline_expired ? FindingStatus::kDeadlineBound
-                       : accuracy_failed  ? FindingStatus::kAccuracyBound
-                                          : FindingStatus::kFellBackToBound;
-      finding.peak = victim.held_high ? -bound : bound;
-      finding.peak_fraction = bound / vdd;
-      finding.violation = finding.peak_fraction >= options.glitch_threshold;
-      finding.aggressors_analyzed = aggressors.size();
-    }
-  } catch (const std::exception& e) {
-    // Per-cluster isolation: even a failure outside the ladder (cluster
-    // construction, screening, the bound itself) must not abort the chip
-    // sweep. The victim is reported maximally pessimistically for manual
-    // review.
-    record_first_error(finding, e);
-    eligible = true;
-    finding.status = FindingStatus::kFailed;
-    finding.peak = -vdd;
-    finding.peak_fraction = 1.0;
-    finding.violation = true;
-  }
-  if (!eligible) return std::nullopt;
-  finding.cpu_seconds = victim_timer.elapsed();
-  return record;
-}
 
 bool counts_as_analyzed(FindingStatus s) {
   return s == FindingStatus::kAnalyzed ||
@@ -433,6 +75,11 @@ std::uint64_t options_result_hash(const VerifierOptions& o) {
   // Budgets affect results (they decide which findings become bounds);
   // threads/journal_path/resume affect only scheduling and are excluded.
   h.f64(o.cluster_deadline_ms);
+  // The model cache reuses bit-identical payloads, but a cache hit skips
+  // the Krylov-stage memory charges, so under a cluster memory budget the
+  // cache on/off decision can steer a finding between kAnalyzed and
+  // kResourceBound — result-affecting, hence hashed.
+  h.f64(o.model_cache_mb);
   h.f64(o.cluster_mem_mb);
   h.f64(o.global_mem_soft_mb);
   // Certification and audit knobs all steer statuses, escalations, or the
@@ -570,6 +217,27 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
 
   GlitchAnalyzer analyzer(extractor_, chars_);
 
+  // Shared reduced-model cache (off by default; see VerifierOptions).
+  // Hits are bit-identical to fresh computation, so sharing it across
+  // worker threads cannot perturb findings.
+  std::unique_ptr<ModelCache> model_cache;
+  if (options.model_cache_mb > 0.0)
+    model_cache = std::make_unique<ModelCache>(
+        static_cast<std::size_t>(options.model_cache_mb * 1024.0 * 1024.0));
+
+  // Every victim runs through the staged pipeline (core/pipeline.h); one
+  // stateless pipeline instance serves all workers.
+  PipelineContext pipeline_ctx;
+  pipeline_ctx.verifier = this;
+  pipeline_ctx.extractor = &extractor_;
+  pipeline_ctx.chars = &chars_;
+  pipeline_ctx.analyzer = &analyzer;
+  pipeline_ctx.design = &design;
+  pipeline_ctx.summaries = &summaries;
+  pipeline_ctx.pruned = &pruned;
+  pipeline_ctx.options = &options;
+  pipeline_ctx.model_cache = model_cache.get();
+
   // Candidate victims in stable net order — the report order, regardless
   // of which worker (or which prior run) produced each result.
   std::vector<std::size_t> candidates;
@@ -631,6 +299,7 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   }
 
   const double vdd = extractor_.tech().vdd;
+  const VictimPipeline pipeline(pipeline_ctx);
   std::map<std::size_t, JournalRecord> fresh;
   std::mutex fresh_mutex;
   auto run_one = [&](std::size_t v) {
@@ -644,8 +313,7 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
             "ChipVerifier: injected worker-task fault outside the ladder");
       const bool shed =
           governor.under_pressure() && footprint(v) >= shed_threshold;
-      outcome = analyze_victim(*this, extractor_, chars_, analyzer, design,
-                               summaries, pruned, v, options, shed);
+      outcome = pipeline.run(v, shed);
     } catch (const std::exception& e) {
       // A failure outside the ladder (task setup, the journal, the
       // pessimistic path itself) becomes a typed kFailed finding attached
@@ -762,6 +430,15 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     }
     if (f.violation) ++report.violations;
   }
+  if (model_cache) {
+    const ModelCache::Stats cs = model_cache->stats();
+    report.model_cache_hits = cs.hits;
+    report.model_cache_misses = cs.misses;
+    report.model_cache_insertions = cs.insertions;
+    report.model_cache_evictions = cs.evictions;
+    report.model_cache_entries = cs.entries;
+    report.model_cache_bytes = cs.bytes;
+  }
   report.wall_seconds = total.elapsed();
   return report;
 }
@@ -799,6 +476,19 @@ std::string VerificationReport::to_string() const {
                   "%zu accuracy-bound\n",
                   victims_certified, victims_escalated, order_escalations,
                   victims_accuracy_bound);
+    out << buf;
+  }
+  if (model_cache_hits + model_cache_misses > 0) {
+    const double lookups =
+        static_cast<double>(model_cache_hits + model_cache_misses);
+    std::snprintf(buf, sizeof(buf),
+                  "model cache: %zu hits / %zu lookups (%.0f%% hit rate), "
+                  "%zu entries / %.1f MiB live, %zu evictions\n",
+                  model_cache_hits, model_cache_hits + model_cache_misses,
+                  100.0 * static_cast<double>(model_cache_hits) / lookups,
+                  model_cache_entries,
+                  static_cast<double>(model_cache_bytes) / (1024.0 * 1024.0),
+                  model_cache_evictions);
     out << buf;
   }
   if (victims_audited > 0) {

@@ -64,6 +64,17 @@ struct VerifierOptions {
 
   // --- Resource governance: memory budgets and shedding (DESIGN.md §9) ---
 
+  /// Reduced-model cache budget (MiB; 0 = cache off). When set, every
+  /// victim's assembled (G, C, B) pencil is fingerprinted and the
+  /// certified reduced model of a repeated cluster is reused instead of
+  /// re-running SyMPVL, certification, and the eigendecomposition. A hit
+  /// is bit-identical to the fresh computation (mor/model_cache.h), so
+  /// findings never change — but which *fault-injection sites* execute
+  /// does, which is why the library default is off and chip_audit turns
+  /// it on. Result-affecting under memory budgets (a hit skips the
+  /// Krylov charges), hence part of options_result_hash.
+  double model_cache_mb = 0.0;
+
   /// Per-cluster memory budget (MiB; 0 = unlimited) covering dense
   /// matrices, Krylov blocks, and waveform storage of one victim's
   /// analysis. A cluster that breaches it degrades to the conservative
@@ -233,6 +244,13 @@ struct VerificationReport {
   double audit_max_peak_err = 0.0;         ///< worst |MOR - SPICE| peak (V)
   double audit_max_time_err = 0.0;         ///< worst time-of-peak delta (s)
   std::size_t violations = 0;
+  /// Reduced-model cache accounting (model_cache_mb > 0 runs).
+  std::size_t model_cache_hits = 0;
+  std::size_t model_cache_misses = 0;
+  std::size_t model_cache_insertions = 0;
+  std::size_t model_cache_evictions = 0;
+  std::size_t model_cache_entries = 0;  ///< live entries at end of run
+  std::size_t model_cache_bytes = 0;    ///< live payload bytes at end of run
   /// Summed per-victim compute time across all workers. Under N threads
   /// this exceeds wall_seconds by up to a factor of N; the ratio is the
   /// realized parallel efficiency.

@@ -69,26 +69,36 @@ std::string DenseMatrix::to_string(int precision) const {
 }
 
 Vector matvec(const DenseMatrix& a, const Vector& x) {
+  Vector y;
+  matvec_into(a, x, y);
+  return y;
+}
+
+void matvec_into(const DenseMatrix& a, const Vector& x, Vector& y) {
   assert(x.size() == a.cols());
-  Vector y(a.rows(), 0.0);
+  y.assign(a.rows(), 0.0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double* row = a.row(r);
     double s = 0.0;
     for (std::size_t c = 0; c < a.cols(); ++c) s += row[c] * x[c];
     y[r] = s;
   }
-  return y;
 }
 
 Vector matvec_transposed(const DenseMatrix& a, const Vector& x) {
+  Vector y;
+  matvec_transposed_into(a, x, y);
+  return y;
+}
+
+void matvec_transposed_into(const DenseMatrix& a, const Vector& x, Vector& y) {
   assert(x.size() == a.rows());
-  Vector y(a.cols(), 0.0);
+  y.assign(a.cols(), 0.0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double* row = a.row(r);
     const double xr = x[r];
     for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
   }
-  return y;
 }
 
 DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {

@@ -6,11 +6,14 @@
 // helpers cover everything the MOR and reduced-simulation code needs.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/resource.h"
+#include "util/workspace.h"
 
 namespace xtv {
 
@@ -19,17 +22,55 @@ using Vector = std::vector<double>;
 /// Row-major dense matrix of doubles. Storage is charged against the
 /// thread's active resource::ClusterScope (if any), so an over-budget
 /// cluster raises the typed kResourceExceeded at the allocation that
-/// breaches — before the allocation happens.
+/// breaches — before the allocation happens. Physical storage is checked
+/// out of the thread's workspace arena and recycled on destruction, so
+/// per-victim hot loops stop round-tripping the allocator; the logical
+/// MemCharge is unaffected by pooling.
 class DenseMatrix {
  public:
   DenseMatrix() = default;
 
   /// rows x cols matrix, zero-initialized.
   DenseMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows),
-        cols_(cols),
-        charge_(rows * cols * sizeof(double)),
-        data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols), charge_(rows * cols * sizeof(double)) {
+    workspace::acquire(data_, rows * cols);
+  }
+
+  ~DenseMatrix() { workspace::release(data_); }
+
+  DenseMatrix(const DenseMatrix& other)
+      : rows_(other.rows_), cols_(other.cols_), charge_(other.charge_) {
+    workspace::acquire(data_, other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  }
+
+  DenseMatrix& operator=(const DenseMatrix& other) {
+    if (this != &other) {
+      DenseMatrix tmp(other);  // may throw (budget) before we change *this
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  DenseMatrix(DenseMatrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        charge_(std::move(other.charge_)),
+        data_(std::move(other.data_)) {
+    other.rows_ = other.cols_ = 0;
+  }
+
+  DenseMatrix& operator=(DenseMatrix&& other) noexcept {
+    if (this != &other) {
+      workspace::release(data_);
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      charge_ = std::move(other.charge_);
+      data_ = std::move(other.data_);
+      other.rows_ = other.cols_ = 0;
+    }
+    return *this;
+  }
 
   /// Identity matrix of size n.
   static DenseMatrix identity(std::size_t n);
@@ -77,8 +118,16 @@ class DenseMatrix {
 /// y = A * x. Requires x.size() == A.cols().
 Vector matvec(const DenseMatrix& a, const Vector& x);
 
+/// y = A * x into caller-owned storage (resized; same arithmetic as
+/// matvec). Lets hot loops reuse scratch instead of allocating per call.
+void matvec_into(const DenseMatrix& a, const Vector& x, Vector& y);
+
 /// y = A^T * x. Requires x.size() == A.rows().
 Vector matvec_transposed(const DenseMatrix& a, const Vector& x);
+
+/// y = A^T * x into caller-owned storage (resized; same arithmetic as
+/// matvec_transposed).
+void matvec_transposed_into(const DenseMatrix& a, const Vector& x, Vector& y);
 
 /// C = A * B.
 DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);

@@ -1,0 +1,138 @@
+#include "mor/model_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xtv {
+
+namespace {
+
+// Two independent FNV-1a style streams over the same byte sequence. The
+// primary stream is canonical 64-bit FNV-1a (matching the journal's
+// options hash); the secondary swaps in a different odd multiplier and
+// seed so the pair behaves like a 128-bit digest for collision purposes.
+struct FingerprintHasher {
+  std::uint64_t lo = 1469598103934665603ull;         // FNV offset basis
+  std::uint64_t hi = 0x9e3779b97f4a7c15ull;          // golden-ratio seed
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = (lo ^ p[i]) * 1099511628211ull;           // FNV prime
+      hi = (hi ^ p[i]) * 0xff51afd7ed558ccdull;      // odd mix multiplier
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    // Hash the exact bit pattern: the cache contract is bit-identity, so
+    // the key must distinguish values that differ in any bit (and +0/-0,
+    // which behave identically under the kernels, still key separately —
+    // a false negative, never a false positive).
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void matrix(const DenseMatrix& m) {
+    u64(m.rows());
+    u64(m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      bytes(m.row(r), m.cols() * sizeof(double));
+  }
+};
+
+std::size_t matrix_bytes(const DenseMatrix& m) {
+  return m.rows() * m.cols() * sizeof(double);
+}
+
+}  // namespace
+
+ClusterFingerprint cluster_fingerprint(const DenseMatrix& g,
+                                       const DenseMatrix& c,
+                                       const DenseMatrix& b,
+                                       const SympvlOptions& mor, bool certify,
+                                       double cert_rel_tol,
+                                       std::size_t cert_freqs, double s_min,
+                                       double s_max) {
+  FingerprintHasher h;
+  h.matrix(g);
+  h.matrix(c);
+  h.matrix(b);
+  h.u64(mor.max_order);
+  h.f64(mor.deflation_tol);
+  h.u64(certify ? 1 : 0);
+  if (certify) {
+    h.f64(cert_rel_tol);
+    h.u64(cert_freqs);
+    h.f64(s_min);
+    h.f64(s_max);
+  }
+  return ClusterFingerprint{h.hi, h.lo};
+}
+
+void CachedReducedModel::account() {
+  bytes = sizeof(CachedReducedModel) + matrix_bytes(model.t) +
+          matrix_bytes(model.rho) + matrix_bytes(eigen.eta) +
+          eigen.d.size() * sizeof(double) +
+          certificate.freqs.size() * sizeof(double) +
+          certificate.probe_error.size();
+}
+
+ModelCache::ModelCache(std::size_t max_bytes, std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_budget_ = max_bytes == 0 ? 0 : std::max<std::size_t>(1, max_bytes / shard_count);
+}
+
+std::shared_ptr<const CachedReducedModel> ModelCache::lookup(
+    const ClusterFingerprint& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->payload;
+}
+
+void ModelCache::insert(const ClusterFingerprint& key,
+                        std::shared_ptr<const CachedReducedModel> payload) {
+  if (!payload) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.index.find(key) != shard.index.end()) return;  // first wins
+  shard.lru.push_front(Entry{key, std::move(payload)});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += shard.lru.front().payload->bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  // LRU eviction against the shard budget; the newest entry always stays
+  // (an oversized payload occupies the shard alone rather than thrashing).
+  while (shard_budget_ > 0 && shard.bytes > shard_budget_ &&
+         shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.payload->bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.entries += shard->lru.size();
+    s.bytes += shard->bytes;
+  }
+  return s;
+}
+
+}  // namespace xtv

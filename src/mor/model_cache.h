@@ -1,0 +1,150 @@
+// Fingerprint-keyed cache of certified reduced models.
+//
+// The paper's economic premise is that a chip decomposes into millions of
+// *highly repetitive* small clusters: standard-cell rows repeat the same
+// electrical context thousands of times, so two victims routinely present
+// bit-identical (G, C, B) pencils to SyMPVL. This cache lets the second
+// and every later occurrence skip the Cholesky + block-Lanczos sweep, the
+// a-posteriori certificate probes, and the eigendecomposition entirely:
+// a fingerprint hit hands back the certified (T, rho) pair together with
+// its diagonalization and certificate.
+//
+// Correctness doctrine — a hit MUST be indistinguishable from a fresh
+// computation at the bit level:
+//  - The fingerprint hashes the exact 64-bit patterns of the assembled
+//    dense G/C/B matrices plus every reduction/certification option that
+//    shapes the payload. Identical key => identical inputs => (the kernels
+//    being deterministic) identical outputs, so reuse cannot change any
+//    finding. False negatives (missed reuse) only cost time.
+//  - Permutation invariance holds at the level the repetition actually
+//    occurs: element *insertion order* within a cluster. MNA assembly
+//    accumulates one addend per element per matrix entry, and IEEE
+//    addition of two values is commutative, so clusters built from the
+//    same elements in a different order assemble bit-identical matrices
+//    and collide on purpose. Reordering *aggressor ports* renumbers nodes
+//    and legitimately produces a different pencil — no collision, by
+//    design.
+//
+// Concurrency: the table is sharded (fingerprint-selected shard, one
+// mutex each) so parallel workers rarely contend; payloads are immutable
+// behind shared_ptr<const>. Eviction is per-shard LRU against a byte
+// budget. Payload storage binds to no ClusterScope (it outlives every
+// victim); see resource::ClusterScope::Suspension.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "mor/certify.h"
+#include "mor/reduced_sim.h"
+#include "mor/sympvl.h"
+
+namespace xtv {
+
+/// 128-bit cluster fingerprint (two independent 64-bit FNV-1a streams over
+/// the same bytes; the pair makes accidental collision probability
+/// negligible at chip scale).
+struct ClusterFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const ClusterFingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator!=(const ClusterFingerprint& o) const { return !(*this == o); }
+};
+
+/// Fingerprint of one reduction request: the exact bit patterns of the
+/// assembled dense pencil plus every option that shapes the cached
+/// payload (reduction order/deflation and the certificate request).
+ClusterFingerprint cluster_fingerprint(const DenseMatrix& g,
+                                       const DenseMatrix& c,
+                                       const DenseMatrix& b,
+                                       const SympvlOptions& mor, bool certify,
+                                       double cert_rel_tol,
+                                       std::size_t cert_freqs, double s_min,
+                                       double s_max);
+
+/// Everything a fingerprint hit reuses: the reduced model, its
+/// diagonalization, and the certificate computed with it.
+struct CachedReducedModel {
+  ReducedModel model;
+  ReducedEigenSystem eigen;
+  Certificate certificate;    ///< meaningful only when have_certificate
+  bool have_certificate = false;
+  bool certified = false;     ///< certificate verdict at the keyed rel_tol
+  std::size_t bytes = 0;      ///< payload size estimate (eviction currency)
+
+  /// Recomputes the byte estimate from the member extents.
+  void account();
+};
+
+/// Bounded, sharded, thread-safe reduced-model cache.
+class ModelCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;  ///< live entries (snapshot)
+    std::size_t bytes = 0;    ///< live payload bytes (snapshot)
+  };
+
+  /// `max_bytes` caps the summed payload estimates (split evenly across
+  /// shards); 0 means unbounded.
+  explicit ModelCache(std::size_t max_bytes, std::size_t shard_count = 16);
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  /// Returns the payload for `key` (refreshing its LRU position) or null.
+  std::shared_ptr<const CachedReducedModel> lookup(
+      const ClusterFingerprint& key);
+
+  /// Inserts `payload` under `key`; first writer wins on a racing
+  /// duplicate (payloads for equal keys are bit-identical anyway).
+  void insert(const ClusterFingerprint& key,
+              std::shared_ptr<const CachedReducedModel> payload);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ClusterFingerprint key;
+    std::shared_ptr<const CachedReducedModel> payload;
+  };
+  struct FingerprintHash {
+    std::size_t operator()(const ClusterFingerprint& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<ClusterFingerprint, std::list<Entry>::iterator,
+                       FingerprintHash>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const ClusterFingerprint& key) {
+    return *shards_[key.hi % shards_.size()];
+  }
+
+  std::size_t shard_budget_ = 0;  ///< per-shard byte cap (0 = unbounded)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> insertions_{0};
+  std::atomic<std::size_t> evictions_{0};
+};
+
+}  // namespace xtv

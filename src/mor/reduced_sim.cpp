@@ -13,30 +13,38 @@
 
 namespace xtv {
 
-ReducedSimulator::ReducedSimulator(const ReducedModel& model) {
+ReducedEigenSystem diagonalize_reduced(const ReducedModel& model) {
   // Diagonalize T = Q^T D Q once; the whole transient then runs in the
   // eigenbasis.
+  ReducedEigenSystem sys;
   FpKernelGuard fp("reduced_eigen");
   const SymEigen eig = sym_eigen(model.t);
   fp.check();
-  d_ = eig.eigenvalues;
+  sys.d = eig.eigenvalues;
   // Clamp the tiny negative round-off eigenvalues a PSD T can exhibit; a
   // genuinely indefinite T would indicate a broken reduction and is
   // rejected (it would make the integrator unstable — the passivity
   // guarantee of the paper's ref. [4] is what we rely on here).
   double scale = 0.0;
-  for (double v : d_) scale = std::max(scale, std::fabs(v));
+  for (double v : sys.d) scale = std::max(scale, std::fabs(v));
   if (XTV_INJECT_FAULT(FaultSite::kPassivityCheck))
     throw NumericalError(StatusCode::kNotPassive,
                          "ReducedSimulator: injected passivity fault");
-  for (double& v : d_) {
+  for (double& v : sys.d) {
     if (v < -1e-9 * std::max(scale, 1e-300))
       throw NumericalError(StatusCode::kNotPassive,
                            "ReducedSimulator: T is not PSD (not passive)");
     v = std::max(v, 0.0);
   }
-  eta_ = matmul(eig.q, model.rho);
+  sys.eta = matmul(eig.q, model.rho);
+  return sys;
 }
+
+ReducedSimulator::ReducedSimulator(const ReducedModel& model)
+    : ReducedSimulator(diagonalize_reduced(model)) {}
+
+ReducedSimulator::ReducedSimulator(ReducedEigenSystem system)
+    : d_(std::move(system.d)), eta_(std::move(system.eta)) {}
 
 void ReducedSimulator::set_input(std::size_t port, SourceWave current) {
   if (port >= port_count())
@@ -70,12 +78,15 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
   const std::size_t q = order();
   const std::size_t p = port_count();
 
-  // Diagonal part Dd = I + alpha * D.
-  Vector dd_inv(q);
+  // Diagonal part Dd = I + alpha * D. Scratch buffers are reused across
+  // calls (workspace doctrine: every extent is fully written before use).
+  Vector& dd_inv = scratch_.dd_inv;
+  dd_inv.assign(q, 0.0);
   for (std::size_t i = 0; i < q; ++i) dd_inv[i] = 1.0 / (1.0 + alpha * d_[i]);
 
   // Nonlinear port list (fixed across iterations).
-  std::vector<std::size_t> nl_ports;
+  std::vector<std::size_t>& nl_ports = scratch_.nl_ports;
+  nl_ports.clear();
   nl_ports.reserve(terminations_.size());
   for (const auto& [port, dev] : terminations_) {
     (void)dev;
@@ -93,9 +104,12 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
     ++iterations;
     fp.rearm();
     // Port voltages and total currents at the trial point.
-    const Vector vports = matvec_transposed(eta_, x);
-    Vector itotal = u;
-    Vector g(m, 0.0);
+    Vector& vports = scratch_.vports;
+    matvec_transposed_into(eta_, x, vports);
+    Vector& itotal = scratch_.itotal;
+    itotal = u;
+    Vector& g = scratch_.g;
+    g.assign(m, 0.0);
     for (std::size_t k = 0; k < m; ++k) {
       const auto port = nl_ports[k];
       const auto& dev = terminations_.at(port);
@@ -104,20 +118,24 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
     }
 
     // Residual F = (I + alpha D) x + D beta - eta * itotal.
-    const Vector eta_i = matvec(eta_, itotal);
-    Vector r(q);  // r = -F (the Newton RHS)
+    Vector& eta_i = scratch_.eta_i;
+    matvec_into(eta_, itotal, eta_i);
+    Vector& r = scratch_.r;  // r = -F (the Newton RHS)
+    r.assign(q, 0.0);
     for (std::size_t i = 0; i < q; ++i)
       r[i] = eta_i[i] - ((1.0 + alpha * d_[i]) * x[i] + d_beta[i]);
 
     // Solve (Dd - U G U^T) dx = r with U = eta columns of the nonlinear
     // ports, via the m x m Woodbury system (I_m - S G) w = U^T Dd^{-1} r,
     // S = U^T Dd^{-1} U; then dx = Dd^{-1}(r + U G w).
-    Vector dx(q);
+    Vector& dx = scratch_.dx;
+    dx.assign(q, 0.0);
     if (m == 0) {
       for (std::size_t i = 0; i < q; ++i) dx[i] = dd_inv[i] * r[i];
     } else {
       DenseMatrix s(m, m);
-      Vector srhs(m, 0.0);
+      Vector& srhs = scratch_.srhs;
+      srhs.assign(m, 0.0);
       for (std::size_t a = 0; a < m; ++a) {
         for (std::size_t i = 0; i < q; ++i)
           srhs[a] += eta_(i, nl_ports[a]) * dd_inv[i] * r[i];
@@ -133,7 +151,8 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
         for (std::size_t b = 0; b < m; ++b)
           msys(a, b) = (a == b ? 1.0 : 0.0) - s(a, b) * g[b];
       const Vector w = DenseLu(msys).solve(srhs);
-      Vector rgw = r;
+      Vector& rgw = scratch_.rgw;
+      rgw = r;
       for (std::size_t k = 0; k < m; ++k)
         for (std::size_t i = 0; i < q; ++i)
           rgw[i] += eta_(i, nl_ports[k]) * g[k] * w[k];
@@ -147,7 +166,8 @@ bool ReducedSimulator::newton_solve(Vector& x, double t, double alpha,
     // part of the convergence predicate.
     double max_dv = 0.0;
     bool finite = true;
-    const Vector dv = matvec_transposed(eta_, dx);
+    Vector& dv = scratch_.dv;
+    matvec_transposed_into(eta_, dx, dv);
     for (std::size_t pp = 0; pp < p; ++pp) {
       finite = finite && std::isfinite(dv[pp]);
       max_dv = std::max(max_dv, std::fabs(dv[pp]));
@@ -206,8 +226,12 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
 
   ReducedSimResult result;
   result.port_voltages.resize(p);
+  const std::size_t expected_samples =
+      static_cast<std::size_t>(options.tstop / dt) + 2;
+  for (auto& wave : result.port_voltages) wave.reserve(expected_samples);
   auto record = [&](double t) {
-    const Vector v = matvec_transposed(eta_, x);
+    Vector& v = scratch_.rec;
+    matvec_transposed_into(eta_, x, v);
     for (std::size_t pp = 0; pp < p; ++pp) result.port_voltages[pp].append(t, v[pp]);
   };
   record(0.0);
@@ -240,9 +264,12 @@ ReducedSimResult ReducedSimulator::run(const ReducedSimOptions& options) {
           halvings < options.max_step_halvings) {
         const double r = h / h_prev;
         double lte = 0.0;
-        const Vector vt = matvec_transposed(eta_, trial);
-        const Vector vc = matvec_transposed(eta_, x);
-        const Vector vp = matvec_transposed(eta_, x_acc_prev);
+        Vector& vt = scratch_.lte_vt;
+        Vector& vc = scratch_.lte_vc;
+        Vector& vp = scratch_.lte_vp;
+        matvec_transposed_into(eta_, trial, vt);
+        matvec_transposed_into(eta_, x, vc);
+        matvec_transposed_into(eta_, x_acc_prev, vp);
         for (std::size_t pp = 0; pp < p; ++pp)
           lte = std::max(lte,
                          std::fabs(vt[pp] - vc[pp] - r * (vc[pp] - vp[pp])));

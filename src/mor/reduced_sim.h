@@ -56,11 +56,29 @@ struct ReducedSimResult {
   std::size_t step_rejections = 0;      ///< Newton/LTE retries at halved dt
 };
 
+/// The diagonalized reduced system T = Q^T D Q: everything the transient
+/// engine needs, decoupled from the simulator instance so a certified
+/// eigendecomposition can be cached and reused across electrically
+/// identical clusters (mor/model_cache.h).
+struct ReducedEigenSystem {
+  Vector d;         ///< eigenvalues of T (clamped to >= 0)
+  DenseMatrix eta;  ///< Q * rho  (q x p)
+};
+
+/// Diagonalizes the reduced model once, enforcing the passivity contract:
+/// a genuinely indefinite T (beyond round-off) raises kNotPassive; tiny
+/// negative round-off eigenvalues are clamped to zero.
+ReducedEigenSystem diagonalize_reduced(const ReducedModel& model);
+
 /// One simulator instance per reduced model; terminations/inputs may be
 /// reconfigured between runs (each run() starts from a fresh DC solve).
 class ReducedSimulator {
  public:
   explicit ReducedSimulator(const ReducedModel& model);
+
+  /// Adopts an existing (possibly cached) diagonalization, skipping the
+  /// eigen solve entirely.
+  explicit ReducedSimulator(ReducedEigenSystem system);
 
   /// Injected current INTO port `port` as a function of time (the linear
   /// excitation path: e.g. a Thevenin aggressor source V(t)/R after its
@@ -97,6 +115,16 @@ class ReducedSimulator {
   DenseMatrix eta_;    ///< Q * rho  (q x p)
   std::map<std::size_t, SourceWave> inputs_;
   std::map<std::size_t, std::shared_ptr<const OnePortDevice>> terminations_;
+
+  /// Newton/recording scratch reused across iterations, steps, and runs
+  /// (mutable: newton_solve is logically const). Buffers are assign()ed to
+  /// their full extent before use, so reuse cannot change any value.
+  struct Scratch {
+    Vector dd_inv, vports, itotal, g, eta_i, r, dx, srhs, rgw, dv;
+    Vector rec, lte_vt, lte_vc, lte_vp;
+    std::vector<std::size_t> nl_ports;
+  };
+  mutable Scratch scratch_;
 };
 
 }  // namespace xtv

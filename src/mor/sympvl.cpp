@@ -79,8 +79,13 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
 
   // Krylov storage charged against the cluster's memory budget: each
   // accepted basis vector later needs a matching A*v image in the
-  // projection step, hence 2 n-vectors per accepted direction.
+  // projection step, hence 2 n-vectors per accepted direction. The full
+  // q_max reservation is charged up front (and shrunk to the accepted
+  // basis after the sweep), so an over-budget reduction fails before any
+  // Krylov work happens and incremental growth can never inflate the
+  // accounted peak beyond the reservation.
   resource::ScopedCharge krylov_bytes;
+  krylov_bytes.add(2 * n * q_max * sizeof(double));
 
   // A v = F^{-T} C F^{-1} v, applied without forming A.
   auto apply_a = [&](const Vector& v) {
@@ -95,9 +100,13 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
                          "sympvl_reduce: zero input block (no port coupling)");
   const double defl = options.deflation_tol * l_scale;
 
-  // Block Krylov sweep with full reorthogonalization + deflation.
-  std::vector<Vector> basis;        // orthonormal columns of V
-  std::vector<Vector> last_block;   // most recent accepted block
+  // Block Krylov sweep with full reorthogonalization + deflation. The
+  // basis is reserved to its ceiling so push_back never reallocates, and
+  // blocks are tracked as indices into it instead of copies.
+  std::vector<Vector> basis;  // orthonormal columns of V
+  basis.reserve(q_max);
+  std::vector<std::size_t> last_block;  // most recent accepted block
+  last_block.reserve(p);
   // Seed block: columns of L.
   for (std::size_t j = 0; j < p && basis.size() < q_max; ++j) {
     poll_cancel(options.cancel, "sympvl_reduce/seed");
@@ -105,34 +114,37 @@ ReducedModel sympvl_reduce(const DenseMatrix& g, const DenseMatrix& c,
     const double r = orthogonalize(v, basis);
     if (r <= defl) continue;  // deflated: linearly dependent input column
     scale(v, 1.0 / r);
-    krylov_bytes.add(2 * n * sizeof(double));
-    basis.push_back(v);
-    last_block.push_back(basis.back());
+    basis.push_back(std::move(v));
+    last_block.push_back(basis.size() - 1);
   }
 
+  std::vector<std::size_t> next_block;
+  next_block.reserve(p);
   while (basis.size() < q_max && !last_block.empty()) {
-    std::vector<Vector> next_block;
-    for (const Vector& u : last_block) {
+    next_block.clear();
+    for (const std::size_t ui : last_block) {
       if (basis.size() >= q_max) break;
       poll_cancel(options.cancel, "sympvl_reduce/sweep");
-      Vector v = apply_a(u);
+      Vector v = apply_a(basis[ui]);
       const double pre = norm2(v);
       const double r = orthogonalize(v, basis);
       // Deflate when the new direction is negligible relative to what A
       // produced (local scale), or absolutely tiny.
       if (r <= options.deflation_tol * std::max(pre, 1e-300)) continue;
       scale(v, 1.0 / r);
-      krylov_bytes.add(2 * n * sizeof(double));
-      basis.push_back(v);
-      next_block.push_back(basis.back());
+      basis.push_back(std::move(v));
+      next_block.push_back(basis.size() - 1);
     }
-    last_block = std::move(next_block);
+    std::swap(last_block, next_block);
   }
 
   const std::size_t q = basis.size();
   if (q == 0)
     throw NumericalError(StatusCode::kLanczosBreakdown,
                          "sympvl_reduce: empty Krylov basis");
+  // Deflation accepted q <= q_max directions; return the unused part of
+  // the reservation (the recorded peak keeps the honest high-water mark).
+  krylov_bytes.shrink(2 * n * (q_max - q) * sizeof(double));
 
   // Project: T = V^T A V (then symmetrize), rho = V^T L.
   ReducedModel model;

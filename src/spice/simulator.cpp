@@ -296,6 +296,9 @@ TransientResult Simulator::transient(const TransientOptions& options,
 
   TransientResult result;
   result.probes.resize(probe_nodes.size());
+  const std::size_t expected_samples =
+      static_cast<std::size_t>(options.tstop / dt0) + 2;
+  for (auto& wave : result.probes) wave.reserve(expected_samples);
   auto record = [&](double t) {
     for (std::size_t p = 0; p < probe_nodes.size(); ++p)
       result.probes[p].append(t, voltage(x, probe_nodes[p]));

@@ -19,6 +19,14 @@ class Waveform {
   /// Appends a sample; time must be >= the last sample's time.
   void append(double t, double v);
 
+  /// Pre-allocates storage for n samples (append() still grows past it).
+  /// Transient engines know their step count up front; reserving kills the
+  /// doubling-reallocation churn on the hottest storage in the run.
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+
   std::size_t size() const { return times_.size(); }
   bool empty() const { return times_.empty(); }
   double time(std::size_t i) const { return times_.at(i); }

@@ -78,6 +78,12 @@ ClusterScope::Exemption::~Exemption() {
   if (scope_) --scope_->exempt_depth_;
 }
 
+ClusterScope::Suspension::Suspension() : saved_(t_current_scope) {
+  t_current_scope = nullptr;
+}
+
+ClusterScope::Suspension::~Suspension() { t_current_scope = saved_; }
+
 MemCharge::MemCharge(std::size_t bytes) {
   ClusterScope* scope = t_current_scope;
   if (!scope || bytes == 0) return;
@@ -104,6 +110,13 @@ void ScopedCharge::add(std::size_t bytes) {
   }
   scope_->charge(bytes);
   total_ += bytes;
+}
+
+void ScopedCharge::shrink(std::size_t bytes) {
+  if (!scope_ || bytes == 0) return;
+  const std::size_t give_back = std::min(bytes, total_);
+  scope_->release(give_back);
+  total_ -= give_back;
 }
 
 MemoryGovernor& MemoryGovernor::instance() {

@@ -77,6 +77,22 @@ class ClusterScope {
     ClusterScope* scope_;
   };
 
+  /// Detaches this thread from its current scope entirely while alive:
+  /// allocations made under a Suspension charge no scope at all. Used when
+  /// copying payloads into caches that outlive the victim (the reduced-
+  /// model cache): a MemCharge bound to the victim's scope would dangle
+  /// once that scope dies, so cache-owned storage must bind to none.
+  class Suspension {
+   public:
+    Suspension();
+    ~Suspension();
+    Suspension(const Suspension&) = delete;
+    Suspension& operator=(const Suspension&) = delete;
+
+   private:
+    ClusterScope* saved_;
+  };
+
  private:
   friend class MemCharge;
   friend class ScopedCharge;
@@ -150,6 +166,11 @@ class ScopedCharge {
 
   /// Charges `bytes` more; throws kResourceExceeded on breach.
   void add(std::size_t bytes);
+
+  /// Returns `bytes` of the running total early (e.g. a reservation that
+  /// turned out larger than the final extent). Clamped to the total; the
+  /// peak already recorded is intentionally untouched.
+  void shrink(std::size_t bytes);
 
   std::size_t total() const { return total_; }
 

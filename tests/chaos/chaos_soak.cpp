@@ -56,6 +56,7 @@ struct TrialConfig {
   bool kill_resume = false;
   bool certify = false;
   double audit_fraction = 0.0;
+  double model_cache_mb = 0.0;
   std::vector<FaultSite> armed;
   std::vector<std::uint64_t> periods;
   std::vector<std::uint64_t> caps;
@@ -76,6 +77,10 @@ struct TrialConfig {
     if (certify) s += " certify";
     if (audit_fraction > 0.0) {
       std::snprintf(buf, sizeof(buf), " audit=%.2f", audit_fraction);
+      s += buf;
+    }
+    if (model_cache_mb > 0.0) {
+      std::snprintf(buf, sizeof(buf), " cache=%.0fMiB", model_cache_mb);
       s += buf;
     }
     for (std::size_t i = 0; i < armed.size(); ++i) {
@@ -104,6 +109,10 @@ TrialConfig draw_config(Prng& rng) {
   cfg.kill_resume = rng.bernoulli(0.4);
   cfg.certify = rng.bernoulli(0.4);
   if (cfg.certify && rng.bernoulli(0.3)) cfg.audit_fraction = 0.15;
+  // Reduced-model cache on in ~40% of trials: a hit skips the Cholesky /
+  // Lanczos / passivity fault sites, so cache-on trials probe the failure
+  // semantics of the reuse path interleaving with injected faults.
+  if (rng.bernoulli(0.4)) cfg.model_cache_mb = 8.0;
 
   const FaultSite pool[] = {
       FaultSite::kCholeskyFactor, FaultSite::kLanczosSweep,
@@ -304,6 +313,7 @@ int main(int argc, char** argv) {
     options.cluster_mem_mb = cfg.mem_mb;
     options.certify = cfg.certify;
     options.audit_fraction = cfg.audit_fraction;
+    options.model_cache_mb = cfg.model_cache_mb;
     // A forever-firing kCertifyProbe would otherwise climb every victim to
     // the default ceiling; keep the chaos trials bounded.
     options.max_mor_order = 24;
