@@ -6,6 +6,13 @@
 //
 // Build & run:  ./build/examples/chip_audit [net_count] [flags]
 //   --threads N               worker threads (default 1 = serial)
+//   --processes N             worker *processes* (default 0 = in-process path);
+//                             each forked worker runs a contiguous victim
+//                             shard crash-isolated from the others
+//   --shard-heartbeat-ms MS   worker heartbeat period; 10x silence presumes a
+//                             wedged worker and kills it (0 = stall check off)
+//   --max-shard-restarts N    worker respawns per shard before its remaining
+//                             victims are conceded as shard-crashed
 //   --cluster-deadline-ms MS  per-cluster wall-clock budget (0 = unlimited)
 //   --cluster-mem-mb MB       per-cluster memory budget (0 = unlimited)
 //   --global-mem-soft-mb MB   soft RSS limit; sheds largest queued clusters
@@ -79,6 +86,13 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--threads") == 0) {
       options.threads = static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--processes") == 0) {
+      options.processes = static_cast<std::size_t>(std::atoi(value(arg)));
+    } else if (std::strcmp(arg, "--shard-heartbeat-ms") == 0) {
+      options.shard_heartbeat_ms = std::atof(value(arg));
+    } else if (std::strcmp(arg, "--max-shard-restarts") == 0) {
+      options.max_shard_restarts =
+          static_cast<std::size_t>(std::atoi(value(arg)));
     } else if (std::strcmp(arg, "--cluster-deadline-ms") == 0) {
       options.cluster_deadline_ms = std::atof(value(arg));
     } else if (std::strcmp(arg, "--cluster-mem-mb") == 0) {
@@ -154,6 +168,11 @@ int main(int argc, char** argv) {
               design.complementary_pairs.size());
   if (options.threads > 1)
     std::printf("  %zu worker threads\n", options.threads);
+  if (options.processes > 0)
+    std::printf("  %zu worker processes (heartbeat %.0f ms, %zu restarts "
+                "per shard)\n",
+                options.processes, options.shard_heartbeat_ms,
+                options.max_shard_restarts);
   if (options.cluster_deadline_ms > 0.0)
     std::printf("  per-cluster budget %.1f ms\n", options.cluster_deadline_ms);
   if (options.cluster_mem_mb > 0.0)
@@ -195,6 +214,11 @@ int main(int argc, char** argv) {
               report.victims_fallback, report.victims_deadline_bound,
               report.victims_resource_bound, report.victims_accuracy_bound,
               report.victims_failed);
+  if (options.processes > 0)
+    std::printf("process shards: crashes=%zu restarts=%zu quarantined=%zu "
+                "shard-crashed=%zu\n",
+                report.worker_crashes, report.shard_restarts,
+                report.victims_quarantined, report.victims_shard_crashed);
   if (options.certify)
     std::printf("accuracy: certified=%zu escalated=%zu (order raises=%zu) "
                 "accuracy-bound=%zu\n",

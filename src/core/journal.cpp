@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
 
+#include "util/log.h"
 #include "util/status.h"
+#include "util/subprocess.h"
 
 namespace xtv {
 
@@ -94,7 +97,38 @@ bool parse_size(const std::string& s, std::size_t& out) {
   return true;
 }
 
+/// One checksummed journal line for `record` (newline included).
+std::string format_record_line(const JournalRecord& record) {
+  const std::string payload = journal_encode(record);
+  char checksum[24];
+  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64, fnv1a64(payload));
+  return std::string(kMagic) + ' ' + payload + ' ' + checksum + '\n';
+}
+
+std::string format_header_line(std::uint64_t options_hash) {
+  char line[40];
+  std::snprintf(line, sizeof(line), "%s %016" PRIx64 "\n", kHeaderMagic,
+                options_hash);
+  return line;
+}
+
+/// fsyncs the directory containing `path`, making a just-completed
+/// rename() durable (a crash after rename but before the directory hits
+/// disk could otherwise resurrect the old name).
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
 }  // namespace
+
+std::string journal_shard_path(const std::string& base, std::size_t k) {
+  return base + ".shard" + std::to_string(k);
+}
 
 std::string journal_encode(const JournalRecord& record) {
   const VictimFinding& f = record.finding;
@@ -128,11 +162,11 @@ bool journal_decode(const std::string& payload, JournalRecord& record) {
   if (!parse_size(tok[0], screened) || screened > 1) return false;
   if (!parse_size(tok[1], f.net)) return false;
   if (!parse_size(tok[2], status) ||
-      status > static_cast<std::size_t>(FindingStatus::kAccuracyBound))
+      status > static_cast<std::size_t>(FindingStatus::kShardCrashed))
     return false;
   if (!parse_size(tok[3], f.retries)) return false;
   if (!parse_size(tok[4], code) ||
-      code > static_cast<std::size_t>(StatusCode::kCertificationFailed))
+      code > static_cast<std::size_t>(StatusCode::kWorkerCrashed))
     return false;
   if (!unescape(tok[5], f.error)) return false;
   if (!parse_double(tok[6], f.peak)) return false;
@@ -206,6 +240,19 @@ ResultJournal::LoadResult ResultJournal::load(const std::string& path) {
         continue;
       }
     }
+    // Crash marker ("xtvjc <victim> <signal>"): the worker's signal
+    // handler wrote its last words. Read them for attribution, then stop
+    // — the process died here, nothing intact can follow, and the marker
+    // itself is left OUTSIDE valid_bytes so a resume truncates it.
+    if (line.compare(0, std::strlen(subprocess::kCrashMarkerMagic),
+                     subprocess::kCrashMarkerMagic) == 0) {
+      std::istringstream marker_in(
+          line.substr(std::strlen(subprocess::kCrashMarkerMagic)));
+      CrashMarker marker;
+      if (marker_in >> marker.victim >> marker.sig)
+        result.crash_markers.push_back(marker);
+      break;
+    }
     if (line.compare(0, magic_len, kMagic) != 0 ||
         line.size() <= magic_len + 1 || line[magic_len] != ' ')
       break;
@@ -237,6 +284,11 @@ ResultJournal::ResultJournal(const std::string& path, bool resume,
   if (resume) {
     // Cut the torn tail (if any) so fresh appends follow intact records.
     const LoadResult prior = load(path);
+    if (prior.tail_discarded)
+      logf(LogLevel::kWarn,
+           "journal %s: discarding torn tail past %zu intact record(s) "
+           "(interrupted write); resuming from the intact prefix",
+           path.c_str(), prior.records.size());
     if (prior.valid_bytes > 0) {
       // Findings are only comparable across runs with identical
       // result-affecting options; the header is the proof.
@@ -273,13 +325,42 @@ ResultJournal::ResultJournal(const std::string& path, bool resume,
     throw NumericalError(StatusCode::kInvalidInput,
                          "ResultJournal: cannot open " + path);
   if (write_header) {
-    char line[40];
-    std::snprintf(line, sizeof(line), "%s %016" PRIx64 "\n", kHeaderMagic,
-                  options_hash);
-    std::fwrite(line, 1, std::strlen(line), file_);
+    const std::string line = format_header_line(options_hash);
+    std::fwrite(line.data(), 1, line.size(), file_);
     std::fflush(file_);
     fsync(fileno(file_));
   }
+}
+
+void ResultJournal::write_atomic(const std::string& path,
+                                 const std::vector<const JournalRecord*>& records,
+                                 std::uint64_t options_hash) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    throw NumericalError(StatusCode::kInvalidInput,
+                         "ResultJournal: cannot open " + tmp);
+  bool ok = true;
+  const std::string header = format_header_line(options_hash);
+  ok = ok && std::fwrite(header.data(), 1, header.size(), f) == header.size();
+  for (const JournalRecord* rec : records) {
+    const std::string line = format_record_line(*rec);
+    ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  }
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw NumericalError(StatusCode::kInternal,
+                         "ResultJournal: short write finalizing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw NumericalError(StatusCode::kInternal,
+                         "ResultJournal: cannot rename " + tmp + " over " + path);
+  }
+  fsync_parent_dir(path);
 }
 
 ResultJournal::~ResultJournal() {
@@ -290,11 +371,7 @@ ResultJournal::~ResultJournal() {
 }
 
 void ResultJournal::append(const JournalRecord& record) {
-  const std::string payload = journal_encode(record);
-  char checksum[24];
-  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64, fnv1a64(payload));
-  const std::string line =
-      std::string(kMagic) + ' ' + payload + ' ' + checksum + '\n';
+  const std::string line = format_record_line(record);
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::fwrite(line.data(), 1, line.size(), file_);
@@ -304,6 +381,8 @@ void ResultJournal::append(const JournalRecord& record) {
     unflushed_ = 0;
   }
 }
+
+int ResultJournal::fd() const { return file_ ? fileno(file_) : -1; }
 
 void ResultJournal::flush() {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -49,18 +49,36 @@ std::string journal_encode(const JournalRecord& record);
 /// Decodes a payload line; returns false on any malformed field.
 bool journal_decode(const std::string& payload, JournalRecord& record);
 
+/// Shard journal path for worker `k` of a process-sharded run:
+/// `<base>.shard<k>` (core/shard_exec.h). Centralized so the supervisor,
+/// resume, and cleanup agree on the naming.
+std::string journal_shard_path(const std::string& base, std::size_t k);
+
 class ResultJournal {
  public:
+  /// One crash-marker line (`xtvjc <victim> <signal>`) found in a shard
+  /// journal — written by the worker's async-signal-safe crash handler
+  /// (util/subprocess.h) so the supervisor can attribute the death to a
+  /// victim without guessing from the heartbeat gap.
+  struct CrashMarker {
+    std::size_t victim = 0;
+    int sig = 0;
+  };
+
   struct LoadResult {
     std::vector<JournalRecord> records;
     /// Byte offset just past the last intact record — the truncation
-    /// point for a writer resuming after a crash.
+    /// point for a writer resuming after a crash. A crash marker is NOT
+    /// counted valid: resume truncates it away after it has been read.
     long valid_bytes = 0;
-    /// True when bytes past valid_bytes were present (torn/corrupt tail).
+    /// True when bytes past valid_bytes were present (torn/corrupt tail,
+    /// or a crash marker).
     bool tail_discarded = false;
     /// Header line present and intact; `header_hash` is its options hash.
     bool has_header = false;
     std::uint64_t header_hash = 0;
+    /// Crash markers found after the intact record prefix.
+    std::vector<CrashMarker> crash_markers;
   };
 
   /// Reads every intact record of `path`. A missing file is an empty
@@ -87,7 +105,21 @@ class ResultJournal {
   /// Flushes buffered records to the OS and fsyncs.
   void flush();
 
+  /// Torn-write-proof one-shot journal write: serializes the header and
+  /// `records` into `path + ".tmp"`, fsyncs the file, atomically
+  /// rename()s it over `path`, then fsyncs the containing directory — a
+  /// reader (or a resume) sees either the complete old journal or the
+  /// complete new one, never a half-written merge. Used by the shard
+  /// supervisor to finalize the stable-order merged journal.
+  static void write_atomic(const std::string& path,
+                           const std::vector<const JournalRecord*>& records,
+                           std::uint64_t options_hash);
+
   const std::string& path() const { return path_; }
+
+  /// Raw descriptor of the open journal (workers register it with the
+  /// crash-marker signal handler; see util/subprocess.h).
+  int fd() const;
 
  private:
   std::string path_;

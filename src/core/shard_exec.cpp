@@ -1,0 +1,583 @@
+#include "core/shard_exec.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/wire.h"
+#include "util/log.h"
+#include "util/status.h"
+#include "util/subprocess.h"
+
+namespace xtv {
+
+namespace {
+
+bool parse_index(const std::string& s, std::size_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str()) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// --- Test hooks (env-driven, inert in production) ---
+
+/// Worker-side: crash deterministically on reaching a chosen victim.
+struct CrashHook {
+  bool armed = false;
+  std::size_t victim = 0;
+  enum Mode { kAbort, kSegv, kFpe, kExit42 } mode = kAbort;
+  std::string once_file;
+
+  static CrashHook from_env() {
+    CrashHook h;
+    const char* v = std::getenv("XTV_TEST_CRASH_VICTIM");
+    if (!v || !*v || !parse_index(v, &h.victim)) return h;
+    h.armed = true;
+    if (const char* m = std::getenv("XTV_TEST_CRASH_MODE")) {
+      if (std::strcmp(m, "segv") == 0) h.mode = kSegv;
+      else if (std::strcmp(m, "fpe") == 0) h.mode = kFpe;
+      else if (std::strcmp(m, "exit42") == 0) h.mode = kExit42;
+    }
+    if (const char* f = std::getenv("XTV_TEST_CRASH_ONCE_FILE")) h.once_file = f;
+    return h;
+  }
+
+  void maybe_crash(std::size_t net) const {
+    if (!armed || net != victim) return;
+    if (!once_file.empty()) {
+      // O_CREAT|O_EXCL succeeds exactly once across all worker processes:
+      // the first reaching the victim crashes, retries run clean.
+      const int fd =
+          ::open(once_file.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd < 0) return;
+      ::close(fd);
+    }
+    switch (mode) {
+      case kSegv: ::raise(SIGSEGV); break;
+      case kFpe: ::raise(SIGFPE); break;
+      case kExit42: ::_exit(42);
+      case kAbort: std::abort();
+    }
+  }
+};
+
+/// Supervisor-side: SIGKILL the worker that announces victim-start for a
+/// chosen net, up to a count. Victim-keyed (not record-count-keyed) so the
+/// injection is deterministic across replays regardless of shard pacing.
+struct KillOnStartHook {
+  bool armed = false;
+  std::size_t victim = 0;
+  int remaining = 0;
+
+  static KillOnStartHook from_env() {
+    KillOnStartHook h;
+    const char* v = std::getenv("XTV_TEST_SHARD_KILL_ON_START");
+    if (!v || !*v) return h;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long net = std::strtoull(v, &end, 10);
+    if (errno != 0 || end == v) return h;
+    h.armed = true;
+    h.victim = static_cast<std::size_t>(net);
+    h.remaining = (end && *end == ':') ? std::atoi(end + 1) : 1;
+    return h;
+  }
+};
+
+// --- Worker ---
+
+[[noreturn]] void worker_main(int pipe_fd, std::size_t spawn_index,
+                              const std::vector<std::size_t>& victims,
+                              bool bound_only, const ShardCallbacks& cb,
+                              const ShardExecOptions& opt) {
+  subprocess::ignore_sigpipe();
+  std::unique_ptr<ResultJournal> journal;
+  if (!opt.journal_path.empty()) {
+    try {
+      // flush_every=1: the stdio buffer is empty whenever a signal can
+      // arrive, so the crash marker never interleaves a buffered record.
+      journal = std::make_unique<ResultJournal>(
+          journal_shard_path(opt.journal_path, spawn_index), /*resume=*/false,
+          opt.options_hash, /*flush_every=*/1);
+    } catch (const std::exception& e) {
+      logf(LogLevel::kWarn, "shard %zu: cannot open shard journal: %s",
+           spawn_index, e.what());
+    }
+  }
+  subprocess::install_crash_marker_handler(journal ? journal->fd() : -1);
+  if (cb.worker_init) {
+    try {
+      cb.worker_init();
+    } catch (const std::exception& e) {
+      logf(LogLevel::kWarn, "shard %zu: worker_init failed: %s", spawn_index,
+           e.what());
+    }
+  }
+
+  WireWriter writer(pipe_fd);
+  writer.send(WireType::kHello, std::to_string(spawn_index) + " " +
+                                    std::to_string(::getpid()));
+
+  // Heartbeat thread: proves liveness while a large cluster computes.
+  // The writer's internal mutex keeps its frames from interleaving the
+  // victim loop's; the condition variable makes shutdown prompt.
+  std::mutex beat_mutex;
+  std::condition_variable beat_cv;
+  bool stop = false;
+  std::thread beater;
+  if (opt.heartbeat_ms > 0) {
+    beater = std::thread([&] {
+      std::uint64_t seq = 0;
+      const auto period =
+          std::chrono::duration<double, std::milli>(opt.heartbeat_ms);
+      std::unique_lock<std::mutex> lock(beat_mutex);
+      while (!beat_cv.wait_for(lock, period, [&] { return stop; }))
+        writer.send(WireType::kHeartbeat, std::to_string(seq++));
+    });
+  }
+
+  const CrashHook hook = CrashHook::from_env();
+  const KillOnStartHook kill_hook = KillOnStartHook::from_env();
+  std::size_t streamed = 0;
+  bool pipe_ok = true;
+  for (std::size_t v : victims) {
+    subprocess::set_crash_marker_victim(v);
+    if (!writer.send(WireType::kVictimStart, std::to_string(v))) {
+      pipe_ok = false;
+      break;
+    }
+    // Kill-on-start test hook: pause after announcing the targeted victim
+    // so the supervisor's SIGKILL deterministically lands before analysis
+    // can outrun the signal (the Devgan-bound rung finishes in
+    // microseconds otherwise).
+    if (kill_hook.armed && v == kill_hook.victim) ::usleep(250 * 1000);
+    // The hook is skipped on the bound-only rung so tests can observe a
+    // successful concession (rung 3) distinctly from the synthesized
+    // last-resort record (rung 4, reachable via the kill-on-start hook).
+    if (!bound_only) hook.maybe_crash(v);
+    std::optional<JournalRecord> rec;
+    try {
+      rec = cb.analyze(v, bound_only);
+    } catch (...) {
+      // analyze() contractually absorbs analysis failures; an escape means
+      // this process is no longer trustworthy — die loudly so the
+      // supervisor quarantines the victim.
+      std::abort();
+    }
+    subprocess::set_crash_marker_victim(subprocess::kNoCrashVictim);
+    if (!rec) {
+      if (!writer.send(WireType::kVictimSkipped, std::to_string(v))) {
+        pipe_ok = false;
+        break;
+      }
+      continue;
+    }
+    // Journal before streaming: on a crash between the two, the record is
+    // recovered from the shard journal instead of being re-analyzed.
+    if (journal) journal->append(*rec);
+    if (!writer.send(WireType::kVictimDone, journal_encode(*rec))) {
+      pipe_ok = false;
+      break;
+    }
+    ++streamed;
+  }
+  if (journal) journal->flush();
+  {
+    std::lock_guard<std::mutex> lock(beat_mutex);
+    stop = true;
+  }
+  beat_cv.notify_all();
+  if (beater.joinable()) beater.join();
+  if (pipe_ok) writer.send(WireType::kShardDone, std::to_string(streamed));
+  // _exit, not exit: atexit handlers and static destructors belong to the
+  // supervisor image this process was forked from.
+  ::_exit(0);
+}
+
+// --- Supervisor ---
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  std::size_t spawn_index = 0;
+  std::size_t restarts = 0;  ///< restart budget consumed by this shard chain
+  std::vector<std::size_t> pending;  ///< victims not yet done/skipped
+  bool bound_only = false;
+  bool quarantine_retry = false;
+  long long in_flight = -1;
+  std::chrono::steady_clock::time_point last_heard;
+  WireDecoder decoder;
+  bool shard_done = false;
+  bool eof = false;
+  bool killed_for_stall = false;
+  bool killed_for_corruption = false;
+};
+
+class ShardSupervisor {
+ public:
+  ShardSupervisor(const ShardCallbacks& cb, const ShardExecOptions& opt,
+                  ShardExecStats* stats)
+      : cb_(cb), opt_(opt), stats_(stats),
+        kill_hook_(KillOnStartHook::from_env()) {}
+
+  std::map<std::size_t, JournalRecord> run(
+      const std::vector<std::size_t>& work) {
+    const std::size_t n = work.size();
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min(opt_.processes, n ? n : std::size_t{1}));
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards && begin < n; ++s) {
+      const std::size_t count = n / shards + (s < n % shards ? 1 : 0);
+      spawn(std::vector<std::size_t>(work.begin() + begin,
+                                     work.begin() + begin + count),
+            /*restarts=*/0, /*bound_only=*/false, /*quarantine_retry=*/false);
+      begin += count;
+    }
+
+    const double stall_ms =
+        opt_.heartbeat_ms > 0 ? 10.0 * opt_.heartbeat_ms : 0.0;
+    while (!live_.empty()) {
+      std::vector<struct pollfd> fds;
+      fds.reserve(live_.size());
+      for (const auto& w : live_) fds.push_back({w->fd, POLLIN, 0});
+      const int rc =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+      if (rc < 0 && errno != EINTR)
+        throw NumericalError(StatusCode::kInternal,
+                             std::string("shard supervisor poll failed: ") +
+                                 std::strerror(errno));
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        Worker& w = *live_[i];
+        if (rc > 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+          w.eof = pump(w);
+        if (!w.eof && !w.killed_for_stall && stall_ms > 0 &&
+            ms_between(w.last_heard, now) > stall_ms) {
+          logf(LogLevel::kWarn,
+               "shard worker %d silent for >%.0f ms; presuming wedged and "
+               "killing it",
+               static_cast<int>(w.pid), stall_ms);
+          w.killed_for_stall = true;
+          ::kill(w.pid, SIGKILL);
+        }
+      }
+      // Detach EOFed workers first (finish_worker may spawn replacements,
+      // which must not be classified against this round's pollfds).
+      std::vector<std::unique_ptr<Worker>> done;
+      for (auto it = live_.begin(); it != live_.end();) {
+        if ((*it)->eof) {
+          done.push_back(std::move(*it));
+          it = live_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto& w : done) finish_worker(std::move(w));
+    }
+    return std::move(results_);
+  }
+
+ private:
+  void spawn(std::vector<std::size_t> victims, std::size_t restarts,
+             bool bound_only, bool quarantine_retry) {
+    if (victims.empty()) return;
+    subprocess::Pipe pipe;
+    try {
+      pipe = subprocess::make_pipe();
+    } catch (const std::exception& e) {
+      for (std::size_t v : victims)
+        concede_now(v, std::string("pipe creation failed: ") + e.what());
+      return;
+    }
+    const std::size_t index = spawn_counter_;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(pipe.read_fd);
+      for (const auto& w : live_)
+        if (w->fd >= 0) ::close(w->fd);
+      worker_main(pipe.write_fd, index, victims, bound_only, cb_, opt_);
+    }
+    if (pid < 0) {
+      ::close(pipe.read_fd);
+      ::close(pipe.write_fd);
+      for (std::size_t v : victims) concede_now(v, "fork failed");
+      return;
+    }
+    ++spawn_counter_;
+    if (stats_) stats_->workers_spawned = spawn_counter_;
+    ::close(pipe.write_fd);
+    subprocess::set_nonblocking(pipe.read_fd);
+    auto w = std::make_unique<Worker>();
+    w->pid = pid;
+    w->fd = pipe.read_fd;
+    w->spawn_index = index;
+    w->restarts = restarts;
+    w->pending = std::move(victims);
+    w->bound_only = bound_only;
+    w->quarantine_retry = quarantine_retry;
+    w->last_heard = std::chrono::steady_clock::now();
+    live_.push_back(std::move(w));
+  }
+
+  /// Drains the worker's pipe into its decoder. Returns true on EOF.
+  bool pump(Worker& w) {
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+      if (n > 0) {
+        w.decoder.feed(buf, static_cast<std::size_t>(n));
+        WireFrame f;
+        while (w.decoder.next(&f)) handle_frame(w, f);
+        if (w.decoder.corrupt() && !w.killed_for_corruption) {
+          w.killed_for_corruption = true;
+          ::kill(w.pid, SIGKILL);
+        }
+        continue;
+      }
+      if (n == 0) return true;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      return true;  // unexpected read error: treat like worker death
+    }
+  }
+
+  void handle_frame(Worker& w, const WireFrame& f) {
+    w.last_heard = std::chrono::steady_clock::now();
+    switch (f.type) {
+      case WireType::kHello:
+      case WireType::kHeartbeat:
+        break;
+      case WireType::kVictimStart: {
+        std::size_t v = 0;
+        if (!parse_index(f.payload, &v)) break;
+        w.in_flight = static_cast<long long>(v);
+        if (kill_hook_.armed && kill_hook_.remaining > 0 &&
+            v == kill_hook_.victim) {
+          --kill_hook_.remaining;
+          ::kill(w.pid, SIGKILL);
+        }
+        break;
+      }
+      case WireType::kVictimSkipped: {
+        std::size_t v = 0;
+        if (!parse_index(f.payload, &v)) break;
+        settle(w, v);
+        break;
+      }
+      case WireType::kVictimDone: {
+        JournalRecord rec;
+        if (!journal_decode(f.payload, rec)) {
+          // Checksummed frame carrying an undecodable record: the worker's
+          // memory is suspect — same treatment as stream corruption.
+          if (!w.killed_for_corruption) {
+            w.killed_for_corruption = true;
+            ::kill(w.pid, SIGKILL);
+          }
+          break;
+        }
+        const std::size_t v = rec.finding.net;
+        if (w.bound_only) stamp_concession(rec);
+        results_[v] = std::move(rec);
+        settle(w, v);
+        break;
+      }
+      case WireType::kShardDone:
+        w.shard_done = true;
+        break;
+    }
+  }
+
+  void settle(Worker& w, std::size_t v) {
+    w.pending.erase(std::remove(w.pending.begin(), w.pending.end(), v),
+                    w.pending.end());
+    if (w.in_flight == static_cast<long long>(v)) w.in_flight = -1;
+  }
+
+  void finish_worker(std::unique_ptr<Worker> w) {
+    ::close(w->fd);
+    w->fd = -1;
+    subprocess::ExitStatus st;
+    subprocess::wait_for(w->pid, &st);
+    std::string reason;
+    if (w->killed_for_stall) {
+      reason = "heartbeat silence (worker presumed wedged; killed)";
+    } else if (w->killed_for_corruption) {
+      reason = "wire stream corruption";
+    } else if (!st.clean()) {
+      reason = st.describe();
+    } else if (!w->shard_done || !w->pending.empty()) {
+      reason = "worker exited without completing its shard";
+    } else {
+      return;  // clean completion
+    }
+    handle_crash(*w, reason);
+  }
+
+  void handle_crash(Worker& w, const std::string& reason) {
+    if (stats_) ++stats_->worker_crashes;
+    std::vector<std::size_t> remaining = w.pending;
+    long long suspect = -1;
+
+    // The shard journal outlives the worker: recover records it appended
+    // but never streamed, and read its crash marker for attribution.
+    if (!opt_.journal_path.empty()) {
+      const auto prior = ResultJournal::load(
+          journal_shard_path(opt_.journal_path, w.spawn_index));
+      for (const auto& rec : prior.records) {
+        const std::size_t v = rec.finding.net;
+        const auto it = std::find(remaining.begin(), remaining.end(), v);
+        if (it == remaining.end()) continue;
+        JournalRecord merged = rec;
+        if (w.bound_only) stamp_concession(merged);
+        results_[v] = std::move(merged);
+        remaining.erase(it);
+      }
+      for (const auto& m : prior.crash_markers)
+        if (m.victim != subprocess::kNoCrashVictim)
+          suspect = static_cast<long long>(m.victim);
+    }
+    if (suspect < 0) suspect = w.in_flight;  // last victim-start frame
+    if (suspect >= 0 &&
+        std::find(remaining.begin(), remaining.end(),
+                  static_cast<std::size_t>(suspect)) == remaining.end())
+      suspect = -1;  // already accounted for; cannot be the culprit
+
+    logf(LogLevel::kWarn,
+         "shard worker %d (spawn %zu%s) died: %s; suspect victim %lld, %zu "
+         "victim(s) outstanding",
+         static_cast<int>(w.pid), w.spawn_index,
+         w.bound_only ? ", bound-only"
+                      : (w.quarantine_retry ? ", quarantine retry" : ""),
+         reason.c_str(), suspect, remaining.size());
+
+    if (w.bound_only) {
+      // Rung 4: even the conservative-bound process died. Synthesize the
+      // suspect's record in-supervisor and respawn for the rest.
+      if (suspect >= 0) {
+        const std::size_t v = static_cast<std::size_t>(suspect);
+        concede_now(v, reason_for(v) + "; conservative-bound computation "
+                                       "also crashed (" +
+                           reason + ")");
+        remaining.erase(std::remove(remaining.begin(), remaining.end(), v),
+                        remaining.end());
+      } else {
+        for (std::size_t v : remaining)
+          concede_now(v, reason_for(v) + "; conservative-bound computation "
+                                         "also crashed (" +
+                             reason + ")");
+        remaining.clear();
+      }
+      spawn(std::move(remaining), w.restarts, /*bound_only=*/true,
+            /*quarantine_retry=*/false);
+      return;
+    }
+
+    if (w.quarantine_retry) {
+      // Rung 3: the solo fresh-process retry crashed too. Concede through
+      // a bound-only process; the stamp rewrites its records.
+      for (std::size_t v : remaining)
+        concede_reason_[v] =
+            "worker process crashed twice analyzing this victim (" + reason +
+            ")";
+      spawn(std::move(remaining), w.restarts, /*bound_only=*/true,
+            /*quarantine_retry=*/false);
+      return;
+    }
+
+    // Rungs 1/2: quarantine the suspect into a solo fresh process and
+    // restart the rest of the shard against its restart budget.
+    if (suspect >= 0) {
+      const std::size_t v = static_cast<std::size_t>(suspect);
+      concede_reason_[v] =
+          "worker process crashed analyzing this victim (" + reason + ")";
+      if (stats_) ++stats_->victims_quarantined;
+      remaining.erase(std::remove(remaining.begin(), remaining.end(), v),
+                      remaining.end());
+      spawn({v}, w.restarts, /*bound_only=*/false, /*quarantine_retry=*/true);
+    }
+    if (remaining.empty()) return;
+    if (w.restarts >= opt_.max_shard_restarts) {
+      logf(LogLevel::kWarn,
+           "shard restart budget (%zu) exhausted; conceding %zu victim(s) to "
+           "the conservative bound",
+           opt_.max_shard_restarts, remaining.size());
+      for (std::size_t v : remaining)
+        concede_reason_[v] =
+            "shard restart budget exhausted after repeated worker crashes (" +
+            reason + ")";
+      spawn(std::move(remaining), w.restarts, /*bound_only=*/true,
+            /*quarantine_retry=*/false);
+    } else {
+      if (stats_) ++stats_->shard_restarts;
+      spawn(std::move(remaining), w.restarts + 1, /*bound_only=*/false,
+            /*quarantine_retry=*/false);
+    }
+  }
+
+  /// Rewrites a bound-only worker's record into the concession contract:
+  /// the conservative peak stands, the status says why it was conceded.
+  void stamp_concession(JournalRecord& rec) {
+    rec.screened = false;
+    rec.finding.status = FindingStatus::kShardCrashed;
+    rec.finding.error_code = StatusCode::kWorkerCrashed;
+    rec.finding.error =
+        "conceded to conservative bound: " + reason_for(rec.finding.net);
+  }
+
+  std::string reason_for(std::size_t victim) const {
+    const auto it = concede_reason_.find(victim);
+    return it != concede_reason_.end()
+               ? it->second
+               : std::string("worker process crashed repeatedly");
+  }
+
+  /// Last resort: a record synthesized by the supervisor itself.
+  void concede_now(std::size_t victim, const std::string& why) {
+    logf(LogLevel::kWarn,
+         "victim %zu: synthesizing pessimistic record in supervisor: %s",
+         victim, why.c_str());
+    results_[victim] = cb_.concede(victim, why);
+  }
+
+  const ShardCallbacks& cb_;
+  const ShardExecOptions& opt_;
+  ShardExecStats* stats_;
+  KillOnStartHook kill_hook_;
+  std::vector<std::unique_ptr<Worker>> live_;
+  std::map<std::size_t, JournalRecord> results_;
+  /// victim -> crash description, recorded when the quarantine ladder
+  /// decides a victim will be conceded (consumed by stamp_concession).
+  std::map<std::size_t, std::string> concede_reason_;
+  std::size_t spawn_counter_ = 0;
+};
+
+}  // namespace
+
+std::map<std::size_t, JournalRecord> run_process_shards(
+    const std::vector<std::size_t>& work, const ShardCallbacks& callbacks,
+    const ShardExecOptions& options, ShardExecStats* stats) {
+  ShardSupervisor supervisor(callbacks, options, stats);
+  return supervisor.run(work);
+}
+
+}  // namespace xtv

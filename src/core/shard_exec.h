@@ -1,0 +1,115 @@
+// Process-isolated shard execution for chip verification (DESIGN.md §12).
+//
+// The in-process thread pool (core/parallel.h) shares one address space:
+// a single SIGSEGV in a numerical kernel — or an OOM kill — forfeits the
+// whole run. For multi-hour chip audits the verifier can instead fork N
+// worker *processes*, each assigned a contiguous shard of the eligible
+// victims. Fork-without-exec means every worker inherits the fully built
+// design, extractor, and characterization tables — no serialization of
+// the assignment is needed — and runs the existing per-victim pipeline
+// unchanged, streaming findings and heartbeats back over a checksummed
+// pipe (core/wire.h) while appending to its own crash-safe shard journal
+// (`<journal>.shard<k>`).
+//
+// The supervisor owns the failure policy — the quarantine ladder:
+//
+//   1. A worker dies (signal, nonzero exit, heartbeat silence, or wire
+//      corruption). The in-flight victim is identified from the journal
+//      crash marker, falling back to the last victim-start frame.
+//   2. That suspect victim is *quarantined*: retried alone in a fresh
+//      process. The rest of the shard restarts in another fresh process,
+//      consuming one unit of the shard's restart budget.
+//   3. If the solo retry crashes too, the victim is *conceded*: a
+//      bound-only process computes its conservative Devgan bound and the
+//      supervisor stamps the record FindingStatus::kShardCrashed.
+//   4. If even the bound-only process dies, the supervisor synthesizes a
+//      maximally pessimistic record (peak = Vdd) itself — pure struct
+//      assembly, nothing left to crash.
+//
+// A shard whose restart budget is exhausted has its remaining victims
+// conceded through the same rung-3/4 path. Either way every victim is
+// accounted for exactly once, and a crash-free multi-process run merges
+// to a result bit-identical to the serial one (findings travel as
+// hexfloat journal payloads end to end).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+
+namespace xtv {
+
+struct ShardExecOptions {
+  /// Worker processes to fork (>= 1; the caller gates the 0 case).
+  std::size_t processes = 2;
+  /// Worker heartbeat period (ms). Silence for 10x this long SIGKILLs the
+  /// worker and routes it through the crash ladder. 0 disables stall
+  /// monitoring (death is still seen as pipe EOF).
+  double heartbeat_ms = 250.0;
+  /// Worker restarts a shard may consume before its remaining victims are
+  /// conceded to the conservative bound.
+  std::size_t max_shard_restarts = 2;
+  /// Base journal path; workers write `<base>.shard<k>` (empty = workers
+  /// stream only, no shard journals — crash attribution then relies on
+  /// victim-start frames alone).
+  std::string journal_path;
+  /// Options hash stamped into every shard journal header.
+  std::uint64_t options_hash = 0;
+};
+
+struct ShardExecStats {
+  std::size_t worker_crashes = 0;       ///< deaths: signal/exit/stall/corruption
+  std::size_t shard_restarts = 0;       ///< shard respawns after a crash
+  std::size_t victims_quarantined = 0;  ///< solo fresh-process retries
+  /// Total workers spawned == number of `<base>.shard<k>` files written
+  /// (k is the spawn index); the caller unlinks [0, spawned) after the
+  /// merged journal is finalized.
+  std::size_t workers_spawned = 0;
+};
+
+/// Hooks the verifier passes in so this module stays ignorant of the
+/// analysis pipeline.
+struct ShardCallbacks {
+  /// WORKER side: analyze one victim. `bound_only` requests the cheap
+  /// conservative Devgan bound (concession rung). Returns nullopt when the
+  /// victim turns out ineligible (no retained aggressors). Must catch its
+  /// own analysis exceptions (returning a kFailed record) — an escaping
+  /// exception is a worker crash.
+  std::function<std::optional<JournalRecord>(std::size_t victim,
+                                             bool bound_only)> analyze;
+  /// WORKER side, once per fork, before the victim loop: per-process setup
+  /// (RSS watchdog, FP traps). May be null.
+  std::function<void()> worker_init;
+  /// SUPERVISOR side: synthesize the last-resort pessimistic record for a
+  /// victim whose bound-only process also died (peak = Vdd). Must be pure
+  /// struct assembly — it cannot be allowed to fail.
+  std::function<JournalRecord(std::size_t victim, const std::string& why)>
+      concede;
+};
+
+/// Runs `work` (victim nets, in stable order) across forked worker
+/// processes and returns one record per victim, keyed by net. Records of
+/// conceded victims arrive stamped FindingStatus::kShardCrashed /
+/// StatusCode::kWorkerCrashed with the crash description in `error`.
+///
+/// The caller must be effectively single-threaded when this is invoked
+/// (fork duplicates only the calling thread; a live thread pool in the
+/// parent would leave locked mutexes behind in the children).
+///
+/// Test hooks (env, all off in production):
+///   XTV_TEST_CRASH_VICTIM=<net>        worker crashes on reaching <net>
+///   XTV_TEST_CRASH_MODE=abort|segv|fpe|exit42   (default abort)
+///   XTV_TEST_CRASH_ONCE_FILE=<path>    crash only while <path> is absent
+///   XTV_TEST_SHARD_KILL_ON_START=<net>:<times>  supervisor SIGKILLs the
+///       worker announcing victim-start for <net>, up to <times> times
+std::map<std::size_t, JournalRecord> run_process_shards(
+    const std::vector<std::size_t>& work, const ShardCallbacks& callbacks,
+    const ShardExecOptions& options, ShardExecStats* stats);
+
+}  // namespace xtv

@@ -1,5 +1,7 @@
 #include "core/verifier.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -13,8 +15,10 @@
 
 #include "core/journal.h"
 #include "core/pipeline.h"
+#include "core/shard_exec.h"
 #include "mor/model_cache.h"
 #include "util/fault_injection.h"
+#include "util/log.h"
 #include "util/resource.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -110,6 +114,7 @@ bool parse_finding_status(const std::string& name, FindingStatus* out) {
       {"kFailed", FindingStatus::kFailed},
       {"kCertified", FindingStatus::kCertified},
       {"kAccuracyBound", FindingStatus::kAccuracyBound},
+      {"kShardCrashed", FindingStatus::kShardCrashed},
   };
   for (const auto& entry : kTable) {
     if (name == entry.enumerator ||
@@ -247,6 +252,16 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     candidates.push_back(v);
   }
 
+  // Process-isolated execution (DESIGN.md §12) replaces the thread pool
+  // with forked worker processes. max_victims is defined by serial
+  // analysis order, which spans shard boundaries — it forces the
+  // in-process path.
+  const bool use_processes = options.processes > 0 && options.max_victims == 0;
+  if (options.processes > 0 && !use_processes)
+    logf(LogLevel::kWarn,
+         "ChipVerifier: processes > 0 requires max_victims == 0; "
+         "falling back to the in-process path");
+
   // Resume: intact journal records stand in for re-analysis; the journal
   // itself is truncated past its intact prefix so fresh appends follow.
   // The journal header must carry the current options hash — findings
@@ -273,9 +288,49 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       }
       for (auto& rec : prior.records)
         journaled.insert_or_assign(rec.finding.net, std::move(rec));
+      // A killed process-mode supervisor leaves shard journals holding
+      // progress past the base journal; fold the intact, hash-matching
+      // ones in, then durably rewrite the base so a second crash cannot
+      // lose that progress.
+      bool folded = false;
+      for (std::size_t k = 0;; ++k) {
+        const std::string spath = journal_shard_path(options.journal_path, k);
+        if (::access(spath.c_str(), F_OK) != 0) break;
+        ResultJournal::LoadResult sprior = ResultJournal::load(spath);
+        if (sprior.has_header && sprior.header_hash == ohash) {
+          for (auto& rec : sprior.records) {
+            journaled.insert_or_assign(rec.finding.net, std::move(rec));
+            folded = true;
+          }
+        } else if (sprior.valid_bytes > 0) {
+          logf(LogLevel::kWarn,
+               "ChipVerifier: ignoring shard journal %s (options hash "
+               "mismatch)",
+               spath.c_str());
+        }
+        ::unlink(spath.c_str());
+      }
+      if (folded) {
+        std::vector<const JournalRecord*> recs;
+        recs.reserve(journaled.size());
+        for (const auto& [net, rec] : journaled) recs.push_back(&rec);
+        ResultJournal::write_atomic(options.journal_path, recs, ohash);
+      }
+    } else {
+      // Stale shard files from an older interrupted run must not leak
+      // into this run's merge.
+      for (std::size_t k = 0;; ++k) {
+        if (::unlink(
+                journal_shard_path(options.journal_path, k).c_str()) != 0)
+          break;
+      }
     }
-    journal = std::make_unique<ResultJournal>(options.journal_path,
-                                              options.resume, ohash);
+    // In process mode the workers append to their own shard journals and
+    // the parent writes the merged journal once, atomically, after the
+    // sweep — an open append handle here would alias the rename target.
+    if (!use_processes)
+      journal = std::make_unique<ResultJournal>(options.journal_path,
+                                                options.resume, ohash);
   }
 
   std::vector<std::size_t> work;
@@ -334,15 +389,78 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   };
 
   // RSS watchdog for the duration of the sweep (no-op when disabled).
+  // Process mode must keep the parent single-threaded until the workers
+  // are forked (fork duplicates only the calling thread), so there each
+  // worker starts its own watchdog instead.
   std::optional<resource::RssWatchdog> watchdog;
-  if (options.global_mem_soft_mb > 0.0)
+  if (options.global_mem_soft_mb > 0.0 && !use_processes)
     watchdog.emplace(static_cast<std::size_t>(options.global_mem_soft_mb *
                                               1024.0 * 1024.0));
 
-  // max_victims caps *analyzed* victims, which only a serial sweep can
-  // define deterministically (the cap depends on each prior victim's
-  // outcome) — bounded debug runs stay single-threaded.
-  if (options.threads <= 1 || options.max_victims > 0) {
+  ShardExecStats shard_stats;
+  if (use_processes) {
+    ShardExecOptions sopt;
+    sopt.processes = options.processes;
+    sopt.heartbeat_ms = options.shard_heartbeat_ms;
+    sopt.max_shard_restarts = options.max_shard_restarts;
+    sopt.journal_path = options.journal_path;
+    sopt.options_hash = ohash;
+
+    ShardCallbacks scb;
+    // Worker side. Identical body to run_one below, except the record is
+    // returned (streamed over the wire and shard-journaled by the shard
+    // executor) instead of being appended locally, and `bound_only`
+    // routes straight to the terminal Devgan-bound stage (the concession
+    // rung of the quarantine ladder).
+    scb.analyze = [&](std::size_t v,
+                      bool bound_only) -> std::optional<JournalRecord> {
+      FaultInjector::ScopedVictim victim_ctx(v);
+      try {
+        if (!bound_only && XTV_INJECT_FAULT(FaultSite::kVictimTask))
+          throw std::runtime_error(
+              "ChipVerifier: injected worker-task fault outside the ladder");
+        const bool shed =
+            bound_only ||
+            (governor.under_pressure() && footprint(v) >= shed_threshold);
+        return pipeline.run(v, shed);
+      } catch (const std::exception& e) {
+        JournalRecord rec;
+        rec.finding.net = v;
+        record_first_error(rec.finding, e);
+        rec.finding.status = FindingStatus::kFailed;
+        rec.finding.peak = -vdd;
+        rec.finding.peak_fraction = 1.0;
+        rec.finding.violation = true;
+        return rec;
+      }
+    };
+    scb.worker_init = [&] {
+      if (options.global_mem_soft_mb > 0.0)
+        watchdog.emplace(static_cast<std::size_t>(options.global_mem_soft_mb *
+                                                  1024.0 * 1024.0));
+    };
+    // Last-resort record when even the bound-only process died: maximally
+    // pessimistic (|peak| = Vdd), pure struct assembly.
+    scb.concede = [&](std::size_t v, const std::string& why) {
+      JournalRecord rec;
+      rec.finding.net = v;
+      rec.finding.status = FindingStatus::kShardCrashed;
+      rec.finding.error_code = StatusCode::kWorkerCrashed;
+      rec.finding.error = "conceded pessimistically: " + why;
+      rec.finding.peak = -vdd;
+      rec.finding.peak_fraction = 1.0;
+      rec.finding.violation = true;
+      return rec;
+    };
+
+    fresh = run_process_shards(work, scb, sopt, &shard_stats);
+    report.worker_crashes = shard_stats.worker_crashes;
+    report.shard_restarts = shard_stats.shard_restarts;
+    report.victims_quarantined = shard_stats.victims_quarantined;
+  } else if (options.threads <= 1 || options.max_victims > 0) {
+    // max_victims caps *analyzed* victims, which only a serial sweep can
+    // define deterministically (the cap depends on each prior victim's
+    // outcome) — bounded debug runs stay single-threaded.
     std::size_t analyzed = 0;
     for (const auto& [v, rec] : journaled)
       if (!rec.screened && counts_as_analyzed(rec.finding.status)) ++analyzed;
@@ -411,6 +529,10 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         ++report.victims_fallback;
         ++report.victims_accuracy_bound;
         break;
+      case FindingStatus::kShardCrashed:
+        ++report.victims_fallback;
+        ++report.victims_shard_crashed;
+        break;
       case FindingStatus::kFailed:
         ++report.victims_failed;
         break;
@@ -429,6 +551,23 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
           std::max(report.audit_max_time_err, f.audit_time_err);
     }
     if (f.violation) ++report.violations;
+  }
+  // Process mode finalization: one atomic write of the merged journal in
+  // stable candidate order (bit-identical to what an uninterrupted
+  // in-process run would have journaled), then the shard journals are
+  // retired — they were only ever crash insurance.
+  if (use_processes && !options.journal_path.empty()) {
+    std::vector<const JournalRecord*> recs;
+    recs.reserve(journaled.size() + fresh.size());
+    for (std::size_t v : candidates) {
+      if (const auto it = journaled.find(v); it != journaled.end())
+        recs.push_back(&it->second);
+      else if (const auto it2 = fresh.find(v); it2 != fresh.end())
+        recs.push_back(&it2->second);
+    }
+    ResultJournal::write_atomic(options.journal_path, recs, ohash);
+    for (std::size_t k = 0; k < shard_stats.workers_spawned; ++k)
+      ::unlink(journal_shard_path(options.journal_path, k).c_str());
   }
   if (model_cache) {
     const ModelCache::Stats cs = model_cache->stats();
@@ -467,6 +606,17 @@ std::string VerificationReport::to_string() const {
                   victims_retried, victims_eligible, victims_fallback,
                   victims_deadline_bound, victims_resource_bound,
                   victims_accuracy_bound, victims_failed);
+    out << buf;
+  }
+  if (worker_crashes + shard_restarts + victims_quarantined +
+          victims_shard_crashed >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  "process shards: %zu worker crash(es), %zu shard "
+                  "restart(s), %zu victim(s) quarantined, %zu conceded as "
+                  "shard-crashed\n",
+                  worker_crashes, shard_restarts, victims_quarantined,
+                  victims_shard_crashed);
     out << buf;
   }
   if (victims_certified + victims_accuracy_bound + victims_escalated > 0) {

@@ -59,8 +59,32 @@ struct VerifierOptions {
   /// Resume from journal_path: victims with an intact journal record are
   /// merged from it without re-analysis (a torn tail from the crash is
   /// discarded); the rest run normally. Requires journal_path, and the
-  /// journal's options-hash header must match the current options.
+  /// journal's options-hash header must match the current options. In
+  /// process mode, leftover shard journals of a killed supervisor are
+  /// merged too.
   bool resume = false;
+
+  // --- Process-isolated shard execution (DESIGN.md §12) ---
+
+  /// Worker *processes* sharding the eligible victims (0 = in-process
+  /// path, i.e. the `threads` pool above). Each worker is forked, runs
+  /// its contiguous victim shard serially, streams findings back over a
+  /// checksummed pipe, and writes its own crash-safe shard journal — a
+  /// worker that dies on SIGSEGV/SIGKILL/abort loses nothing but its
+  /// in-flight victim, which is quarantined and retried in a fresh
+  /// process (see core/shard_exec.h). A clean multi-process run is
+  /// bit-identical to the serial one. Like `threads`, this is a pure
+  /// scheduling knob and is NOT part of options_result_hash;
+  /// max_victims > 0 forces the in-process serial path.
+  std::size_t processes = 0;
+  /// Worker heartbeat period (ms). A worker silent for 10x this long is
+  /// presumed wedged, SIGKILLed, and handled as a crash (0 = stall
+  /// monitoring off; process death is still detected via pipe EOF).
+  double shard_heartbeat_ms = 250.0;
+  /// Crash budget per shard: after this many worker restarts a shard's
+  /// remaining victims are conceded to the conservative bound
+  /// (FindingStatus::kShardCrashed) instead of respawning forever.
+  std::size_t max_shard_restarts = 2;
 
   // --- Resource governance: memory budgets and shedding (DESIGN.md §9) ---
 
@@ -138,6 +162,7 @@ enum class FindingStatus {
   // Appended after kFailed so serialized journal values stay stable.
   kCertified,           ///< MOR analysis with a PASSING accuracy certificate
   kAccuracyBound,       ///< certificate never passed (even escalated); Devgan bound
+  kShardCrashed,        ///< worker process died on this victim twice; Devgan bound
 };
 
 inline const char* finding_status_name(FindingStatus s) {
@@ -151,6 +176,7 @@ inline const char* finding_status_name(FindingStatus s) {
     case FindingStatus::kFailed: return "failed";
     case FindingStatus::kCertified: return "certified";
     case FindingStatus::kAccuracyBound: return "accuracy-bound";
+    case FindingStatus::kShardCrashed: return "shard-crashed";
   }
   return "unknown";
 }
@@ -168,9 +194,10 @@ inline int finding_status_severity(FindingStatus s) {
     case FindingStatus::kDeadlineBound: return 5;
     case FindingStatus::kResourceBound: return 6;
     case FindingStatus::kAccuracyBound: return 7;
-    case FindingStatus::kFailed: return 8;
+    case FindingStatus::kShardCrashed: return 8;
+    case FindingStatus::kFailed: return 9;
   }
-  return 8;
+  return 9;
 }
 
 /// Parses a FindingStatus from either its report name ("accuracy-bound")
@@ -233,6 +260,11 @@ struct VerificationReport {
   std::size_t victims_failed = 0;        ///< every ladder rung failed
   std::size_t victims_deadline_bound = 0;  ///< budget expired (subset of fallback)
   std::size_t victims_resource_bound = 0;  ///< memory budget/shed (subset of fallback)
+  /// Process-shard accounting (processes > 0 runs).
+  std::size_t victims_shard_crashed = 0;  ///< conceded after repeated worker death (subset of fallback)
+  std::size_t victims_quarantined = 0;    ///< isolated for a fresh-process retry
+  std::size_t worker_crashes = 0;         ///< worker deaths (signal, exit, stall, wire corruption)
+  std::size_t shard_restarts = 0;         ///< shard worker respawns after a crash
   /// Certified-accuracy accounting (certify runs).
   std::size_t victims_certified = 0;       ///< passing certificate (subset of analyzed)
   std::size_t victims_accuracy_bound = 0;  ///< certificate never passed (subset of fallback)

@@ -1,0 +1,88 @@
+// Length-prefixed, checksummed wire format between shard workers and the
+// supervisor (DESIGN.md §12).
+//
+// A worker process streams its findings back over an anonymous pipe; a
+// worker can die at any byte, so the stream must be self-delimiting and
+// self-validating. Every frame is
+//
+//   "xwf1" | type (1 byte) | payload length (u32 LE) | payload
+//        | fnv1a-64 over (type byte + payload) (u64 LE)
+//
+// The decoder consumes bytes incrementally (pipes deliver arbitrary
+// chunks), yields only frames whose magic, length, and checksum all
+// verify, and latches a permanent `corrupt` flag on the first violation —
+// a corrupted stream means the worker's memory can no longer be trusted,
+// and the supervisor treats it exactly like a crash.
+//
+// Payloads are text: victim-finding frames reuse the journal codec
+// (core/journal.h journal_encode/journal_decode), whose hexfloat doubles
+// round-trip bit-exactly — the property the bit-identical multi-process
+// merge rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace xtv {
+
+enum class WireType : std::uint8_t {
+  kHello = 1,        ///< worker alive; payload "<shard index> <pid>"
+  kVictimStart,      ///< payload "<victim net>" — in-flight marker
+  kVictimDone,       ///< payload journal_encode(record)
+  kVictimSkipped,    ///< payload "<victim net>" — ineligible, no record
+  kHeartbeat,        ///< payload "<sequence>"
+  kShardDone,        ///< payload "<records streamed>" — clean completion
+};
+
+const char* wire_type_name(WireType t);
+
+struct WireFrame {
+  WireType type = WireType::kHello;
+  std::string payload;
+};
+
+/// Serializes one frame (exposed for tests and the writer).
+std::string wire_encode_frame(WireType type, const std::string& payload);
+
+/// Incremental frame parser over an arbitrary byte stream.
+class WireDecoder {
+ public:
+  /// Appends raw bytes from the pipe.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete, verified frame. Returns false when the
+  /// buffer holds no complete frame (or the stream is corrupt).
+  bool next(WireFrame* frame);
+
+  /// Latched on the first magic/length/checksum violation.
+  bool corrupt() const { return corrupt_; }
+
+  /// Bytes buffered but not yet consumed (a non-zero value at worker EOF
+  /// is the torn tail of an interrupted frame — expected on a crash).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+/// Thread-safe framed writer over a pipe fd. Worker-side: the victim loop
+/// and the heartbeat thread share one writer, so frames never interleave.
+class WireWriter {
+ public:
+  explicit WireWriter(int fd) : fd_(fd) {}
+
+  /// Writes one frame atomically w.r.t. other send() calls (EINTR-safe
+  /// full write). Returns false when the pipe is gone (EPIPE — the
+  /// supervisor abandoned this worker); callers treat that as "stop".
+  bool send(WireType type, const std::string& payload);
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+}  // namespace xtv

@@ -36,6 +36,7 @@ enum class StatusCode {
   kInternal,           ///< unclassified failure
   kNoConvergence,      ///< iterative kernel hit its hard iteration cap
   kCertificationFailed,  ///< reduced model failed its accuracy certificate
+  kWorkerCrashed,      ///< shard worker process died (signal/exit/stall)
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -55,6 +56,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kInternal: return "internal";
     case StatusCode::kNoConvergence: return "no-convergence";
     case StatusCode::kCertificationFailed: return "certification-failed";
+    case StatusCode::kWorkerCrashed: return "worker-crashed";
   }
   return "unknown";
 }

@@ -1,0 +1,84 @@
+// Worker-process plumbing for the process-isolated shard executor
+// (core/shard_exec.h, DESIGN.md §12): pipe creation, child exit
+// classification, and worker-side signal hygiene.
+//
+// The signal story is the part that earns its own module. A worker that
+// dies on SIGSEGV/SIGBUS/SIGFPE must tell the supervisor *which victim*
+// it was analyzing, or the supervisor has to guess from the last streamed
+// record. The crash-marker handler is therefore async-signal-safe by
+// construction: it formats "xtvjc <victim> <signal>\n" with hand-rolled
+// integer printing (no snprintf, no malloc, no stdio) and write(2)s it to
+// a pre-registered journal fd before re-raising the signal with its
+// default disposition — so waitpid still reports the truthful WTERMSIG.
+// Under ASan/TSan the handler is not installed (the sanitizers own those
+// signals and their reports are more valuable than our one-liner); the
+// supervisor then attributes the crash from the last streamed
+// victim-start record instead.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace xtv {
+namespace subprocess {
+
+/// A unidirectional pipe; both fds are close-on-exec. Throws
+/// NumericalError(kInternal) when the kernel refuses.
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+Pipe make_pipe();
+
+/// Marks `fd` O_NONBLOCK (the supervisor's poll-driven reads).
+void set_nonblocking(int fd);
+
+/// Workers write findings into a pipe the supervisor may have abandoned
+/// (it SIGKILLs stalled shards); a SIGPIPE-terminated worker would be
+/// indistinguishable from a real crash, so workers ignore the signal and
+/// handle the EPIPE write error instead.
+void ignore_sigpipe();
+
+/// Classified waitpid(2) result.
+struct ExitStatus {
+  bool exited = false;    ///< WIFEXITED
+  int code = 0;           ///< WEXITSTATUS when exited
+  bool signaled = false;  ///< WIFSIGNALED
+  int sig = 0;            ///< WTERMSIG when signaled
+  bool clean() const { return exited && code == 0; }
+  std::string describe() const;
+};
+
+/// Blocking waitpid (EINTR-retrying). Returns false if `pid` is not a
+/// waitable child.
+bool wait_for(pid_t pid, ExitStatus* status);
+
+// --- Crash markers (worker side) ---
+
+/// First token of a crash-marker line in a shard journal:
+///   xtvjc <victim net id> <signal number>\n
+inline constexpr const char* kCrashMarkerMagic = "xtvjc";
+
+/// Sentinel for "no victim currently in flight".
+inline constexpr std::uint64_t kNoCrashVictim = ~std::uint64_t{0};
+
+/// Async-signal-safe: writes one crash-marker line to `fd`. Exposed so
+/// tests can exercise the exact formatting without taking a real signal.
+void write_crash_marker(int fd, std::uint64_t victim, int sig);
+
+/// Installs the SIGSEGV/SIGBUS/SIGFPE crash-marker handler writing to
+/// `fd` (pass -1 to mark "no journal": the handler then only re-raises).
+/// No-op when crash_marker_handlers_enabled() is false.
+void install_crash_marker_handler(int fd);
+
+/// False under ASan/TSan builds, where the sanitizer owns fatal signals.
+bool crash_marker_handlers_enabled();
+
+/// Publishes the victim the calling worker is about to analyze (read by
+/// the crash handler); pass kNoCrashVictim between victims.
+void set_crash_marker_victim(std::uint64_t victim);
+
+}  // namespace subprocess
+}  // namespace xtv

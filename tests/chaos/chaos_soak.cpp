@@ -16,9 +16,17 @@
 //      bit-identical to an unconstrained serial reference run: adversity
 //      may degrade a victim's result, never silently change it.
 //
+// A second phase (--process-trials) attacks the process-shard backend:
+// each trial draws a worker count, a victim, and a kill count, arms the
+// supervisor's deterministic SIGKILL hook (XTV_TEST_SHARD_KILL_ON_START),
+// and runs the same verification twice. It checks that no victim is ever
+// lost, that the contract above still holds, and that the two replays
+// reach bit-identical per-victim outcomes — crash recovery must be as
+// deterministic as the crash injection.
+//
 // Exit status 0 iff every trial upholds the contract. Run the reduced
 // smoke via ctest (ChaosSoak.Smoke) or the full soak directly:
-//   ./build/tests/chaos/chaos_soak --trials 100 --seed 1
+//   ./build/tests/chaos/chaos_soak --trials 100 --process-trials 10 --seed 1
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -155,7 +163,7 @@ void check_contract(std::size_t trial, const VerificationReport& r,
                                    r.victims_fallback + r.victims_failed,
          trial, "accounting invariant broken");
   expect(r.victims_deadline_bound + r.victims_resource_bound +
-                 r.victims_accuracy_bound <=
+                 r.victims_accuracy_bound + r.victims_shard_crashed <=
              r.victims_fallback,
          trial, "bound counters exceed fallback count");
   expect(r.victims_certified <= r.victims_analyzed, trial,
@@ -228,6 +236,11 @@ void check_contract(std::size_t trial, const VerificationReport& r,
         expect(!f.error.empty(), trial, "kAccuracyBound without an error",
                net);
         break;
+      case FindingStatus::kShardCrashed:
+        expect(!f.error.empty(), trial, "kShardCrashed without an error", net);
+        expect(f.error_code == StatusCode::kWorkerCrashed, trial,
+               "kShardCrashed without kWorkerCrashed", net);
+        break;
     }
     if (!certify_on)
       expect(!f.certified && f.cert_order_escalations == 0, trial,
@@ -264,14 +277,19 @@ void check_contract(std::size_t trial, const VerificationReport& r,
 
 int main(int argc, char** argv) {
   std::size_t trials = 50;
+  std::size_t process_trials = 0;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
       trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--process-trials") == 0 && i + 1 < argc)
+      process_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     else {
-      std::fprintf(stderr, "usage: chaos_soak [--trials N] [--seed S]\n");
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--trials N] [--process-trials N] "
+                   "[--seed S]\n");
       return 2;
     }
   }
@@ -366,8 +384,89 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nchaos_soak: %zu trials, %zu contract violations, "
-              "%zu escaped exceptions\n",
-              trials, g_checks_failed, escapes);
+  // Phase two: deterministic process-kill trials against the shard backend.
+  // Each trial SIGKILLs a worker mid-run (seed-keyed victim and kill count)
+  // and replays the identical configuration; recovery must lose nothing and
+  // must land on the same per-victim outcomes both times.
+  for (std::size_t t = 0; t < process_trials; ++t) {
+    const std::size_t trial = trials + t;
+    const std::size_t processes =
+        static_cast<std::size_t>(rng.uniform_int(2, 3));
+    const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<int>(ref_report.findings.size()) - 1));
+    const std::size_t victim = ref_report.findings[pick].net;
+    const int kills = rng.uniform_int(1, 2);
+
+    VerifierOptions options = base;
+    options.processes = processes;
+    options.journal_path = journal_path;
+
+    const std::string hook =
+        std::to_string(victim) + ":" + std::to_string(kills);
+    ::setenv("XTV_TEST_SHARD_KILL_ON_START", hook.c_str(), 1);
+
+    bool escaped = false;
+    VerificationReport first, second;
+    try {
+      first = verifier.verify(design, options);
+      std::remove(journal_path.c_str());
+      second = verifier.verify(design, options);
+    } catch (const std::exception& e) {
+      escaped = true;
+      ++escapes;
+      ++g_checks_failed;
+      std::fprintf(stderr,
+                   "trial %zu: ESCAPED EXCEPTION: %s [procs=%zu kill=%s]\n",
+                   trial, e.what(), processes, hook.c_str());
+    }
+    ::unsetenv("XTV_TEST_SHARD_KILL_ON_START");
+    std::remove(journal_path.c_str());
+    if (escaped) continue;
+
+    const std::size_t before = g_checks_failed;
+    check_contract(trial, first, reference, false, false);
+    check_contract(trial, second, reference, false, false);
+
+    // Nobody is lost: the kill must not shrink the victim population.
+    expect(first.victims_eligible == ref_report.victims_eligible, trial,
+           "process trial lost eligible victims");
+    expect(first.findings.size() == ref_report.findings.size(), trial,
+           "process trial lost findings");
+
+    // One quarantine per trial; a worker dies once per armed kill; the
+    // victim is conceded only when the solo retry is also killed.
+    expect(first.worker_crashes == static_cast<std::size_t>(kills), trial,
+           "worker crash count disagrees with armed kills");
+    expect(first.victims_quarantined == 1, trial,
+           "expected exactly one quarantined victim");
+    expect(first.victims_shard_crashed == (kills >= 2 ? 1u : 0u), trial,
+           "shard-crashed count disagrees with armed kills");
+
+    // Replays are stable: identical per-victim outcomes, bit for bit.
+    expect(second.findings.size() == first.findings.size(), trial,
+           "replay changed the finding count");
+    if (second.findings.size() == first.findings.size()) {
+      for (std::size_t i = 0; i < first.findings.size(); ++i) {
+        const VictimFinding& a = first.findings[i];
+        const VictimFinding& b = second.findings[i];
+        const std::string net = "net " + std::to_string(a.net);
+        expect(a.net == b.net && a.status == b.status && a.peak == b.peak &&
+                   a.peak_fraction == b.peak_fraction &&
+                   a.violation == b.violation,
+               trial, "replay diverged from first run", net);
+      }
+    }
+
+    std::printf(
+        "trial %3zu: ok=%s procs=%zu kill=%s crashes=%zu quarantined=%zu "
+        "shard-crashed=%zu restarts=%zu\n",
+        trial, g_checks_failed == before ? "yes" : "NO", processes,
+        hook.c_str(), first.worker_crashes, first.victims_quarantined,
+        first.victims_shard_crashed, first.shard_restarts);
+  }
+
+  std::printf("\nchaos_soak: %zu trials, %zu process trials, "
+              "%zu contract violations, %zu escaped exceptions\n",
+              trials, process_trials, g_checks_failed, escapes);
   return g_checks_failed == 0 ? 0 : 1;
 }
