@@ -44,6 +44,7 @@
 
 #include "chipgen/dsp_chip.h"
 #include "core/verifier.h"
+#include "flags.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -85,48 +86,68 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--threads") == 0) {
-      options.threads = static_cast<std::size_t>(std::atoi(value(arg)));
+      options.threads = flags::parse_size(arg, value(arg), 1,
+                                          "an integer >= 1");
     } else if (std::strcmp(arg, "--processes") == 0) {
-      options.processes = static_cast<std::size_t>(std::atoi(value(arg)));
+      // 0 is the library default (in-process path), but asking for zero
+      // worker processes explicitly is a contradiction, not a request.
+      options.processes = flags::parse_size(arg, value(arg), 1,
+                                            "an integer >= 1");
     } else if (std::strcmp(arg, "--shard-heartbeat-ms") == 0) {
-      options.shard_heartbeat_ms = std::atof(value(arg));
+      const char* v = value(arg);
+      options.shard_heartbeat_ms =
+          flags::parse_double(arg, v, 0.0, 1e9, "a period > 0 ms");
+      if (options.shard_heartbeat_ms <= 0.0)
+        flags::usage_error(arg, v, "a period > 0 ms");
     } else if (std::strcmp(arg, "--max-shard-restarts") == 0) {
-      options.max_shard_restarts =
-          static_cast<std::size_t>(std::atoi(value(arg)));
+      options.max_shard_restarts = flags::parse_size(arg, value(arg));
     } else if (std::strcmp(arg, "--cluster-deadline-ms") == 0) {
-      options.cluster_deadline_ms = std::atof(value(arg));
+      options.cluster_deadline_ms =
+          flags::parse_double(arg, value(arg), 0.0, 1e12,
+                              "a budget >= 0 ms");
     } else if (std::strcmp(arg, "--cluster-mem-mb") == 0) {
-      options.cluster_mem_mb = std::atof(value(arg));
+      options.cluster_mem_mb = flags::parse_double(
+          arg, value(arg), 0.0, 1e9, "a size >= 0 MiB");
     } else if (std::strcmp(arg, "--global-mem-soft-mb") == 0) {
-      options.global_mem_soft_mb = std::atof(value(arg));
+      options.global_mem_soft_mb = flags::parse_double(
+          arg, value(arg), 0.0, 1e9, "a size >= 0 MiB");
     } else if (std::strcmp(arg, "--journal") == 0) {
       options.journal_path = value(arg);
     } else if (std::strcmp(arg, "--resume") == 0) {
       options.resume = true;
     } else if (std::strcmp(arg, "--model-cache-mb") == 0) {
-      options.model_cache_mb = std::atof(value(arg));
+      options.model_cache_mb = flags::parse_double(
+          arg, value(arg), 0.0, 1e9, "a size >= 0 MiB");
     } else if (std::strcmp(arg, "--no-model-cache") == 0) {
       options.model_cache_mb = 0.0;
     } else if (std::strcmp(arg, "--cell-cache") == 0) {
       cell_cache = value(arg);
     } else if (std::strcmp(arg, "--replicate-rows") == 0) {
       chip_options.replicate_rows =
-          static_cast<std::size_t>(std::atoi(value(arg)));
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--mor-order") == 0) {
-      options.glitch.mor.max_order =
-          static_cast<std::size_t>(std::atoi(value(arg)));
+      options.glitch.mor.max_order = flags::parse_size(
+          arg, value(arg), 0, "an integer (0 = automatic)");
     } else if (std::strcmp(arg, "--certify") == 0) {
       options.certify = true;
     } else if (std::strcmp(arg, "--cert-tol") == 0) {
-      options.cert_rel_tol = std::atof(value(arg));
+      const char* v = value(arg);
+      options.cert_rel_tol =
+          flags::parse_double(arg, v, 0.0, 1.0, "a tolerance in (0,1]");
+      if (options.cert_rel_tol <= 0.0)
+        flags::usage_error(arg, v, "a tolerance in (0,1]");
     } else if (std::strcmp(arg, "--cert-freqs") == 0) {
-      options.cert_freqs = static_cast<std::size_t>(std::atoi(value(arg)));
+      options.cert_freqs =
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--max-mor-order") == 0) {
-      options.max_mor_order = static_cast<std::size_t>(std::atoi(value(arg)));
+      options.max_mor_order =
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--audit-fraction") == 0) {
-      options.audit_fraction = std::atof(value(arg));
+      options.audit_fraction = flags::parse_double(
+          arg, value(arg), 0.0, 1.0, "a fraction in [0,1]");
     } else if (std::strcmp(arg, "--audit-peak-tol") == 0) {
-      options.audit_peak_tol_frac = std::atof(value(arg));
+      options.audit_peak_tol_frac = flags::parse_double(
+          arg, value(arg), 0.0, 1.0, "a fraction in [0,1]");
     } else if (std::strcmp(arg, "--fail-on") == 0) {
       std::istringstream list(value(arg));
       for (std::string name; std::getline(list, name, ',');) {
@@ -142,7 +163,8 @@ int main(int argc, char** argv) {
                                     finding_status_severity(s));
       }
     } else if (arg[0] != '-') {
-      chip_options.net_count = static_cast<std::size_t>(std::atoi(arg));
+      chip_options.net_count =
+          flags::parse_size("net_count", arg, 1, "an integer >= 1");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg);
       return 2;

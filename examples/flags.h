@@ -1,0 +1,74 @@
+// Typed command-line value parsing shared by the example CLIs.
+//
+// The atoi/atof idiom silently maps garbage to 0 — "--processes 0x2"
+// became a serial run and "--audit-fraction 1.5" an out-of-range lottery.
+// These helpers parse the FULL token and range-check it, exiting with the
+// usage-error code (2) and a "usage error:" prefix on anything else, so a
+// typo'd flag fails loudly instead of quietly changing the run.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace xtv {
+namespace flags {
+
+[[noreturn]] inline void usage_error(const char* flag, const char* value,
+                                     const char* want) {
+  std::fprintf(stderr, "usage error: %s expects %s, got \"%s\"\n", flag,
+               want, value);
+  std::exit(2);
+}
+
+/// Whole-token strtod; rejects trailing junk and empty values.
+inline double parse_double(const char* flag, const char* value,
+                           double min_incl =
+                               -std::numeric_limits<double>::infinity(),
+                           double max_incl =
+                               std::numeric_limits<double>::infinity(),
+                           const char* want = "a number") {
+  if (!value || !*value) usage_error(flag, value ? value : "", want);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (errno != 0 || end != value + std::strlen(value) || v != v)
+    usage_error(flag, value, want);
+  if (v < min_incl || v > max_incl) usage_error(flag, value, want);
+  return v;
+}
+
+/// Whole-token base-10 size parse with an inclusive floor (use 1 for
+/// flags where 0 is meaningless, e.g. --processes).
+inline std::size_t parse_size(const char* flag, const char* value,
+                              std::size_t min_incl = 0,
+                              const char* want = "a non-negative integer") {
+  if (!value || !*value) usage_error(flag, value ? value : "", want);
+  // strtoull wraps negatives around; reject the sign explicitly.
+  if (value[0] == '-' || value[0] == '+') usage_error(flag, value, want);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (errno != 0 || end != value + std::strlen(value))
+    usage_error(flag, value, want);
+  if (v < min_incl) usage_error(flag, value, want);
+  return static_cast<std::size_t>(v);
+}
+
+/// Whole-token signed integer parse.
+inline long parse_long(const char* flag, const char* value,
+                       long min_incl = std::numeric_limits<long>::min(),
+                       const char* want = "an integer") {
+  if (!value || !*value) usage_error(flag, value ? value : "", want);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (errno != 0 || end != value + std::strlen(value) || v < min_incl)
+    usage_error(flag, value, want);
+  return v;
+}
+
+}  // namespace flags
+}  // namespace xtv

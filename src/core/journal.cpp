@@ -1,7 +1,9 @@
 #include "core/journal.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdlib>
@@ -128,6 +130,31 @@ void fsync_parent_dir(const std::string& path) {
 
 std::string journal_shard_path(const std::string& base, std::size_t k) {
   return base + ".shard" + std::to_string(k);
+}
+
+std::vector<std::size_t> journal_list_shards(const std::string& base) {
+  const std::size_t slash = base.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : base.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? base : base.substr(slash + 1)) + ".shard";
+
+  std::vector<std::size_t> shards;
+  DIR* d = ::opendir(dir.empty() ? "/" : dir.c_str());
+  if (!d) return shards;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    const std::string suffix = name.substr(prefix.size());
+    std::size_t k = 0;
+    if (!parse_size(suffix, k)) continue;  // e.g. ".shard0.tmp"
+    shards.push_back(k);
+  }
+  ::closedir(d);
+  std::sort(shards.begin(), shards.end());
+  return shards;
 }
 
 std::string journal_encode(const JournalRecord& record) {

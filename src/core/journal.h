@@ -54,6 +54,14 @@ bool journal_decode(const std::string& payload, JournalRecord& record);
 /// resume, and cleanup agree on the naming.
 std::string journal_shard_path(const std::string& base, std::size_t k);
 
+/// Shard indices `k` for which `<base>.shard<k>` exists on disk, sorted
+/// ascending. Scans the containing directory rather than probing k = 0,
+/// 1, ... until the first miss: leftover shard files need not be
+/// contiguous (a crashed run under a different worker count can leave
+/// `.shard3` behind without `.shard0`), and every cleanup/fold site must
+/// see all of them or stale records get re-folded into a later resume.
+std::vector<std::size_t> journal_list_shards(const std::string& base);
+
 class ResultJournal {
  public:
   /// One crash-marker line (`xtvjc <victim> <signal>`) found in a shard

@@ -266,6 +266,7 @@ class ShardSupervisor {
         throw NumericalError(StatusCode::kInternal,
                              std::string("shard supervisor poll failed: ") +
                                  std::strerror(errno));
+      if (cb_.on_tick) cb_.on_tick();
       const auto now = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < live_.size(); ++i) {
         Worker& w = *live_[i];
@@ -398,13 +399,21 @@ class ShardSupervisor {
         const std::size_t v = rec.finding.net;
         if (w.bound_only) stamp_concession(rec);
         results_[v] = std::move(rec);
+        publish(results_[v]);
         settle(w, v);
         break;
       }
       case WireType::kShardDone:
         w.shard_done = true;
         break;
+      default:
+        break;  // serve-protocol types never originate from shard workers
     }
+  }
+
+  /// Streams a just-finalized record to the caller's listener (if any).
+  void publish(const JournalRecord& rec) {
+    if (cb_.on_result) cb_.on_result(rec);
   }
 
   void settle(Worker& w, std::size_t v) {
@@ -450,6 +459,7 @@ class ShardSupervisor {
         JournalRecord merged = rec;
         if (w.bound_only) stamp_concession(merged);
         results_[v] = std::move(merged);
+        publish(results_[v]);
         remaining.erase(it);
       }
       for (const auto& m : prior.crash_markers)
@@ -557,6 +567,7 @@ class ShardSupervisor {
          "victim %zu: synthesizing pessimistic record in supervisor: %s",
          victim, why.c_str());
     results_[victim] = cb_.concede(victim, why);
+    publish(results_[victim]);
   }
 
   const ShardCallbacks& cb_;

@@ -91,6 +91,15 @@ struct ShardCallbacks {
   /// struct assembly — it cannot be allowed to fail.
   std::function<JournalRecord(std::size_t victim, const std::string& why)>
       concede;
+  /// SUPERVISOR side, optional: invoked with each record the moment it
+  /// becomes final (streamed, journal-recovered, concession-stamped, or
+  /// synthesized) — settle order, not stable net order. Runs on the
+  /// supervisor thread, serialized. Must not throw; the serve daemon uses
+  /// it to stream findings per-victim while the run is still going.
+  std::function<void(const JournalRecord&)> on_result;
+  /// SUPERVISOR side, optional: liveness tick, once per poll-loop
+  /// iteration (~50 ms) while workers are live. Rate-limit in the callee.
+  std::function<void()> on_tick;
 };
 
 /// Runs `work` (victim nets, in stable order) across forked worker

@@ -293,9 +293,8 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       // ones in, then durably rewrite the base so a second crash cannot
       // lose that progress.
       bool folded = false;
-      for (std::size_t k = 0;; ++k) {
+      for (std::size_t k : journal_list_shards(options.journal_path)) {
         const std::string spath = journal_shard_path(options.journal_path, k);
-        if (::access(spath.c_str(), F_OK) != 0) break;
         ResultJournal::LoadResult sprior = ResultJournal::load(spath);
         if (sprior.has_header && sprior.header_hash == ohash) {
           for (auto& rec : sprior.records) {
@@ -319,11 +318,8 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     } else {
       // Stale shard files from an older interrupted run must not leak
       // into this run's merge.
-      for (std::size_t k = 0;; ++k) {
-        if (::unlink(
-                journal_shard_path(options.journal_path, k).c_str()) != 0)
-          break;
-      }
+      for (std::size_t k : journal_list_shards(options.journal_path))
+        ::unlink(journal_shard_path(options.journal_path, k).c_str());
     }
     // In process mode the workers append to their own shard journals and
     // the parent writes the merged journal once, atomically, after the
@@ -384,6 +380,13 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     }
     if (!outcome) return;
     if (journal) journal->append(*outcome);
+    if (options.on_record) {
+      try {
+        options.on_record(*outcome);
+      } catch (...) {
+        // A listener failure must not cost the victim its record.
+      }
+    }
     std::lock_guard<std::mutex> lock(fresh_mutex);
     fresh.emplace(v, std::move(*outcome));
   };
@@ -452,6 +455,20 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       rec.finding.violation = true;
       return rec;
     };
+    if (options.on_record)
+      scb.on_result = [&](const JournalRecord& rec) {
+        try {
+          options.on_record(rec);
+        } catch (...) {
+        }
+      };
+    if (options.on_tick)
+      scb.on_tick = [&] {
+        try {
+          options.on_tick();
+        } catch (...) {
+        }
+      };
 
     fresh = run_process_shards(work, scb, sopt, &shard_stats);
     report.worker_crashes = shard_stats.worker_crashes;
@@ -566,7 +583,10 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         recs.push_back(&it2->second);
     }
     ResultJournal::write_atomic(options.journal_path, recs, ohash);
-    for (std::size_t k = 0; k < shard_stats.workers_spawned; ++k)
+    // Retire every shard file on disk, not just [0, workers_spawned):
+    // non-contiguous leftovers from an older run would otherwise survive
+    // a fully successful run and be re-folded on the next resume.
+    for (std::size_t k : journal_list_shards(options.journal_path))
       ::unlink(journal_shard_path(options.journal_path, k).c_str());
   }
   if (model_cache) {

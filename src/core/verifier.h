@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "chipgen/dsp_chip.h"
@@ -15,6 +16,8 @@
 #include "util/status.h"
 
 namespace xtv {
+
+struct JournalRecord;  // core/journal.h (which includes this header)
 
 struct VerifierOptions {
   PruningOptions prune;
@@ -85,6 +88,21 @@ struct VerifierOptions {
   /// remaining victims are conceded to the conservative bound
   /// (FindingStatus::kShardCrashed) instead of respawning forever.
   std::size_t max_shard_restarts = 2;
+
+  // --- Streaming hooks (scheduling-only; NOT in options_result_hash) ---
+
+  /// Invoked once per settled eligible victim, with the record exactly as
+  /// it is journaled/merged (after any concession stamping). In process
+  /// mode it runs serialized on the supervisor side; on the in-process
+  /// path it runs on whichever worker thread finished the victim, so it
+  /// must be thread-safe when threads > 1. Exceptions are swallowed — a
+  /// broken listener must never fail the run. The serve daemon
+  /// (src/serve) uses this to stream findings as they certify.
+  std::function<void(const JournalRecord&)> on_record;
+  /// Liveness tick from the process-mode supervisor's poll loop (~50 ms
+  /// cadence while shard workers are live; never fires on the in-process
+  /// path). Rate-limit in the callback.
+  std::function<void()> on_tick;
 
   // --- Resource governance: memory budgets and shedding (DESIGN.md §9) ---
 

@@ -59,6 +59,13 @@ const char* wire_type_name(WireType t) {
     case WireType::kVictimSkipped: return "victim-skipped";
     case WireType::kHeartbeat: return "heartbeat";
     case WireType::kShardDone: return "shard-done";
+    case WireType::kJobSubmit: return "job-submit";
+    case WireType::kJobAccepted: return "job-accepted";
+    case WireType::kJobRejected: return "job-rejected";
+    case WireType::kJobStatus: return "job-status";
+    case WireType::kJobFinding: return "job-finding";
+    case WireType::kJobDone: return "job-done";
+    case WireType::kJobQuery: return "job-query";
   }
   return "unknown";
 }
@@ -96,7 +103,7 @@ bool WireDecoder::next(WireFrame* frame) {
   const std::uint8_t type = static_cast<std::uint8_t>(p[4]);
   const std::uint32_t len = get_u32(p + 5);
   if (type < static_cast<std::uint8_t>(WireType::kHello) ||
-      type > static_cast<std::uint8_t>(WireType::kShardDone) ||
+      type > static_cast<std::uint8_t>(WireType::kJobQuery) ||
       len > kMaxPayload) {
     corrupt_ = true;
     return false;

@@ -34,6 +34,18 @@ enum class WireType : std::uint8_t {
   kVictimSkipped,    ///< payload "<victim net>" — ineligible, no record
   kHeartbeat,        ///< payload "<sequence>"
   kShardDone,        ///< payload "<records streamed>" — clean completion
+
+  // --- Verification service (src/serve, DESIGN.md §13) ---
+  // The daemon speaks the same framing on its Unix-domain client sockets
+  // and on the daemon <-> job-runner pipes. Payloads are text; the first
+  // token is a correlation token (client direction) or the 16-hex job key.
+  kJobSubmit,        ///< client->daemon: "<token> <job spec k=v ...>"
+  kJobAccepted,      ///< daemon->client: "<token> <job key> <state>"
+  kJobRejected,      ///< daemon->client: "<token> <reason> <detail>"
+  kJobStatus,        ///< daemon->client: "<job key> <state> <k=v ...>"
+  kJobFinding,       ///< "<job key> <journal payload>" — one settled victim
+  kJobDone,          ///< "<job key> <done|conceded> <k=v ...>" — terminal
+  kJobQuery,         ///< client->daemon: "<token> <job key>" — status poll
 };
 
 const char* wire_type_name(WireType t);

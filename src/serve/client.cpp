@@ -1,0 +1,201 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace xtv {
+namespace serve {
+
+namespace {
+
+double now_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServeClient::connect(const std::string& socket_path,
+                          std::string* error) {
+  close();
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error)
+      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  decoder_ = WireDecoder();
+  return true;
+}
+
+bool ServeClient::send(WireType type, const std::string& payload,
+                       std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  const std::string frame = wire_encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      if (error) *error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ServeClient::recv(WireFrame* frame, double timeout_ms,
+                       std::string* error) {
+  const double deadline = now_ms() + timeout_ms;
+  for (;;) {
+    if (decoder_.next(frame)) return true;
+    if (decoder_.corrupt()) {
+      if (error) *error = "corrupt frame stream from daemon";
+      return false;
+    }
+    if (fd_ < 0) {
+      if (error) *error = "not connected";
+      return false;
+    }
+    const double remaining = deadline - now_ms();
+    if (remaining <= 0.0) {
+      if (error) *error = "timed out waiting for the daemon";
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      if (error) *error = "timed out waiting for the daemon";
+      return false;
+    }
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n == 0) {
+      if (error) *error = "daemon closed the connection";
+      return false;
+    } else {
+      if (error) *error = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+  }
+}
+
+bool submit_and_wait(
+    ServeClient& client, const JobSpec& spec, double timeout_ms,
+    JobResult* result, std::string* error,
+    const std::function<void(const JournalRecord&)>& on_finding) {
+  std::string token = "c";  // two-step append: GCC 12 -Wrestrict false positive on operator+
+  token += job_key_hex(spec.key());
+  if (!client.send(WireType::kJobSubmit, token + " " + spec.to_text(),
+                   error))
+    return false;
+
+  const double deadline = now_ms() + timeout_ms;
+  JobResult out;
+
+  // Phase 1: the accept/reject verdict for our token.
+  for (;;) {
+    WireFrame f;
+    if (!client.recv(&f, deadline - now_ms(), error)) return false;
+    std::istringstream in(f.payload);
+    std::string got_token;
+    in >> got_token;
+    if (f.type == WireType::kJobRejected && got_token == token) {
+      std::string reason, detail_escaped, detail;
+      in >> reason >> detail_escaped;
+      serve_unescape(detail_escaped, &detail);
+      if (error) *error = "rejected (" + reason + "): " + detail;
+      return false;
+    }
+    if (f.type == WireType::kJobAccepted && got_token == token) {
+      std::string hex;
+      in >> hex;
+      if (!parse_job_key(hex, &out.key)) {
+        if (error) *error = "malformed accept frame: " + f.payload;
+        return false;
+      }
+      break;
+    }
+    // Frames for other jobs this connection watches: ignore here.
+  }
+
+  // Phase 2: findings stream until the terminal verdict.
+  const std::string hex = job_key_hex(out.key);
+  for (;;) {
+    WireFrame f;
+    if (!client.recv(&f, deadline - now_ms(), error)) return false;
+    std::istringstream in(f.payload);
+    std::string got_hex;
+    in >> got_hex;
+    if (got_hex != hex) continue;
+    if (f.type == WireType::kJobFinding) {
+      const std::size_t sp = f.payload.find(' ');
+      if (sp == std::string::npos) continue;
+      JournalRecord rec;
+      if (!journal_decode(f.payload.substr(sp + 1), rec)) continue;
+      if (!out.findings.emplace(rec.finding.net, rec).second)
+        ++out.duplicate_findings;
+      else if (on_finding)
+        on_finding(rec);
+    } else if (f.type == WireType::kJobDone) {
+      std::string verdict;
+      in >> verdict;
+      JobState s;
+      if (!parse_job_state(verdict, &s)) {
+        if (error) *error = "malformed done frame: " + f.payload;
+        return false;
+      }
+      out.state = s;
+      std::getline(in, out.summary);
+      if (!out.summary.empty() && out.summary.front() == ' ')
+        out.summary.erase(0, 1);
+      break;
+    }
+  }
+  if (result) *result = std::move(out);
+  return true;
+}
+
+}  // namespace serve
+}  // namespace xtv

@@ -1,0 +1,1030 @@
+#include "serve/daemon.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "core/journal.h"
+#include "core/verifier.h"
+#include "util/log.h"
+#include "util/resource.h"
+#include "util/subprocess.h"
+
+namespace xtv {
+namespace serve {
+
+namespace {
+
+double now_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+// Shared with the signal handlers; lock-free stores/loads only.
+volatile sig_atomic_t g_drain_requested = 0;
+int g_wake_fd = -1;
+
+extern "C" void serve_signal_handler(int sig) {
+  if (sig == SIGTERM || sig == SIGINT) g_drain_requested = 1;
+  const int fd = g_wake_fd;
+  if (fd >= 0) {
+    const char b = 0;
+    // Best effort: a full pipe already guarantees a wakeup.
+    const ssize_t rc = ::write(fd, &b, 1);
+    (void)rc;
+  }
+}
+
+/// /proc/<pid>/comm, newline stripped; empty when the pid is gone. Used
+/// to make sure a recovered .pid file still names one of OUR runners and
+/// not an unrelated process that recycled the pid.
+std::string read_comm(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%ld/comm",
+                static_cast<long>(pid));
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return "";
+  char buf[64] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string comm(buf, n);
+  while (!comm.empty() && (comm.back() == '\n' || comm.back() == '\0'))
+    comm.pop_back();
+  return comm;
+}
+
+/// Chaos hook: when `env` is set to N, the first N runner launches each
+/// claim one O_EXCL counter file in the jobs directory and misbehave;
+/// later launches run normally. The files make the budget survive daemon
+/// restarts, which the crash-recovery chaos trials need.
+bool claim_test_slot(const std::string& jobs_dir, const char* env,
+                     const char* tag) {
+  const char* v = std::getenv(env);
+  if (!v) return false;
+  const long times = std::atol(v);
+  for (long i = 0; i < times; ++i) {
+    const std::string path =
+        jobs_dir + "/" + tag + "." + std::to_string(i);
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A client that stops reading while a big job streams would otherwise
+/// buffer without bound; past this the daemon drops the connection (the
+/// client can resubmit — replay is idempotent).
+constexpr std::size_t kMaxClientBuffer = 8u << 20;
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const DaemonOptions& options)
+    : opt_(options),
+      tech_(Technology::default_250nm()),
+      library_(tech_),
+      chars_(library_),
+      extractor_(tech_),
+      queue_(options.queue_capacity) {}
+
+ServeDaemon::~ServeDaemon() {
+  for (Client& c : clients_)
+    if (c.fd >= 0) ::close(c.fd);
+  for (auto& [key, job] : jobs_)
+    if (job.pipe_fd >= 0) ::close(job.pipe_fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(opt_.socket_path.c_str());
+  }
+  g_wake_fd = -1;
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void ServeDaemon::build_design() {
+  ::mkdir(opt_.jobs_dir.c_str(), 0755);  // EEXIST is fine
+  if (!opt_.cell_cache.empty()) chars_.load(opt_.cell_cache);
+  DspChipOptions chip;
+  chip.net_count = opt_.net_count;
+  chip.replicate_rows = opt_.replicate_rows;
+  design_ = generate_dsp_chip(library_, chip);
+  // Summaries warm the characterization tables every forked runner
+  // inherits, and pruned_ fixes the candidate set the daemon needs when
+  // it must concede a job itself. Specs cannot change pruning options,
+  // so one PruneResult serves every job.
+  summaries_ = chip_net_summaries(design_, extractor_, chars_);
+  pruned_ = prune_couplings(summaries_, VerifierOptions().prune);
+  if (!opt_.cell_cache.empty()) chars_.save(opt_.cell_cache);
+  logf(LogLevel::kInfo,
+       "serve: resident design ready: %zu nets, %zu couplings",
+       design_.nets.size(), design_.couplings.size());
+}
+
+bool ServeDaemon::bind_socket(std::string* error) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + opt_.socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  // A stale socket file from a crashed daemon must be swept, but a LIVE
+  // daemon must not be hijacked: probe with a connect first.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const int rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+    ::close(probe);
+    if (rc == 0) {
+      *error = "another daemon is already serving " + opt_.socket_path;
+      return false;
+    }
+  }
+  ::unlink(opt_.socket_path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    *error = std::string("bind/listen on ") + opt_.socket_path + ": " +
+             std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  subprocess::set_nonblocking(listen_fd_);
+  return true;
+}
+
+void ServeDaemon::recover_jobs_dir() {
+  DIR* d = ::opendir(opt_.jobs_dir.c_str());
+  if (!d) return;
+  std::vector<std::uint64_t> keys;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    // job_<16 hex>.spec
+    if (name.size() != 4 + 16 + 5 || name.compare(0, 4, "job_") != 0 ||
+        name.compare(20, 5, ".spec") != 0)
+      continue;
+    std::uint64_t key = 0;
+    if (parse_job_key(name.substr(4, 16), &key)) keys.push_back(key);
+  }
+  ::closedir(d);
+
+  const std::string own_comm = read_comm(::getpid());
+  const double now = now_ms();
+  for (std::uint64_t key : keys) {
+    const JobPaths paths = job_paths(opt_.jobs_dir, key);
+    Job job;
+    std::string err;
+    if (!load_spec_file(paths.spec, &job.spec, &job.attempts, &err)) {
+      logf(LogLevel::kWarn, "serve: recovery skipping %s: %s",
+           paths.spec.c_str(), err.c_str());
+      continue;
+    }
+
+    // Already terminal: keep it replayable, nothing to do.
+    std::uint64_t dkey = 0;
+    JobState dstate = JobState::kDone;
+    std::string dsummary;
+    if (load_done_file(paths.done, &dkey, &dstate, &dsummary) &&
+        dkey == key) {
+      job.state = dstate;
+      job.terminal_summary = dsummary;
+      jobs_.emplace(key, std::move(job));
+      continue;
+    }
+
+    // A runner orphaned by a SIGKILLed daemon may still be alive (or its
+    // pid may have been recycled — hence the comm check). Reap it and
+    // its process group; its journals keep whatever it finished.
+    std::FILE* pf = std::fopen(paths.pid.c_str(), "rb");
+    if (pf) {
+      long pid = 0;
+      if (std::fscanf(pf, "%ld", &pid) == 1 && pid > 1 &&
+          !own_comm.empty() && read_comm(static_cast<pid_t>(pid)) == own_comm) {
+        logf(LogLevel::kWarn,
+             "serve: reaping orphaned runner pid %ld for job %s", pid,
+             job_key_hex(key).c_str());
+        ::kill(-static_cast<pid_t>(pid), SIGKILL);
+        ::kill(static_cast<pid_t>(pid), SIGKILL);
+      }
+      std::fclose(pf);
+      ::unlink(paths.pid.c_str());
+    }
+
+    const long retries =
+        job.spec.retries >= 0 ? job.spec.retries : opt_.default_retries;
+    const std::size_t allowed = static_cast<std::size_t>(retries) + 1;
+    auto [it, inserted] = jobs_.emplace(key, std::move(job));
+    (void)inserted;
+    if (it->second.attempts >= allowed) {
+      concede_job(key, it->second,
+                  "interrupted with its retry budget already spent");
+    } else {
+      it->second.state = JobState::kBackoff;
+      queue_.push_backoff(key, it->second.attempts, now, opt_.backoff);
+      logf(LogLevel::kInfo,
+           "serve: recovered interrupted job %s (attempt %zu/%zu)",
+           job_key_hex(key).c_str(), it->second.attempts, allowed);
+    }
+  }
+}
+
+bool ServeDaemon::memory_gate_open() const {
+  if (resource::MemoryGovernor::instance().under_pressure()) return false;
+  if (opt_.global_mem_soft_mb > 0.0) {
+    const std::size_t soft = static_cast<std::size_t>(
+        opt_.global_mem_soft_mb * 1024.0 * 1024.0);
+    if (resource::read_rss_bytes() > soft) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> ServeDaemon::candidates_for(
+    const JobSpec& spec) const {
+  // Mirrors ChipVerifier::verify's candidate loop (same PruneResult: specs
+  // cannot alter pruning options).
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < design_.nets.size(); ++v) {
+    if (pruned_.retained[v].empty()) continue;
+    if (spec.options.latch_inputs_only && !design_.nets[v].latch_input)
+      continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+// --- Client plumbing ---------------------------------------------------
+
+void ServeDaemon::send_frame(Client& c, WireType type,
+                             const std::string& payload) {
+  if (c.fd < 0) return;
+  c.outbuf += wire_encode_frame(type, payload);
+  if (c.outbuf.size() > kMaxClientBuffer) {
+    logf(LogLevel::kWarn, "serve: dropping unresponsive client (%zu buffered)",
+         c.outbuf.size());
+    ::close(c.fd);
+    c.fd = -1;
+    return;
+  }
+  flush_client(c);
+}
+
+void ServeDaemon::flush_client(Client& c) {
+  while (c.fd >= 0 && !c.outbuf.empty()) {
+    const ssize_t n = ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+    if (n > 0) {
+      c.outbuf.erase(0, static_cast<std::size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // POLLOUT will resume
+    } else {
+      ::close(c.fd);  // client went away mid-stream; jobs keep running
+      c.fd = -1;
+      return;
+    }
+  }
+}
+
+void ServeDaemon::stream_finding(std::uint64_t key, Job& job,
+                                 std::size_t net,
+                                 const std::string& payload) {
+  (void)job;
+  const std::string hex = job_key_hex(key);
+  for (Client& c : clients_) {
+    if (c.fd < 0 || !c.watching.count(key)) continue;
+    auto& sent = c.sent[key];
+    if (!sent.insert(net).second) continue;  // exactly-once per client
+    send_frame(c, WireType::kJobFinding, hex + " " + payload);
+  }
+}
+
+// --- Protocol handlers -------------------------------------------------
+
+void ServeDaemon::on_submit(Client& c, const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token;
+  if (!(in >> token)) return;  // not answerable without a token
+  std::string spec_text;
+  std::getline(in, spec_text);
+
+  if (draining_) {
+    send_frame(c, WireType::kJobRejected,
+               token + " draining " +
+                   serve_escape("daemon is draining; resubmit later"));
+    return;
+  }
+  JobSpec spec;
+  std::string perr;
+  if (!JobSpec::parse(spec_text, &spec, &perr)) {
+    send_frame(c, WireType::kJobRejected,
+               token + " bad-spec " + serve_escape(perr));
+    return;
+  }
+
+  const std::uint64_t key = spec.key();
+  const std::string hex = job_key_hex(key);
+  auto it = jobs_.find(key);
+  if (it != jobs_.end()) {
+    // Idempotent resubmit: attach to the existing job and replay what it
+    // already has. The per-client sent set keeps the stream exactly-once
+    // even across repeated resubmits.
+    Job& job = it->second;
+    send_frame(c, WireType::kJobAccepted,
+               token + " " + hex + " " + job_state_name(job.state));
+    c.watching.insert(key);
+    if (job.state == JobState::kDone || job.state == JobState::kConceded) {
+      finalize_terminal(key, job);  // replays to every watcher incl. this one
+    } else {
+      auto& sent = c.sent[key];
+      for (const auto& [net, pl] : job.findings)
+        if (sent.insert(net).second)
+          send_frame(c, WireType::kJobFinding, hex + " " + pl);
+    }
+    return;
+  }
+
+  if (!queue_.push(key)) {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail),
+                  "admission queue at capacity (%zu)", queue_.capacity());
+    send_frame(c, WireType::kJobRejected,
+               token + " queue-full " + serve_escape(detail));
+    return;
+  }
+
+  Job job;
+  job.spec = spec;
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  std::string werr;
+  if (!write_spec_file(paths.spec, spec, 0, &werr)) {
+    queue_.erase(key);
+    send_frame(c, WireType::kJobRejected,
+               token + " io-error " + serve_escape(werr));
+    return;
+  }
+  jobs_.emplace(key, std::move(job));
+  c.watching.insert(key);
+  send_frame(c, WireType::kJobAccepted, token + " " + hex + " queued");
+  logf(LogLevel::kInfo, "serve: admitted job %s (%zu queued)", hex.c_str(),
+       queue_.size());
+}
+
+void ServeDaemon::on_query(Client& c, const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token, hex;
+  if (!(in >> token)) return;
+  std::uint64_t key = 0;
+  if (!(in >> hex) || !parse_job_key(hex, &key) || !jobs_.count(key)) {
+    send_frame(c, WireType::kJobRejected,
+               token + " unknown-job " + serve_escape(hex));
+    return;
+  }
+  const Job& job = jobs_.at(key);
+  std::ostringstream out;
+  out << hex << ' ' << job_state_name(job.state) << " attempts="
+      << job.attempts << " findings=" << job.findings.size();
+  if (!job.terminal_summary.empty())
+    out << ' ' << job.terminal_summary;
+  send_frame(c, WireType::kJobStatus, out.str());
+}
+
+void ServeDaemon::handle_client_frames(Client& c) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      ::close(c.fd);  // EOF or hard error: client disconnected
+      c.fd = -1;
+      return;
+    }
+  }
+  WireFrame f;
+  while (c.fd >= 0 && c.decoder.next(&f)) {
+    switch (f.type) {
+      case WireType::kJobSubmit:
+        on_submit(c, f.payload);
+        break;
+      case WireType::kJobQuery:
+        on_query(c, f.payload);
+        break;
+      default:
+        break;  // daemon->client types echoed back; ignore
+    }
+  }
+  if (c.fd >= 0 && c.decoder.corrupt()) {
+    logf(LogLevel::kWarn, "serve: dropping client with corrupt stream");
+    ::close(c.fd);
+    c.fd = -1;
+  }
+}
+
+void ServeDaemon::handle_listen() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error; poll retries
+    }
+    subprocess::set_nonblocking(fd);
+    Client c;
+    c.fd = fd;
+    clients_.push_back(std::move(c));
+  }
+}
+
+// --- Runner lifecycle --------------------------------------------------
+
+int ServeDaemon::runner_main(const Job& job, int write_fd) {
+  // The child inherited the daemon's signal plumbing; detach from it so
+  // verify()'s own child management and pgid kills behave normally.
+  g_wake_fd = -1;
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGCHLD, SIG_DFL);
+  subprocess::ignore_sigpipe();
+
+  const std::uint64_t key = job.spec.key();
+  const std::string hex = job_key_hex(key);
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  WireWriter writer(write_fd);
+  writer.send(WireType::kHello, hex);
+
+  // Chaos hooks (see claim_test_slot).
+  if (claim_test_slot(opt_.jobs_dir, "XTV_TEST_SERVE_RUNNER_CRASH",
+                      "runner_crash"))
+    ::abort();
+  if (claim_test_slot(opt_.jobs_dir, "XTV_TEST_SERVE_RUNNER_STALL",
+                      "runner_stall"))
+    for (;;) ::pause();
+
+  VerifierOptions vo = job.spec.to_options();
+  // Always run process shards: the supervisor finalizes the journal with
+  // one stable-order atomic write, which is what makes a served job's
+  // journal bit-identical to a one-shot chip_audit run — and what lets a
+  // SIGKILLed runner resume from its shard journals.
+  if (vo.processes == 0)
+    vo.processes = std::max<std::size_t>(1, opt_.default_processes);
+  vo.threads = 1;
+  vo.journal_path = paths.journal;
+  vo.resume = true;  // journal ctor creates a fresh journal when absent
+
+  double last_hb = now_ms();
+  std::uint64_t seq = 0;
+  const double hb_period = job.spec.heartbeat_ms;
+  vo.on_tick = [&] {
+    const double t = now_ms();
+    if (t - last_hb < hb_period) return;
+    last_hb = t;
+    char s[32];
+    std::snprintf(s, sizeof(s), "%llu",
+                  static_cast<unsigned long long>(seq++));
+    writer.send(WireType::kHeartbeat, s);
+  };
+  vo.on_record = [&](const JournalRecord& rec) {
+    writer.send(WireType::kJobFinding, hex + " " + journal_encode(rec));
+  };
+
+  try {
+    ChipVerifier verifier(extractor_, chars_);
+    const VerificationReport report = verifier.verify(design_, vo);
+    char summary[256];
+    std::snprintf(summary, sizeof(summary),
+                  "eligible=%zu analyzed=%zu screened=%zu fallback=%zu "
+                  "failed=%zu shard_crashed=%zu violations=%zu",
+                  report.victims_eligible, report.victims_analyzed,
+                  report.victims_screened_out, report.victims_fallback,
+                  report.victims_failed, report.victims_shard_crashed,
+                  report.violations);
+    // The runner writes its own terminal marker: even a runner orphaned
+    // by a daemon SIGKILL then finishes its job durably, and the
+    // restarted daemon finds the .done file instead of re-running.
+    std::string derr;
+    if (!write_done_file(paths.done, key, JobState::kDone, summary, &derr)) {
+      logf(LogLevel::kError, "serve runner %s: %s", hex.c_str(),
+           derr.c_str());
+      return 1;
+    }
+    writer.send(WireType::kJobDone, hex + " done " + std::string(summary));
+    return 0;
+  } catch (const std::exception& e) {
+    logf(LogLevel::kError, "serve runner %s: verify failed: %s", hex.c_str(),
+         e.what());
+    return 1;
+  }
+}
+
+bool ServeDaemon::launch(std::uint64_t key, Job& job, double now) {
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  ++job.attempts;
+  std::string werr;
+  // Persist the attempt BEFORE the fork: if the daemon is SIGKILLed right
+  // after, recovery still sees the attempt as spent and the retry ladder
+  // cannot run forever.
+  if (!write_spec_file(paths.spec, job.spec, job.attempts, &werr)) {
+    logf(LogLevel::kError, "serve: cannot persist %s: %s",
+         paths.spec.c_str(), werr.c_str());
+    job.state = JobState::kBackoff;
+    queue_.push_backoff(key, job.attempts, now, opt_.backoff);
+    return false;
+  }
+
+  subprocess::Pipe pipe;
+  try {
+    pipe = subprocess::make_pipe();
+  } catch (const std::exception& e) {
+    logf(LogLevel::kError, "serve: %s", e.what());
+    job.state = JobState::kBackoff;
+    queue_.push_backoff(key, job.attempts, now, opt_.backoff);
+    return false;
+  }
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe.read_fd);
+    ::close(pipe.write_fd);
+    logf(LogLevel::kError, "serve: fork(): %s", std::strerror(errno));
+    job.state = JobState::kBackoff;
+    queue_.push_backoff(key, job.attempts, now, opt_.backoff);
+    return false;
+  }
+  if (pid == 0) {
+    // Runner child: own process group (so one SIGKILL reaps it together
+    // with its forked shard workers), daemon fds closed.
+    ::setpgid(0, 0);
+    ::close(pipe.read_fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+    for (Client& c : clients_)
+      if (c.fd >= 0) ::close(c.fd);
+    for (auto& [k, other] : jobs_)
+      if (other.pipe_fd >= 0) ::close(other.pipe_fd);
+    ::_exit(runner_main(job, pipe.write_fd));
+  }
+  ::setpgid(pid, pid);  // also set from the parent: closes the race
+  ::close(pipe.write_fd);
+  subprocess::set_nonblocking(pipe.read_fd);
+
+  job.pid = pid;
+  job.pipe_fd = pipe.read_fd;
+  job.decoder = WireDecoder();
+  job.heard_any = false;
+  job.kill_sent = false;
+  job.kill_reason.clear();
+  job.launched_ms = now;
+  job.last_heard_ms = now;
+  job.state = JobState::kRunning;
+
+  std::FILE* pf = std::fopen(paths.pid.c_str(), "wb");
+  if (pf) {
+    std::fprintf(pf, "%ld\n", static_cast<long>(pid));
+    std::fclose(pf);
+  }
+  logf(LogLevel::kInfo, "serve: job %s attempt %zu running as pid %ld",
+       job_key_hex(key).c_str(), job.attempts, static_cast<long>(pid));
+  return true;
+}
+
+void ServeDaemon::kill_runner(Job& job) {
+  if (job.pid <= 0 || job.kill_sent) return;
+  ::kill(-job.pid, SIGKILL);  // whole runner group: shard workers included
+  ::kill(job.pid, SIGKILL);
+  job.kill_sent = true;
+}
+
+void ServeDaemon::handle_runner_frames(Job& job, double now) {
+  const std::uint64_t key = job.spec.key();
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(job.pipe_fd, buf, sizeof(buf));
+    if (n > 0) {
+      job.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      // EOF/error. NOT a death verdict by itself (shard workers inherit
+      // the write end); try_wait in reap_runners() is authoritative.
+      ::close(job.pipe_fd);
+      job.pipe_fd = -1;
+      break;
+    }
+  }
+  WireFrame f;
+  while (job.decoder.next(&f)) {
+    switch (f.type) {
+      case WireType::kHeartbeat:
+        job.heard_any = true;
+        job.last_heard_ms = now;
+        break;
+      case WireType::kJobFinding: {
+        job.heard_any = true;
+        job.last_heard_ms = now;
+        const std::size_t sp = f.payload.find(' ');
+        if (sp == std::string::npos) break;
+        const std::string payload = f.payload.substr(sp + 1);
+        JournalRecord rec;
+        if (!journal_decode(payload, rec)) break;
+        job.findings[rec.finding.net] = payload;
+        stream_finding(key, job, rec.finding.net, payload);
+        break;
+      }
+      case WireType::kJobDone:
+      case WireType::kHello:
+        job.last_heard_ms = now;
+        break;
+      default:
+        break;
+    }
+  }
+  if (job.decoder.corrupt() && !job.kill_sent) {
+    job.kill_reason = "corrupt runner stream";
+    kill_runner(job);
+  }
+}
+
+std::map<std::size_t, JournalRecord> ServeDaemon::collect_results(
+    const Job& job) const {
+  const std::uint64_t key = job.spec.key();
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  std::map<std::size_t, JournalRecord> results;
+  auto fold = [&](const std::string& path) {
+    ResultJournal::LoadResult prior = ResultJournal::load(path);
+    if (!prior.has_header || prior.header_hash != key) return;
+    for (auto& rec : prior.records)
+      results.insert_or_assign(rec.finding.net, std::move(rec));
+  };
+  fold(paths.journal);
+  for (std::size_t k : journal_list_shards(paths.journal))
+    fold(journal_shard_path(paths.journal, k));
+  // Live-streamed findings may be ahead of the (batched) shard journals.
+  for (const auto& [net, payload] : job.findings) {
+    JournalRecord rec;
+    if (journal_decode(payload, rec)) results.insert_or_assign(net, rec);
+  }
+  return results;
+}
+
+void ServeDaemon::concede_job(std::uint64_t key, Job& job,
+                              const std::string& why) {
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  std::map<std::size_t, JournalRecord> results = collect_results(job);
+  const std::vector<std::size_t> cands = candidates_for(job.spec);
+  std::size_t synthesized = 0;
+  for (std::size_t v : cands) {
+    if (results.count(v)) continue;
+    // Rung-4 contract (core/shard_exec.h): pure struct assembly, maximally
+    // pessimistic, explicitly typed — never silence.
+    JournalRecord rec;
+    rec.screened = false;
+    rec.finding.net = v;
+    rec.finding.status = FindingStatus::kShardCrashed;
+    rec.finding.error_code = StatusCode::kWorkerCrashed;
+    rec.finding.error = "conceded by serve daemon: " + why;
+    rec.finding.peak = -tech_.vdd;
+    rec.finding.peak_fraction = 1.0;
+    rec.finding.violation = true;
+    results.emplace(v, std::move(rec));
+    ++synthesized;
+  }
+  std::vector<const JournalRecord*> recs;
+  recs.reserve(results.size());
+  for (const auto& [net, rec] : results) recs.push_back(&rec);
+  try {
+    ResultJournal::write_atomic(paths.journal, recs, key);
+  } catch (const std::exception& e) {
+    logf(LogLevel::kError, "serve: conceding %s: %s",
+         job_key_hex(key).c_str(), e.what());
+  }
+  for (std::size_t k : journal_list_shards(paths.journal))
+    ::unlink(journal_shard_path(paths.journal, k).c_str());
+
+  char summary[256];
+  std::snprintf(summary, sizeof(summary),
+                "victims=%zu conceded=%zu reason=%s", results.size(),
+                synthesized, serve_escape(why).c_str());
+  std::string derr;
+  if (!write_done_file(paths.done, key, JobState::kConceded, summary, &derr))
+    logf(LogLevel::kError, "serve: %s", derr.c_str());
+  job.state = JobState::kConceded;
+  job.terminal_summary = summary;
+  queue_.erase(key);
+  logf(LogLevel::kWarn, "serve: job %s conceded: %s",
+       job_key_hex(key).c_str(), why.c_str());
+  finalize_terminal(key, job);
+}
+
+void ServeDaemon::finalize_terminal(std::uint64_t key, Job& job) {
+  // The on-disk journal is the authority on what the job produced; the
+  // live findings map may have holes (resumed victims are merged without
+  // re-running, so the runner never re-streams them).
+  const JobPaths paths = job_paths(opt_.jobs_dir, key);
+  ResultJournal::LoadResult prior = ResultJournal::load(paths.journal);
+  if (prior.has_header && prior.header_hash == key)
+    for (const auto& rec : prior.records)
+      job.findings[rec.finding.net] = journal_encode(rec);
+
+  const std::string hex = job_key_hex(key);
+  const std::string verdict =
+      job.state == JobState::kConceded ? "conceded" : "done";
+  for (Client& c : clients_) {
+    if (c.fd < 0 || !c.watching.count(key)) continue;
+    auto& sent = c.sent[key];
+    for (const auto& [net, payload] : job.findings)
+      if (sent.insert(net).second)
+        send_frame(c, WireType::kJobFinding, hex + " " + payload);
+    send_frame(c, WireType::kJobDone,
+               hex + " " + verdict + " " + job.terminal_summary);
+  }
+}
+
+void ServeDaemon::attempt_failed(std::uint64_t key, Job& job, double now,
+                                 const std::string& why) {
+  const long retries =
+      job.spec.retries >= 0 ? job.spec.retries : opt_.default_retries;
+  const std::size_t allowed = static_cast<std::size_t>(retries) + 1;
+  logf(LogLevel::kWarn, "serve: job %s attempt %zu/%zu failed: %s",
+       job_key_hex(key).c_str(), job.attempts, allowed, why.c_str());
+  if (job.attempts >= allowed) {
+    char reason[192];
+    std::snprintf(reason, sizeof(reason),
+                  "retry budget exhausted after %zu attempts (last: %s)",
+                  job.attempts, why.c_str());
+    concede_job(key, job, reason);
+    return;
+  }
+  job.state = JobState::kBackoff;
+  queue_.push_backoff(key, job.attempts, now, opt_.backoff);
+}
+
+void ServeDaemon::reap_runners(double now) {
+  for (auto& [key, job] : jobs_) {
+    if (job.pid <= 0) continue;
+    subprocess::ExitStatus status;
+    if (!subprocess::try_wait(job.pid, &status)) continue;
+
+    // Drain any frames the runner wrote right before exiting.
+    if (job.pipe_fd >= 0) {
+      handle_runner_frames(job, now);
+      if (job.pipe_fd >= 0) {
+        ::close(job.pipe_fd);
+        job.pipe_fd = -1;
+      }
+    }
+    const pid_t pid = job.pid;
+    job.pid = -1;
+    ::kill(-pid, SIGKILL);  // straggler shard workers of a crashed runner
+    const JobPaths paths = job_paths(opt_.jobs_dir, key);
+    ::unlink(paths.pid.c_str());
+
+    std::uint64_t dkey = 0;
+    JobState dstate = JobState::kDone;
+    std::string dsummary;
+    if (status.clean() && load_done_file(paths.done, &dkey, &dstate,
+                                         &dsummary) && dkey == key) {
+      job.state = dstate;
+      job.terminal_summary = dsummary;
+      logf(LogLevel::kInfo, "serve: job %s done (%s)",
+           job_key_hex(key).c_str(), dsummary.c_str());
+      finalize_terminal(key, job);
+    } else {
+      const std::string why =
+          !job.kill_reason.empty() ? job.kill_reason : status.describe();
+      attempt_failed(key, job, now, why);
+    }
+  }
+}
+
+void ServeDaemon::supervise(double now) {
+  for (auto& [key, job] : jobs_) {
+    if (job.pid <= 0 || job.kill_sent) continue;
+    const double deadline = job.spec.deadline_ms >= 0.0
+                                ? job.spec.deadline_ms
+                                : opt_.default_deadline_ms;
+    if (deadline > 0.0 && now - job.launched_ms > deadline) {
+      job.kill_reason = "per-attempt deadline exceeded";
+      kill_runner(job);
+      continue;
+    }
+    if (!job.heard_any) {
+      // Silent startup phase (pruning, characterization): only the long
+      // grace applies until the first heartbeat or finding.
+      if (opt_.runner_grace_ms > 0.0 &&
+          now - job.launched_ms > opt_.runner_grace_ms) {
+        job.kill_reason = "no heartbeat within the startup grace period";
+        kill_runner(job);
+      }
+      continue;
+    }
+    const double stall = 10.0 * job.spec.heartbeat_ms;
+    if (stall > 0.0 && now - job.last_heard_ms > stall) {
+      job.kill_reason = "runner heartbeat silence (presumed wedged)";
+      kill_runner(job);
+    }
+  }
+}
+
+void ServeDaemon::schedule(double now) {
+  for (;;) {
+    std::size_t running = 0;
+    for (const auto& [key, job] : jobs_)
+      if (job.pid > 0) ++running;
+    if (running >= opt_.max_running) return;
+    if (!memory_gate_open()) return;  // stays queued; retried next tick
+    std::uint64_t key = 0;
+    if (!queue_.pop_ready(now, &key)) return;
+    auto it = jobs_.find(key);
+    if (it == jobs_.end()) continue;  // cancelled/terminal stale entry
+    Job& job = it->second;
+    if (job.state == JobState::kDone || job.state == JobState::kConceded ||
+        job.pid > 0)
+      continue;
+    launch(key, job, now);
+  }
+}
+
+int ServeDaemon::run() {
+  try {
+    build_design();
+  } catch (const std::exception& e) {
+    logf(LogLevel::kError, "serve: startup failed: %s", e.what());
+    return 2;
+  }
+  std::string err;
+  if (!bind_socket(&err)) {
+    logf(LogLevel::kError, "serve: %s", err.c_str());
+    return 2;
+  }
+  try {
+    const subprocess::Pipe wake = subprocess::make_pipe();
+    wake_read_fd_ = wake.read_fd;
+    wake_write_fd_ = wake.write_fd;
+  } catch (const std::exception& e) {
+    logf(LogLevel::kError, "serve: %s", e.what());
+    return 2;
+  }
+  subprocess::set_nonblocking(wake_read_fd_);
+  subprocess::set_nonblocking(wake_write_fd_);
+  g_wake_fd = wake_write_fd_;
+  g_drain_requested = 0;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGCHLD, &sa, nullptr);
+  subprocess::ignore_sigpipe();
+
+  recover_jobs_dir();
+  logf(LogLevel::kInfo, "serve: listening on %s (queue %zu, %zu runner%s)",
+       opt_.socket_path.c_str(), opt_.queue_capacity, opt_.max_running,
+       opt_.max_running == 1 ? "" : "s");
+
+  for (;;) {
+    const double now = now_ms();
+    if (g_drain_requested && !draining_) {
+      draining_ = true;
+      drain_started_ms_ = now;
+      logf(LogLevel::kInfo,
+           "serve: drain requested; finishing running jobs "
+           "(%zu queued job(s) persist for the next start)",
+           queue_.size());
+    }
+
+    reap_runners(now);
+    supervise(now);
+    if (!draining_) {
+      schedule(now);
+    } else {
+      std::size_t running = 0;
+      for (const auto& [key, job] : jobs_)
+        if (job.pid > 0) ++running;
+      if (running == 0) break;
+      if (opt_.drain_timeout_ms > 0.0 &&
+          now - drain_started_ms_ > opt_.drain_timeout_ms) {
+        logf(LogLevel::kWarn,
+             "serve: drain timeout; killing %zu runner group(s) "
+             "(their journals keep the progress)",
+             running);
+        for (auto& [key, job] : jobs_) {
+          if (job.pid <= 0) continue;
+          job.kill_reason = "killed by drain timeout";
+          kill_runner(job);
+        }
+      }
+    }
+
+    // Poll set: listener, wake pipe, clients, runner pipes.
+    enum { kListen, kWake, kClient, kRunner };
+    struct Tag {
+      int kind;
+      std::size_t index;
+      std::uint64_t key;
+    };
+    std::vector<pollfd> fds;
+    std::vector<Tag> tags;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    tags.push_back({kListen, 0, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    tags.push_back({kWake, 0, 0});
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i].fd < 0) continue;
+      short events = POLLIN;
+      if (!clients_[i].outbuf.empty()) events |= POLLOUT;
+      fds.push_back({clients_[i].fd, events, 0});
+      tags.push_back({kClient, i, 0});
+    }
+    for (auto& [key, job] : jobs_) {
+      if (job.pid <= 0 || job.pipe_fd < 0) continue;
+      fds.push_back({job.pipe_fd, POLLIN, 0});
+      tags.push_back({kRunner, 0, key});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0 && errno != EINTR) {
+      logf(LogLevel::kError, "serve: poll(): %s", std::strerror(errno));
+      return 1;
+    }
+    if (rc <= 0) continue;
+
+    const double after = now_ms();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      switch (tags[i].kind) {
+        case kListen:
+          handle_listen();
+          break;
+        case kWake: {
+          char buf[64];
+          while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+          }
+          break;
+        }
+        case kClient: {
+          Client& c = clients_[tags[i].index];
+          if (c.fd < 0) break;
+          if (fds[i].revents & POLLOUT) flush_client(c);
+          if (c.fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+            handle_client_frames(c);
+          break;
+        }
+        case kRunner: {
+          auto it = jobs_.find(tags[i].key);
+          if (it != jobs_.end() && it->second.pipe_fd >= 0)
+            handle_runner_frames(it->second, after);
+          break;
+        }
+      }
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const Client& c) { return c.fd < 0; }),
+                   clients_.end());
+  }
+
+  logf(LogLevel::kInfo, "serve: drained; exiting");
+  return 0;
+}
+
+}  // namespace serve
+}  // namespace xtv

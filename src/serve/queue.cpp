@@ -1,0 +1,81 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+namespace xtv {
+namespace serve {
+
+double BackoffPolicy::delay_ms(std::size_t failures) const {
+  double delay = base_ms;
+  for (std::size_t i = 0; i < failures; ++i) {
+    delay *= factor;
+    if (delay >= max_ms) return max_ms;
+  }
+  return std::min(delay, max_ms);
+}
+
+bool AdmissionQueue::push(std::uint64_t key) {
+  if (full()) return false;
+  fifo_.push_back(key);
+  return true;
+}
+
+void AdmissionQueue::push_backoff(std::uint64_t key, std::size_t failures,
+                                  double now_ms,
+                                  const BackoffPolicy& policy) {
+  backoff_.push_back(Benched{key, now_ms + policy.delay_ms(failures)});
+}
+
+bool AdmissionQueue::pop_ready(double now_ms, std::uint64_t* key) {
+  for (auto it = backoff_.begin(); it != backoff_.end(); ++it) {
+    if (it->ripe_ms <= now_ms) {
+      *key = it->key;
+      backoff_.erase(it);
+      return true;
+    }
+  }
+  if (!fifo_.empty()) {
+    *key = fifo_.front();
+    fifo_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+std::size_t AdmissionQueue::erase(std::uint64_t key) {
+  std::size_t dropped = 0;
+  for (auto it = fifo_.begin(); it != fifo_.end();) {
+    if (*it == key) {
+      it = fifo_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = backoff_.begin(); it != backoff_.end();) {
+    if (it->key == key) {
+      it = backoff_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+bool AdmissionQueue::contains(std::uint64_t key) const {
+  if (std::find(fifo_.begin(), fifo_.end(), key) != fifo_.end()) return true;
+  for (const Benched& b : backoff_)
+    if (b.key == key) return true;
+  return false;
+}
+
+double AdmissionQueue::next_ripe_ms() const {
+  double best = -1.0;
+  for (const Benched& b : backoff_)
+    if (best < 0.0 || b.ripe_ms < best) best = b.ripe_ms;
+  return best;
+}
+
+}  // namespace serve
+}  // namespace xtv

@@ -1,0 +1,83 @@
+// Admission control for the verification service (DESIGN.md §13).
+//
+// The daemon's robustness envelope starts here: a bounded FIFO of
+// admitted-but-not-running jobs, and the exponential-backoff schedule a
+// failed attempt waits out before its next launch. Both are plain
+// single-threaded data structures — the daemon is a single poll() loop
+// (forking job runners requires an effectively single-threaded parent),
+// so no locking, and all time flows in from the caller as a monotonic
+// milliseconds reading instead of being sampled internally (which keeps
+// the schedule unit-testable without sleeping).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace xtv {
+namespace serve {
+
+/// Exponential backoff with a hard ceiling: attempt k (0-based count of
+/// prior failures) waits base_ms * factor^k, capped at max_ms.
+struct BackoffPolicy {
+  double base_ms = 500.0;
+  double factor = 2.0;
+  double max_ms = 8000.0;
+
+  double delay_ms(std::size_t failures) const;
+};
+
+/// A bounded FIFO of job keys waiting for a scheduler slot, plus the
+/// backoff bench of jobs waiting out a failed attempt.
+///
+/// Admission (`push`) is bounded: when `capacity` jobs are already
+/// queued the push is refused and the caller answers the client with
+/// kJobRejected/kQueueFull — explicit pushback instead of unbounded
+/// growth. Requeueing after a failed attempt (`push_backoff`) is NOT
+/// bounded: the job was already admitted, and dropping it now would
+/// violate the no-silence contract.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is at capacity (the job is NOT admitted).
+  bool push(std::uint64_t key);
+
+  /// Benches an admitted job until `now_ms + policy.delay_ms(failures)`.
+  void push_backoff(std::uint64_t key, std::size_t failures, double now_ms,
+                    const BackoffPolicy& policy);
+
+  /// Pops the next runnable job: ripe backoff jobs first (they are older
+  /// by construction), then the FIFO head. False when nothing is ready.
+  bool pop_ready(double now_ms, std::uint64_t* key);
+
+  /// Removes every queued/benched entry for `key` (client cancelled or
+  /// the job reached a terminal state through another path). Returns how
+  /// many entries were dropped.
+  std::size_t erase(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const;
+
+  /// Jobs counted against the admission bound (FIFO + backoff bench:
+  /// a benched job still owns its admission slot).
+  std::size_t size() const { return fifo_.size() + backoff_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return size() >= capacity_; }
+
+  /// Earliest instant a benched job becomes ripe (for the poll timeout);
+  /// negative when the bench is empty.
+  double next_ripe_ms() const;
+
+ private:
+  struct Benched {
+    std::uint64_t key;
+    double ripe_ms;
+  };
+
+  std::size_t capacity_;
+  std::deque<std::uint64_t> fifo_;
+  std::deque<Benched> backoff_;
+};
+
+}  // namespace serve
+}  // namespace xtv

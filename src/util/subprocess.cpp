@@ -64,6 +64,22 @@ bool wait_for(pid_t pid, ExitStatus* status) {
   return true;
 }
 
+bool try_wait(pid_t pid, ExitStatus* status) {
+  int raw = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid, &raw, WNOHANG);
+  } while (got < 0 && errno == EINTR);
+  if (got != pid) return false;
+  ExitStatus s;
+  s.exited = WIFEXITED(raw);
+  if (s.exited) s.code = WEXITSTATUS(raw);
+  s.signaled = WIFSIGNALED(raw);
+  if (s.signaled) s.sig = WTERMSIG(raw);
+  if (status) *status = s;
+  return true;
+}
+
 namespace {
 
 // Shared with the signal handler: plain stores/loads of lock-free

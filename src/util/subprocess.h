@@ -55,6 +55,14 @@ struct ExitStatus {
 /// waitable child.
 bool wait_for(pid_t pid, ExitStatus* status);
 
+/// Non-blocking waitpid (WNOHANG, EINTR-retrying): true when `pid` was
+/// reaped into `status`, false while it is still running (or is not a
+/// waitable child). The serve daemon supervises its job runners this way
+/// — pipe EOF alone is unreliable, because a runner's forked shard
+/// workers inherit the pipe's write end and keep it open past the
+/// runner's own death.
+bool try_wait(pid_t pid, ExitStatus* status);
+
 // --- Crash markers (worker side) ---
 
 /// First token of a crash-marker line in a shard journal:

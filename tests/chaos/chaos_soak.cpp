@@ -24,20 +24,37 @@
 // reach bit-identical per-victim outcomes — crash recovery must be as
 // deterministic as the crash injection.
 //
+// A third phase (--serve-trials) attacks the verification daemon
+// (src/serve): each trial forks a real ServeDaemon, submits a job over
+// its socket, and layers on a seed-drawn subset of {runner crashes,
+// worker SIGKILLs inside the runner, a client disconnect, a daemon
+// SIGKILL + restart mid-run}. The job must still end "done" with every
+// victim reported exactly once, undisturbed victims bit-identical to a
+// direct in-process run of the same options, and the final SIGTERM
+// drain must exit 0.
+//
 // Exit status 0 iff every trial upholds the contract. Run the reduced
 // smoke via ctest (ChaosSoak.Smoke) or the full soak directly:
-//   ./build/tests/chaos/chaos_soak --trials 100 --process-trials 10 --seed 1
+//   ./build/tests/chaos/chaos_soak --trials 100 --process-trials 10
+//       --serve-trials 6 --seed 1
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
-#include <unistd.h>
 #include <vector>
 
 #include "chipgen/dsp_chip.h"
 #include "core/journal.h"
 #include "core/verifier.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "util/fault_injection.h"
 #include "util/prng.h"
 #include "util/resource.h"
@@ -273,23 +290,107 @@ void check_contract(std::size_t trial, const VerificationReport& r,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Serve-phase plumbing (--serve-trials).
+
+void remove_tree(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      remove_tree(path + "/" + name);
+    }
+    ::closedir(d);
+    ::rmdir(path.c_str());
+  } else {
+    std::remove(path.c_str());
+  }
+}
+
+pid_t fork_daemon(const serve::DaemonOptions& opt) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    serve::ServeDaemon daemon(opt);
+    ::_exit(daemon.run());
+  }
+  return pid;
+}
+
+bool wait_daemon_ready(const std::string& socket_path, pid_t pid,
+                       double timeout_ms) {
+  for (double waited = 0.0; waited < timeout_ms; waited += 50.0) {
+    serve::ServeClient probe;
+    std::string err;
+    if (probe.connect(socket_path, &err)) return true;
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return false;
+    ::usleep(50000);
+  }
+  return false;
+}
+
+/// SIGKILLs any runner left orphaned by a SIGKILLed daemon, via the same
+/// .pid files the daemon's own recovery uses (the chaos harness must not
+/// leak process groups between trials).
+void kill_orphan_runners(const std::string& jobs_dir) {
+  DIR* d = ::opendir(jobs_dir.c_str());
+  if (!d) return;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".pid") continue;
+    std::FILE* f = std::fopen((jobs_dir + "/" + name).c_str(), "r");
+    if (!f) continue;
+    long pid = 0;
+    if (std::fscanf(f, "%ld", &pid) == 1 && pid > 1) {
+      ::kill(-static_cast<pid_t>(pid), SIGKILL);
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+    }
+    std::fclose(f);
+  }
+  ::closedir(d);
+}
+
+/// Submits without waiting; "" on acceptance, the reason otherwise.
+std::string serve_submit_nowait(serve::ServeClient& client,
+                                const serve::JobSpec& spec) {
+  std::string token = "c";
+  token += serve::job_key_hex(spec.key());
+  std::string err;
+  if (!client.send(WireType::kJobSubmit, token + " " + spec.to_text(), &err))
+    return "send: " + err;
+  for (;;) {
+    WireFrame f;
+    if (!client.recv(&f, 30000.0, &err)) return "recv: " + err;
+    if (f.payload.rfind(token + " ", 0) != 0) continue;
+    if (f.type == WireType::kJobAccepted) return "";
+    if (f.type == WireType::kJobRejected)
+      return f.payload.substr(token.size() + 1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t trials = 50;
   std::size_t process_trials = 0;
+  std::size_t serve_trials = 0;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
       trials = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--process-trials") == 0 && i + 1 < argc)
       process_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--serve-trials") == 0 && i + 1 < argc)
+      serve_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--trials N] [--process-trials N] "
-                   "[--seed S]\n");
+                   "[--serve-trials N] [--seed S]\n");
       return 2;
     }
   }
@@ -465,8 +566,186 @@ int main(int argc, char** argv) {
         first.victims_shard_crashed, first.shard_restarts);
   }
 
-  std::printf("\nchaos_soak: %zu trials, %zu process trials, "
-              "%zu contract violations, %zu escaped exceptions\n",
-              trials, process_trials, g_checks_failed, escapes);
+  // Phase three: daemon robustness trials. Each trial forks a real
+  // ServeDaemon over a fresh jobs directory, layers seed-drawn adversity
+  // on one submitted job, and holds the serve contract: the job ends
+  // "done", every victim is streamed exactly once, undisturbed victims
+  // are bit-identical to a direct run, and the drain exits 0.
+  if (serve_trials > 0) {
+    // Direct-run reference with the daemon's exact construction: default
+    // characterization (not the soak's reduced grid) and the default DSP
+    // chip at the serve net count — the daemon must reproduce this
+    // bit-for-bit through fork, shard processes, and crash recovery.
+    const std::size_t serve_nets = 60;
+    CellLibrary serve_lib(tech);
+    CharacterizedLibrary serve_chars(serve_lib);
+    Extractor serve_extractor(tech);
+    DspChipOptions serve_chip;
+    serve_chip.net_count = serve_nets;
+    const ChipDesign serve_design = generate_dsp_chip(serve_lib, serve_chip);
+    serve::JobSpec spec;  // chip_audit-parity defaults
+    VerifierOptions serve_vo = spec.to_options();
+    serve_vo.threads = 1;
+    serve_vo.processes = 0;
+    ChipVerifier serve_verifier(serve_extractor, serve_chars);
+    std::printf("serve reference run (direct, in-process)...\n");
+    const VerificationReport serve_ref =
+        serve_verifier.verify(serve_design, serve_vo);
+    std::map<std::size_t, const VictimFinding*> serve_ref_by_net;
+    for (const VictimFinding& f : serve_ref.findings)
+      serve_ref_by_net[f.net] = &f;
+
+    const std::string base_dir =
+        "chaos_serve_" + std::to_string(::getpid());
+    for (std::size_t t = 0; t < serve_trials; ++t) {
+      const std::size_t trial = trials + process_trials + t;
+
+      // Draw the adversity mix.
+      const int runner_crashes = rng.uniform_int(0, 2);
+      const bool disconnect = rng.bernoulli(0.3);
+      const bool daemon_kill = rng.bernoulli(0.4);
+      const bool worker_kill = rng.bernoulli(0.3);
+      std::size_t kill_victim = 0;
+      int worker_kills = 0;
+      if (worker_kill) {
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(serve_ref.findings.size()) - 1));
+        kill_victim = serve_ref.findings[pick].net;
+        worker_kills = rng.uniform_int(1, 2);
+      }
+
+      const std::size_t before = g_checks_failed;
+      const std::string dir = base_dir + "_" + std::to_string(t);
+      remove_tree(dir);
+      ::mkdir(dir.c_str(), 0755);
+      serve::DaemonOptions opt;
+      opt.socket_path = dir + "/s.sock";
+      opt.jobs_dir = dir + "/jobs";
+      opt.net_count = serve_nets;
+      opt.default_processes = 2;
+      opt.default_retries = 3;  // absorbs the worst crash draw (2)
+      opt.backoff.base_ms = 50.0;
+      opt.backoff.max_ms = 200.0;
+
+      if (runner_crashes > 0)
+        ::setenv("XTV_TEST_SERVE_RUNNER_CRASH",
+                 std::to_string(runner_crashes).c_str(), 1);
+      if (worker_kill) {
+        const std::string hook = std::to_string(kill_victim) + ":" +
+                                 std::to_string(worker_kills);
+        ::setenv("XTV_TEST_SHARD_KILL_ON_START", hook.c_str(), 1);
+      }
+
+      char cfg[160];
+      std::snprintf(cfg, sizeof(cfg),
+                    "crashes=%d disconnect=%d daemon-kill=%d worker-kill=%s",
+                    runner_crashes, disconnect ? 1 : 0, daemon_kill ? 1 : 0,
+                    worker_kill ? (std::to_string(kill_victim) + ":" +
+                                   std::to_string(worker_kills))
+                                      .c_str()
+                                : "-");
+
+      pid_t daemon_pid = fork_daemon(opt);
+      bool ok = daemon_pid > 0 &&
+                wait_daemon_ready(opt.socket_path, daemon_pid, 120000.0);
+      expect(ok, trial, "daemon never became ready", cfg);
+
+      // Submit from a first client — which may vanish right after.
+      if (ok) {
+        serve::ServeClient first;
+        std::string err;
+        ok = first.connect(opt.socket_path, &err) &&
+             serve_submit_nowait(first, spec).empty();
+        expect(ok, trial, "submission was not accepted", cfg);
+        if (!disconnect && ok) {
+          // Keep the connection open a moment so the daemon exercises a
+          // live watcher; closing it here is the disconnect case.
+          ::usleep(10000);
+        }
+      }
+
+      // Daemon SIGKILL mid-run, then a cold restart over the same state.
+      if (ok && daemon_kill) {
+        ::usleep(static_cast<useconds_t>(rng.uniform_int(30, 300)) * 1000);
+        ::kill(daemon_pid, SIGKILL);
+        int status = 0;
+        ::waitpid(daemon_pid, &status, 0);
+        daemon_pid = fork_daemon(opt);
+        ok = daemon_pid > 0 &&
+             wait_daemon_ready(opt.socket_path, daemon_pid, 120000.0);
+        expect(ok, trial, "restarted daemon never became ready", cfg);
+      }
+
+      serve::JobResult result;
+      if (ok) {
+        serve::ServeClient client;
+        std::string err;
+        ok = client.connect(opt.socket_path, &err) &&
+             serve::submit_and_wait(client, spec, 300000.0, &result, &err);
+        expect(ok, trial, "job never reached a terminal state",
+               std::string(cfg) + (err.empty() ? "" : ": " + err));
+      }
+
+      if (ok) {
+        expect(result.state == serve::JobState::kDone, trial,
+               "job ended conceded despite an absorbable crash budget", cfg);
+        expect(result.duplicate_findings == 0, trial,
+               "a finding was streamed more than once", cfg);
+
+        // Exactly one explicit outcome per victim: the streamed net set
+        // must equal the reference victim set — nothing lost, nothing
+        // invented.
+        expect(result.findings.size() == serve_ref.findings.size(), trial,
+               "finding count differs from the direct run",
+               std::to_string(result.findings.size()) + " vs " +
+                   std::to_string(serve_ref.findings.size()));
+        for (const auto& [net, rec] : result.findings) {
+          const auto it = serve_ref_by_net.find(net);
+          expect(it != serve_ref_by_net.end(), trial,
+                 "served finding for a net the direct run never reported",
+                 "net " + std::to_string(net));
+          if (it == serve_ref_by_net.end()) continue;
+          const VictimFinding& want = *it->second;
+          const VictimFinding& got = rec.finding;
+          if (worker_kill && worker_kills >= 2 && net == kill_victim) {
+            // Twice-killed victim: concession, explicitly typed.
+            expect(got.status == FindingStatus::kShardCrashed, trial,
+                   "twice-killed victim not conceded as kShardCrashed",
+                   "net " + std::to_string(net));
+            continue;
+          }
+          expect(got.peak == want.peak &&
+                     got.peak_fraction == want.peak_fraction &&
+                     got.violation == want.violation &&
+                     got.status == want.status &&
+                     got.reduced_order == want.reduced_order,
+                 trial, "served finding differs from the direct run",
+                 "net " + std::to_string(net));
+        }
+      }
+
+      // Drain: SIGTERM must end the daemon with exit 0.
+      if (daemon_pid > 0) {
+        ::kill(daemon_pid, SIGTERM);
+        int status = 0;
+        ::waitpid(daemon_pid, &status, 0);
+        if (ok)
+          expect(WIFEXITED(status) && WEXITSTATUS(status) == 0, trial,
+                 "drain did not exit 0", cfg);
+      }
+
+      ::unsetenv("XTV_TEST_SERVE_RUNNER_CRASH");
+      ::unsetenv("XTV_TEST_SHARD_KILL_ON_START");
+      kill_orphan_runners(opt.jobs_dir);
+      remove_tree(dir);
+      std::printf("trial %3zu: ok=%s findings=%zu [%s]\n", trial,
+                  ok && g_checks_failed == before ? "yes" : "NO",
+                  result.findings.size(), cfg);
+    }
+  }
+
+  std::printf("\nchaos_soak: %zu trials, %zu process trials, %zu serve "
+              "trials, %zu contract violations, %zu escaped exceptions\n",
+              trials, process_trials, serve_trials, g_checks_failed, escapes);
   return g_checks_failed == 0 ? 0 : 1;
 }

@@ -542,6 +542,44 @@ TEST_F(ShardFixture, ResumeFoldsLeftoverShardJournalsIn) {
   std::remove(path.c_str());
 }
 
+TEST_F(ShardFixture, NonContiguousStaleShardJournalsAreSwept) {
+  const std::string path = temp_path("xtv_shard_stale.journal");
+  std::remove(path.c_str());
+
+  // Stale leftovers from an older interrupted run under a different
+  // worker count: indices 3 and 12, no .shard0. A probe-until-first-miss
+  // scan would see none of them; the directory scan must see both.
+  for (std::size_t k : {std::size_t{3}, std::size_t{12}}) {
+    std::ofstream shard(journal_shard_path(path, k),
+                        std::ios::binary | std::ios::trunc);
+    shard << "xtvjh 0123456789abcdef\n";  // hash matches no real options
+  }
+  // A .tmp straggler must not be mistaken for a shard index.
+  {
+    std::ofstream tmp(journal_shard_path(path, 3) + ".tmp");
+    tmp << "partial";
+  }
+  EXPECT_EQ(journal_list_shards(path),
+            (std::vector<std::size_t>{3, 12}));
+
+  ChipVerifier verifier(*extractor_, *chars_);
+  VerifierOptions options = fast_options();
+  options.processes = 2;
+  options.journal_path = path;
+  const VerificationReport report = verifier.verify(*design_, options);
+  expect_reports_equal_except(baseline_report(), report);
+
+  // The fully successful run retired every shard file on disk — the
+  // stale non-contiguous ones included — so a later --resume has
+  // nothing foreign to fold.
+  EXPECT_TRUE(journal_list_shards(path).empty());
+  auto merged = ResultJournal::load(path);
+  EXPECT_TRUE(merged.has_header);
+  EXPECT_EQ(merged.records.size(), report.victims_eligible);
+  std::remove((journal_shard_path(path, 3) + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Guard rails.
 
