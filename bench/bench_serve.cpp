@@ -1,0 +1,317 @@
+// Serve-mode throughput benchmark (DESIGN.md §13): concurrent job
+// runners under the cross-job resource governor vs the serial daemon.
+// Forks one daemon per round (max_running 1, then 4), pushes the same
+// batch of jobs through each over concurrent client connections, and
+// measures per-job turnaround (submit -> terminal) plus the batch
+// makespan. Writes BENCH_serve.json for the nightly trend job.
+//
+// Claims under test (the PR's acceptance bar):
+//  - jobs/min at max_running=4 >= 2.5x the max_running=1 rate (needs
+//    >= 4 cores; a 1-core box still validates the invariants below);
+//  - zero lost findings: every job reports the full per-victim set;
+//  - zero duplicated findings (the exactly-once streaming contract);
+//  - findings bit-identical across every job and both rounds (the jobs
+//    differ only in audit_seed, which never changes findings).
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/journal.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/job.h"
+#include "util/timer.h"
+
+using namespace xtv;
+
+namespace {
+
+struct JobOutcome {
+  bool ok = false;
+  std::string error;
+  double turnaround_s = 0.0;
+  serve::JobResult result;
+};
+
+struct RoundStats {
+  std::size_t max_running = 0;
+  double makespan_s = 0.0;
+  double p95_turnaround_s = 0.0;
+  double jobs_per_min = 0.0;
+  std::size_t duplicate_findings = 0;
+  std::vector<JobOutcome> outcomes;
+};
+
+/// Forks a ServeDaemon and blocks until its socket accepts connections.
+pid_t start_daemon(const serve::DaemonOptions& opt) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    serve::ServeDaemon daemon(opt);
+    ::_exit(daemon.run());
+  }
+  if (pid < 0) return -1;
+  for (int i = 0; i < 2400; ++i) {
+    serve::ServeClient probe;
+    std::string err;
+    if (probe.connect(opt.socket_path, &err)) return pid;
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) != 0) {
+      std::fprintf(stderr, "daemon exited during startup (status %d)\n",
+                   status);
+      return -1;
+    }
+    ::usleep(50000);
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return -1;
+}
+
+/// SIGTERM + wait; true on a clean (exit 0) drain.
+bool drain_daemon(pid_t pid) {
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+void remove_tree(const std::string& path) {
+  const std::string cmd = "rm -rf '" + path + "'";
+  (void)std::system(cmd.c_str());
+}
+
+double percentile95(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(0.95 * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// One daemon lifetime: submit every spec over its own connection from
+/// its own thread, wait for all terminals, drain.
+bool run_round(std::size_t max_running, const std::string& work_dir,
+               std::size_t nets, const std::vector<serve::JobSpec>& specs,
+               RoundStats* stats) {
+  const std::string dir =
+      work_dir + "/round_r" + std::to_string(max_running);
+  remove_tree(dir);
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    std::fprintf(stderr, "mkdir %s failed\n", dir.c_str());
+    return false;
+  }
+
+  serve::DaemonOptions opt;
+  opt.socket_path = dir + "/s.sock";
+  opt.jobs_dir = dir + "/jobs";
+  opt.net_count = nets;
+  opt.queue_capacity = specs.size() + 2;
+  opt.max_running = max_running;
+  opt.default_processes = 1;
+  opt.cell_cache = "xtv_cells.cache";  // share characterization across rounds
+
+  const pid_t daemon = start_daemon(opt);
+  if (daemon < 0) return false;
+
+  stats->max_running = max_running;
+  stats->outcomes.assign(specs.size(), JobOutcome{});
+
+  Timer batch;
+  std::vector<std::thread> threads;
+  threads.reserve(specs.size());
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    threads.emplace_back([&, j] {
+      JobOutcome& out = stats->outcomes[j];
+      serve::ServeClient client;
+      if (!client.connect(opt.socket_path, &out.error)) return;
+      Timer t;
+      out.ok = serve::submit_and_wait(client, specs[j], 1800000.0,
+                                      &out.result, &out.error);
+      out.turnaround_s = t.elapsed();
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats->makespan_s = batch.elapsed();
+
+  const bool drained = drain_daemon(daemon);
+  if (!drained) std::fprintf(stderr, "daemon drain was not clean\n");
+
+  std::vector<double> turnarounds;
+  bool all_ok = drained;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    const JobOutcome& out = stats->outcomes[j];
+    if (!out.ok) {
+      std::fprintf(stderr, "job %zu failed: %s\n", j, out.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    turnarounds.push_back(out.turnaround_s);
+    stats->duplicate_findings += out.result.duplicate_findings;
+    std::printf("  job %zu: %s in %.2f s, %zu findings (%s)\n", j,
+                job_state_name(out.result.state), out.turnaround_s,
+                out.result.findings.size(), out.result.summary.c_str());
+  }
+  stats->p95_turnaround_s = percentile95(turnarounds);
+  stats->jobs_per_min =
+      stats->makespan_s > 0.0
+          ? 60.0 * static_cast<double>(specs.size()) / stats->makespan_s
+          : 0.0;
+  return all_ok;
+}
+
+/// Bitwise comparison via the canonical journal encoding, with the one
+/// wall-clock field (cpu_seconds) zeroed — every analytical field must
+/// match exactly, but compute time legitimately varies run to run.
+std::string normalized_encoding(const JournalRecord& record) {
+  JournalRecord copy = record;
+  copy.finding.cpu_seconds = 0.0;
+  return journal_encode(copy);
+}
+
+bool findings_identical(const std::map<std::size_t, JournalRecord>& a,
+                        const std::map<std::size_t, JournalRecord>& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (normalized_encoding(ia->second) != normalized_encoding(ib->second))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Serve throughput: concurrent runners vs serial ==\n\n");
+
+  std::size_t nets = 80;
+  std::size_t jobs = 6;
+  std::size_t concurrent_running = 4;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--nets") == 0)
+      nets = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    else if (std::strcmp(argv[i], "--jobs") == 0)
+      jobs = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    else if (std::strcmp(argv[i], "--max-running") == 0)
+      concurrent_running = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+  }
+  if (jobs == 0) jobs = 1;
+
+  // Distinct audit_seed per job: each spec hashes to its own job key (no
+  // dedup between jobs) while audit_fraction=0 keeps findings identical.
+  std::vector<serve::JobSpec> specs(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    specs[j].options.audit_seed = 7000 + j;
+    specs[j].processes = 1;
+  }
+
+  std::string work_dir = "bench_serve_work." + std::to_string(::getpid());
+  remove_tree(work_dir);
+  if (::mkdir(work_dir.c_str(), 0755) != 0) {
+    std::fprintf(stderr, "mkdir %s failed\n", work_dir.c_str());
+    return 1;
+  }
+
+  std::printf("design: %zu nets, %zu jobs, %u cores\n\n", nets, jobs,
+              std::thread::hardware_concurrency());
+
+  RoundStats serial, concurrent;
+  bool ok = true;
+  std::printf("[round 1/2] max_running=1 ...\n");
+  ok = run_round(1, work_dir, nets, specs, &serial) && ok;
+  std::printf("  %.1f s makespan, p95 turnaround %.1f s, %.2f jobs/min\n",
+              serial.makespan_s, serial.p95_turnaround_s,
+              serial.jobs_per_min);
+  std::printf("[round 2/2] max_running=%zu ...\n", concurrent_running);
+  ok = run_round(concurrent_running, work_dir, nets, specs, &concurrent) && ok;
+  std::printf("  %.1f s makespan, p95 turnaround %.1f s, %.2f jobs/min\n\n",
+              concurrent.makespan_s, concurrent.p95_turnaround_s,
+              concurrent.jobs_per_min);
+
+  // Correctness invariants: every job in both rounds carries the exact
+  // same per-victim set, streamed exactly once.
+  std::size_t lost_jobs = 0;
+  std::size_t duplicates =
+      serial.duplicate_findings + concurrent.duplicate_findings;
+  const std::map<std::size_t, JournalRecord>* baseline = nullptr;
+  for (const RoundStats* round : {&serial, &concurrent}) {
+    for (const JobOutcome& out : round->outcomes) {
+      if (!out.ok || out.result.findings.empty()) {
+        ++lost_jobs;
+        continue;
+      }
+      if (!baseline) baseline = &out.result.findings;
+      else if (!findings_identical(*baseline, out.result.findings))
+        ++lost_jobs;
+    }
+  }
+  const std::size_t findings_per_job = baseline ? baseline->size() : 0;
+  const bool identical = ok && lost_jobs == 0 && duplicates == 0;
+  const double speedup = serial.jobs_per_min > 0.0
+                             ? concurrent.jobs_per_min / serial.jobs_per_min
+                             : 0.0;
+
+  std::printf("findings: %zu per job, %zu divergent/lost jobs, "
+              "%zu duplicated streams\n",
+              findings_per_job, lost_jobs, duplicates);
+  std::printf("throughput: %.2f -> %.2f jobs/min (%.2fx)\n",
+              serial.jobs_per_min, concurrent.jobs_per_min, speedup);
+  std::printf("\ntargets: speedup >= 2.5x -> %s, exactly-once + identical "
+              "-> %s\n",
+              speedup >= 2.5 ? "MET" : "MISSED",
+              identical ? "MET" : "MISSED");
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"nets\": %zu,\n", nets);
+    std::fprintf(json, "  \"jobs\": %zu,\n", jobs);
+    std::fprintf(json, "  \"cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"max_running_concurrent\": %zu,\n",
+                 concurrent_running);
+    std::fprintf(json, "  \"makespan_s_serial\": %.3f,\n", serial.makespan_s);
+    std::fprintf(json, "  \"makespan_s_concurrent\": %.3f,\n",
+                 concurrent.makespan_s);
+    std::fprintf(json, "  \"p95_turnaround_s_serial\": %.3f,\n",
+                 serial.p95_turnaround_s);
+    std::fprintf(json, "  \"p95_turnaround_s_concurrent\": %.3f,\n",
+                 concurrent.p95_turnaround_s);
+    std::fprintf(json, "  \"jobs_per_min_serial\": %.4f,\n",
+                 serial.jobs_per_min);
+    std::fprintf(json, "  \"jobs_per_min_concurrent\": %.4f,\n",
+                 concurrent.jobs_per_min);
+    std::fprintf(json, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(json, "  \"findings_per_job\": %zu,\n", findings_per_job);
+    std::fprintf(json, "  \"lost_jobs\": %zu,\n", lost_jobs);
+    std::fprintf(json, "  \"duplicate_findings\": %zu,\n", duplicates);
+    std::fprintf(json, "  \"findings_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(json, "  \"speedup_target\": 2.5,\n");
+    std::fprintf(json, "  \"targets_met\": %s\n",
+                 speedup >= 2.5 && identical ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+
+  remove_tree(work_dir);
+  // The speedup target needs cores; identity and exactly-once do not.
+  return identical ? 0 : 1;
+}

@@ -76,8 +76,10 @@ int main(int argc, char** argv) {
   }
 
   int fail_on_severity = INT_MAX;  // --fail-on CI gate; INT_MAX = disabled
+  flags::SeenFlags seen;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    seen.check(arg);
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", flag);

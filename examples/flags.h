@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <set>
+#include <string>
 
 namespace xtv {
 namespace flags {
@@ -22,6 +24,23 @@ namespace flags {
                want, value);
   std::exit(2);
 }
+
+/// Rejects repeated flags: "--threads 2 --threads 8" is almost always a
+/// copy-paste error, and silently letting the last one win hides it.
+/// Call check() on every argv token; only "--"-prefixed tokens count.
+class SeenFlags {
+ public:
+  void check(const char* arg) {
+    if (!arg || arg[0] != '-' || arg[1] != '-') return;
+    if (!seen_.insert(arg).second) {
+      std::fprintf(stderr, "usage error: duplicate flag %s\n", arg);
+      std::exit(2);
+    }
+  }
+
+ private:
+  std::set<std::string> seen_;
+};
 
 /// Whole-token strtod; rejects trailing junk and empty values.
 inline double parse_double(const char* flag, const char* value,

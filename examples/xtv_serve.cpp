@@ -2,11 +2,13 @@
 //
 //   xtv_serve daemon --socket PATH --jobs-dir DIR [options]
 //     Long-lived daemon: builds the resident design once, then accepts
-//     verification jobs over the Unix-domain socket until SIGTERM/SIGINT
-//     drains it (exit 0). Options:
+//     verification jobs over the Unix-domain socket (and, with --listen,
+//     a TCP listener) until SIGTERM/SIGINT drains it (exit 0). Options:
 //       --nets N                resident design size (default 800)
 //       --replicate-rows R      tile the design out of R rows
 //       --cell-cache PATH       characterization cache file
+//       --listen HOST:PORT      also serve TCP (port 0 = ephemeral; the
+//                               bound endpoint lands in JOBS/daemon.tcp)
 //       --queue N               admission queue capacity (default 8)
 //       --max-running N         concurrent job runners (default 1)
 //       --processes N           shard workers per runner when the job
@@ -17,15 +19,25 @@
 //                               check arms (default 30000)
 //       --backoff-base-ms MS    retry backoff base (default 500)
 //       --backoff-max-ms MS     retry backoff ceiling (default 8000)
-//       --global-mem-soft-mb MB memory gate for launching runners (0 = off)
+//       --global-mem-soft-mb MB cross-job memory budget: gates launches
+//                               and sheds the youngest runner under live
+//                               RSS pressure (0 = off)
+//       --max-job-nets N        admission cap on per-job designs (0 = off)
+//       --age-promote-ms MS     queued jobs older than this jump the
+//                               largest-fit packing order (default 5000)
+//       --max-connections N     live client connection cap (default 64)
+//       --io-timeout-ms MS      per-connection read/write deadline
+//                               (slow-loris eviction; 0 = off)
+//       --keepalive-ms MS       idle TCP keepalive period (0 = off)
 //       --drain-timeout-ms MS   drain kills running jobs after this (0 = wait)
 //
-//   xtv_serve submit --socket PATH [--timeout-ms MS] [SPEC k=v ...]
+//   xtv_serve submit --socket ENDPOINT [--timeout-ms MS] [SPEC k=v ...]
 //     Submits one job (trailing k=v tokens form the spec; none = the
-//     chip_audit-default options), streams findings, waits for the
-//     verdict. Exit 0 = done, 3 = conceded, 1 = rejected/failed.
+//     chip_audit-default options; nets=N runs a per-job design), streams
+//     findings, waits for the verdict. ENDPOINT is a Unix socket path or
+//     HOST:PORT. Exit 0 = done, 3 = conceded, 1 = rejected/failed.
 //
-//   xtv_serve query --socket PATH [--timeout-ms MS] KEY
+//   xtv_serve query --socket ENDPOINT [--timeout-ms MS] KEY
 //     Prints the daemon's status line for a 16-hex job key.
 #include <cstdio>
 #include <cstring>
@@ -45,8 +57,10 @@ int run_daemon(int argc, char** argv) {
   // interface; surface them by default.
   set_log_level(LogLevel::kInfo);
   serve::DaemonOptions opt;
+  flags::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
+    seen.check(arg);
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage error: %s requires a value\n", arg);
@@ -65,6 +79,12 @@ int run_daemon(int argc, char** argv) {
           flags::parse_size(arg, value(), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--cell-cache") == 0) {
       opt.cell_cache = value();
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      const char* v = value();
+      if (!serve::parse_tcp_endpoint(std::string("tcp:") + v, nullptr,
+                                     nullptr))
+        flags::usage_error(arg, v, "HOST:PORT");
+      opt.listen_address = v;
     } else if (std::strcmp(arg, "--queue") == 0) {
       opt.queue_capacity =
           flags::parse_size(arg, value(), 1, "an integer >= 1");
@@ -97,6 +117,21 @@ int run_daemon(int argc, char** argv) {
     } else if (std::strcmp(arg, "--global-mem-soft-mb") == 0) {
       opt.global_mem_soft_mb =
           flags::parse_double(arg, value(), 0.0, 1e9, "a size >= 0 MiB");
+    } else if (std::strcmp(arg, "--max-job-nets") == 0) {
+      opt.max_job_nets =
+          flags::parse_size(arg, value(), 0, "an integer >= 0 (0 = off)");
+    } else if (std::strcmp(arg, "--age-promote-ms") == 0) {
+      opt.age_promote_ms =
+          flags::parse_double(arg, value(), 0.0, 1e12, "a value >= 0 ms");
+    } else if (std::strcmp(arg, "--max-connections") == 0) {
+      opt.max_connections =
+          flags::parse_size(arg, value(), 1, "an integer >= 1");
+    } else if (std::strcmp(arg, "--io-timeout-ms") == 0) {
+      opt.io_timeout_ms =
+          flags::parse_double(arg, value(), 0.0, 1e12, "a value >= 0 ms");
+    } else if (std::strcmp(arg, "--keepalive-ms") == 0) {
+      opt.keepalive_ms =
+          flags::parse_double(arg, value(), 0.0, 1e12, "a value >= 0 ms");
     } else if (std::strcmp(arg, "--drain-timeout-ms") == 0) {
       opt.drain_timeout_ms =
           flags::parse_double(arg, value(), 0.0, 1e12, "a value >= 0 ms");
@@ -118,8 +153,10 @@ int run_daemon(int argc, char** argv) {
 int run_submit(int argc, char** argv) {
   std::string socket_path, spec_text;
   double timeout_ms = 600000.0;
+  flags::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
+    seen.check(arg);
     if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (std::strcmp(arg, "--timeout-ms") == 0 && i + 1 < argc) {
@@ -180,8 +217,10 @@ int run_submit(int argc, char** argv) {
 int run_query(int argc, char** argv) {
   std::string socket_path, key_hex;
   double timeout_ms = 10000.0;
+  flags::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
+    seen.check(arg);
     if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (std::strcmp(arg, "--timeout-ms") == 0 && i + 1 < argc) {

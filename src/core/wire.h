@@ -36,9 +36,15 @@ enum class WireType : std::uint8_t {
   kShardDone,        ///< payload "<records streamed>" — clean completion
 
   // --- Verification service (src/serve, DESIGN.md §13) ---
-  // The daemon speaks the same framing on its Unix-domain client sockets
-  // and on the daemon <-> job-runner pipes. Payloads are text; the first
-  // token is a correlation token (client direction) or the 16-hex job key.
+  // The daemon speaks the same framing — bytes, checksums, and corruption
+  // latch unchanged — on its Unix-domain client sockets, its optional TCP
+  // listener, and the daemon <-> job-runner pipes; only the connection
+  // envelope (deadlines, caps, keepalive) differs per transport, and it
+  // lives entirely in serve/daemon.cpp. Payloads are text; the first
+  // token is a correlation token (client direction) or the 16-hex job
+  // key. kHeartbeat doubles as the daemon's idle TCP keepalive, and a
+  // kJobRejected with token "-" is a connection-level verdict (e.g. the
+  // connection cap) rather than an answer to one submission.
   kJobSubmit,        ///< client->daemon: "<token> <job spec k=v ...>"
   kJobAccepted,      ///< daemon->client: "<token> <job key> <state>"
   kJobRejected,      ///< daemon->client: "<token> <reason> <detail>"

@@ -1,6 +1,9 @@
 #include "serve/client.h"
 
 #include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -31,26 +34,81 @@ void ServeClient::close() {
   fd_ = -1;
 }
 
-bool ServeClient::connect(const std::string& socket_path,
-                          std::string* error) {
+bool parse_tcp_endpoint(const std::string& endpoint, std::string* host,
+                        std::string* port) {
+  std::string t = endpoint;
+  bool forced = false;
+  if (t.rfind("tcp:", 0) == 0) {
+    t = t.substr(4);
+    forced = true;
+  } else if (t.find('/') != std::string::npos) {
+    return false;  // a path is always a Unix socket
+  }
+  const std::size_t colon = t.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= t.size())
+    return false;
+  const std::string p = t.substr(colon + 1);
+  if (!forced)
+    for (char c : p)
+      if (c < '0' || c > '9') return false;  // "a:b" without tcp: = a path
+  if (host) *host = t.substr(0, colon);
+  if (port) *port = p;
+  return true;
+}
+
+bool ServeClient::connect(const std::string& endpoint, std::string* error) {
   close();
+
+  std::string host, port;
+  if (parse_tcp_endpoint(endpoint, &host, &port)) {
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (gai != 0) {
+      if (error)
+        *error = "cannot resolve " + endpoint + ": " + ::gai_strerror(gai);
+      return false;
+    }
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                              ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        fd_ = fd;
+        break;
+      }
+      ::close(fd);
+    }
+    ::freeaddrinfo(res);
+    if (fd_ < 0) {
+      if (error)
+        *error = "connect " + endpoint + ": " + std::strerror(errno);
+      return false;
+    }
+    decoder_ = WireDecoder();
+    return true;
+  }
+
   sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    if (error) *error = "socket path too long: " + socket_path;
+  if (endpoint.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + endpoint;
     return false;
   }
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
+  std::strncpy(addr.sun_path, endpoint.c_str(), sizeof(addr.sun_path) - 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (error) *error = std::string("socket(): ") + std::strerror(errno);
     return false;
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error)
-      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    if (error) *error = "connect " + endpoint + ": " + std::strerror(errno);
     close();
     return false;
   }
@@ -141,7 +199,10 @@ bool submit_and_wait(
     std::istringstream in(f.payload);
     std::string got_token;
     in >> got_token;
-    if (f.type == WireType::kJobRejected && got_token == token) {
+    if (f.type == WireType::kJobRejected &&
+        (got_token == token || got_token == "-")) {
+      // "-" = connection-level rejection (e.g. conn-limit): not tied to
+      // any token, but fatal for this submission all the same.
       std::string reason, detail_escaped, detail;
       in >> reason >> detail_escaped;
       serve_unescape(detail_escaped, &detail);

@@ -1,9 +1,10 @@
 // Blocking client for the verification service (serve/daemon.h).
 //
-// Speaks xwf1 frames over the daemon's Unix-domain socket. Used by the
-// `xtv_serve submit` CLI mode, the serve tests, and the chaos harness —
-// all of which need the same loop: submit a spec, collect each streamed
-// finding exactly once, and wait for the terminal done/conceded verdict.
+// Speaks xwf1 frames over the daemon's Unix-domain socket or its TCP
+// listener. Used by the `xtv_serve submit` CLI mode, the serve tests,
+// and the chaos harness — all of which need the same loop: submit a
+// spec, collect each streamed finding exactly once, and wait for the
+// terminal done/conceded verdict.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +27,10 @@ class ServeClient {
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  bool connect(const std::string& socket_path, std::string* error);
+  /// Connects to a daemon endpoint. "host:port" or "tcp:host:port" (a
+  /// colon-separated target with no '/') selects TCP; anything else is a
+  /// Unix-domain socket path.
+  bool connect(const std::string& endpoint, std::string* error);
 
   /// Sends one frame (EINTR-safe full write).
   bool send(WireType type, const std::string& payload, std::string* error);
@@ -42,6 +46,12 @@ class ServeClient {
   int fd_ = -1;
   WireDecoder decoder_;
 };
+
+/// True when `endpoint` names a TCP target ("host:port" with a numeric
+/// port, or an explicit "tcp:host:port"), splitting it into host/port.
+/// False for Unix socket paths.
+bool parse_tcp_endpoint(const std::string& endpoint, std::string* host,
+                        std::string* port);
 
 /// Everything a finished job streamed back.
 struct JobResult {

@@ -3,6 +3,9 @@
 #include <dirent.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -94,6 +97,54 @@ bool claim_test_slot(const std::string& jobs_dir, const char* env,
 /// client can resubmit — replay is idempotent).
 constexpr std::size_t kMaxClientBuffer = 8u << 20;
 
+/// Inbound mirror of kMaxClientBuffer: a peer that streams frame bytes
+/// faster than the daemon dispatches them (or declares a huge frame and
+/// trickles it) is bounded here. Legitimate requests are tiny.
+constexpr std::size_t kMaxClientInbound = 4u << 20;
+
+/// A shed runner that ignores its SIGTERM is escalated to SIGKILL after
+/// this long (it still requeues; the journal keeps its progress).
+constexpr double kShedEscalateMs = 5000.0;
+
+/// Minimum spacing between sheds, so one RSS spike cannot cascade into
+/// killing every runner before the first shed's memory is returned.
+constexpr double kShedHysteresisMs = 500.0;
+
+/// Daemon RSS in MiB. XTV_TEST_SERVE_RSS_FILE overrides the /proc reading
+/// with a number read from the named file — the deterministic lever the
+/// shed tests and chaos trials use to fake memory pressure.
+double effective_rss_mb() {
+  if (const char* path = std::getenv("XTV_TEST_SERVE_RSS_FILE")) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (f) {
+      double mb = 0.0;
+      const bool ok = std::fscanf(f, "%lf", &mb) == 1;
+      std::fclose(f);
+      if (ok) return mb;
+    }
+  }
+  return static_cast<double>(resource::read_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+std::string daemon_pid_path(const std::string& jobs_dir) {
+  return jobs_dir + "/daemon.pid";
+}
+
+/// Chipgen parameters for a spec carrying its own design reference.
+/// 0-valued rows/seed keep the generator defaults, so `nets=N` alone
+/// names the same chip a daemon booted with `--nets N` would serve.
+DspChipOptions chip_options_for(const JobSpec& spec) {
+  DspChipOptions chip;
+  chip.net_count = spec.design_nets;
+  if (spec.design_rows != 0) chip.replicate_rows = spec.design_rows;
+  if (spec.design_seed != 0) chip.seed = spec.design_seed;
+  return chip;
+}
+
+std::string daemon_tcp_path(const std::string& jobs_dir) {
+  return jobs_dir + "/daemon.tcp";
+}
+
 }  // namespace
 
 ServeDaemon::ServeDaemon(const DaemonOptions& options)
@@ -102,7 +153,8 @@ ServeDaemon::ServeDaemon(const DaemonOptions& options)
       library_(tech_),
       chars_(library_),
       extractor_(tech_),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity),
+      governor_(options.global_mem_soft_mb) {}
 
 ServeDaemon::~ServeDaemon() {
   for (Client& c : clients_)
@@ -113,6 +165,11 @@ ServeDaemon::~ServeDaemon() {
     ::close(listen_fd_);
     ::unlink(opt_.socket_path.c_str());
   }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    ::unlink(daemon_tcp_path(opt_.jobs_dir).c_str());
+  }
+  if (wrote_pid_file_) ::unlink(daemon_pid_path(opt_.jobs_dir).c_str());
   g_wake_fd = -1;
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
@@ -148,8 +205,31 @@ bool ServeDaemon::bind_socket(std::string* error) {
   std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
 
-  // A stale socket file from a crashed daemon must be swept, but a LIVE
-  // daemon must not be hijacked: probe with a connect first.
+  // Cold-start hygiene: a SIGKILLed daemon leaves its socket file (and
+  // daemon.pid) behind. The pid file decides whether the jobs dir is
+  // still owned — a live daemon whose pid still runs this binary must not
+  // be hijacked; anything else is stale and gets swept so bind() cannot
+  // fail on the leftovers.
+  const std::string pid_path = daemon_pid_path(opt_.jobs_dir);
+  std::FILE* pf = std::fopen(pid_path.c_str(), "rb");
+  if (pf) {
+    long pid = 0;
+    const bool parsed = std::fscanf(pf, "%ld", &pid) == 1;
+    std::fclose(pf);
+    const std::string own_comm = read_comm(::getpid());
+    if (parsed && pid > 1 && pid != static_cast<long>(::getpid()) &&
+        !own_comm.empty() &&
+        read_comm(static_cast<pid_t>(pid)) == own_comm) {
+      *error = "daemon pid " + std::to_string(pid) + " already owns " +
+               opt_.jobs_dir + " (" + pid_path + ")";
+      return false;
+    }
+    ::unlink(pid_path.c_str());
+  }
+
+  // Belt and braces for daemons predating the pid file (or a recycled pid
+  // running this binary for an unrelated jobs dir): probe with a connect
+  // before sweeping the socket file.
   const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (probe >= 0) {
     const int rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
@@ -177,6 +257,75 @@ bool ServeDaemon::bind_socket(std::string* error) {
     return false;
   }
   subprocess::set_nonblocking(listen_fd_);
+
+  std::FILE* own = std::fopen(pid_path.c_str(), "wb");
+  if (own) {
+    std::fprintf(own, "%ld\n", static_cast<long>(::getpid()));
+    std::fclose(own);
+    wrote_pid_file_ = true;
+  }
+  return true;
+}
+
+bool ServeDaemon::bind_tcp(std::string* error) {
+  const std::size_t colon = opt_.listen_address.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    *error = "--listen expects host:port, got \"" + opt_.listen_address + "\"";
+    return false;
+  }
+  const std::string host = opt_.listen_address.substr(0, colon);
+  const std::string port = opt_.listen_address.substr(colon + 1);
+
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    *error = "cannot resolve " + opt_.listen_address + ": " +
+             ::gai_strerror(gai);
+    return false;
+  }
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      tcp_listen_fd_ = fd;
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (tcp_listen_fd_ < 0) {
+    *error = "cannot bind TCP listener on " + opt_.listen_address + ": " +
+             std::strerror(errno);
+    return false;
+  }
+  subprocess::set_nonblocking(tcp_listen_fd_);
+
+  // Publish the bound endpoint (port 0 resolves to an ephemeral port) so
+  // clients and tests can discover it without parsing logs.
+  sockaddr_storage bound;
+  socklen_t blen = sizeof(bound);
+  char bhost[NI_MAXHOST] = {0};
+  char bport[NI_MAXSERV] = {0};
+  if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) == 0 &&
+      ::getnameinfo(reinterpret_cast<sockaddr*>(&bound), blen, bhost,
+                    sizeof(bhost), bport, sizeof(bport),
+                    NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+    std::FILE* f = std::fopen(daemon_tcp_path(opt_.jobs_dir).c_str(), "wb");
+    if (f) {
+      std::fprintf(f, "%s:%s\n", bhost, bport);
+      std::fclose(f);
+    }
+    logf(LogLevel::kInfo, "serve: TCP listener on %s:%s", bhost, bport);
+  }
   return true;
 }
 
@@ -247,6 +396,7 @@ void ServeDaemon::recover_jobs_dir() {
                   "interrupted with its retry budget already spent");
     } else {
       it->second.state = JobState::kBackoff;
+      it->second.enqueued_ms = now;
       queue_.push_backoff(key, it->second.attempts, now, opt_.backoff);
       logf(LogLevel::kInfo,
            "serve: recovered interrupted job %s (attempt %zu/%zu)",
@@ -257,22 +407,48 @@ void ServeDaemon::recover_jobs_dir() {
 
 bool ServeDaemon::memory_gate_open() const {
   if (resource::MemoryGovernor::instance().under_pressure()) return false;
-  if (opt_.global_mem_soft_mb > 0.0) {
-    const std::size_t soft = static_cast<std::size_t>(
-        opt_.global_mem_soft_mb * 1024.0 * 1024.0);
-    if (resource::read_rss_bytes() > soft) return false;
-  }
+  if (opt_.global_mem_soft_mb > 0.0 &&
+      effective_rss_mb() > opt_.global_mem_soft_mb)
+    return false;
   return true;
 }
 
-std::vector<std::size_t> ServeDaemon::candidates_for(
-    const JobSpec& spec) const {
-  // Mirrors ChipVerifier::verify's candidate loop (same PruneResult: specs
-  // cannot alter pruning options).
+double ServeDaemon::job_reserve_mb(const JobSpec& spec) const {
+  if (spec.mem_mb > 0.0) return spec.mem_mb;  // client knows best
+  // Estimate: each shard worker is a fork of the daemon image (CoW, but
+  // it dirties its shard's clusters and model cache) plus the runner
+  // supervisor; the per-net term covers cluster state scaling with the
+  // job's design size.
+  const std::size_t nets =
+      spec.has_design_ref() ? spec.design_nets : design_.nets.size();
+  const std::size_t procs =
+      spec.processes != 0 ? spec.processes
+                          : std::max<std::size_t>(1, opt_.default_processes);
+  return 48.0 * static_cast<double>(procs + 1) +
+         0.02 * static_cast<double>(nets) * static_cast<double>(procs);
+}
+
+std::vector<std::size_t> ServeDaemon::candidates_for(const JobSpec& spec) {
+  // Mirrors ChipVerifier::verify's candidate loop (same prune options:
+  // specs cannot alter them). Jobs with their own design reference are
+  // rare on this path (only concession needs it), so the design is
+  // regenerated rather than cached.
+  const ChipDesign* target = &design_;
+  ChipDesign job_design;
+  PruneResult job_pruned;
+  const PruneResult* pruned = &pruned_;
+  if (spec.has_design_ref()) {
+    job_design = generate_dsp_chip(library_, chip_options_for(spec));
+    const std::vector<NetSummary> sums =
+        chip_net_summaries(job_design, extractor_, chars_);
+    job_pruned = prune_couplings(sums, VerifierOptions().prune);
+    target = &job_design;
+    pruned = &job_pruned;
+  }
   std::vector<std::size_t> out;
-  for (std::size_t v = 0; v < design_.nets.size(); ++v) {
-    if (pruned_.retained[v].empty()) continue;
-    if (spec.options.latch_inputs_only && !design_.nets[v].latch_input)
+  for (std::size_t v = 0; v < target->nets.size(); ++v) {
+    if (pruned->retained[v].empty()) continue;
+    if (spec.options.latch_inputs_only && !target->nets[v].latch_input)
       continue;
     out.push_back(v);
   }
@@ -285,6 +461,7 @@ void ServeDaemon::send_frame(Client& c, WireType type,
                              const std::string& payload) {
   if (c.fd < 0) return;
   c.outbuf += wire_encode_frame(type, payload);
+  c.last_tx_ms = now_ms();
   if (c.outbuf.size() > kMaxClientBuffer) {
     logf(LogLevel::kWarn, "serve: dropping unresponsive client (%zu buffered)",
          c.outbuf.size());
@@ -300,6 +477,7 @@ void ServeDaemon::flush_client(Client& c) {
     const ssize_t n = ::write(c.fd, c.outbuf.data(), c.outbuf.size());
     if (n > 0) {
       c.outbuf.erase(0, static_cast<std::size_t>(n));
+      c.last_progress_ms = now_ms();
     } else if (n < 0 && errno == EINTR) {
       continue;
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -342,9 +520,20 @@ void ServeDaemon::on_submit(Client& c, const std::string& payload) {
   }
   JobSpec spec;
   std::string perr;
+  // Parse rejects malformed specs AND unreadable design= files (the file
+  // is resolved right here, at admission, not at launch).
   if (!JobSpec::parse(spec_text, &spec, &perr)) {
     send_frame(c, WireType::kJobRejected,
                token + " bad-spec " + serve_escape(perr));
+    return;
+  }
+  if (opt_.max_job_nets != 0 && spec.design_nets > opt_.max_job_nets) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "design of %zu nets exceeds --max-job-nets %zu",
+                  spec.design_nets, opt_.max_job_nets);
+    send_frame(c, WireType::kJobRejected,
+               token + " oversized " + serve_escape(detail));
     return;
   }
 
@@ -381,6 +570,7 @@ void ServeDaemon::on_submit(Client& c, const std::string& payload) {
 
   Job job;
   job.spec = spec;
+  job.enqueued_ms = now_ms();
   const JobPaths paths = job_paths(opt_.jobs_dir, key);
   std::string werr;
   if (!write_spec_file(paths.spec, spec, 0, &werr)) {
@@ -415,12 +605,13 @@ void ServeDaemon::on_query(Client& c, const std::string& payload) {
   send_frame(c, WireType::kJobStatus, out.str());
 }
 
-void ServeDaemon::handle_client_frames(Client& c) {
+void ServeDaemon::handle_client_frames(Client& c, double now) {
   char buf[65536];
   for (;;) {
     const ssize_t n = ::read(c.fd, buf, sizeof(buf));
     if (n > 0) {
       c.decoder.feed(buf, static_cast<std::size_t>(n));
+      c.last_rx_ms = now;
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
     } else if (n < 0 && errno == EINTR) {
       continue;
@@ -446,23 +637,113 @@ void ServeDaemon::handle_client_frames(Client& c) {
     }
   }
   if (c.fd >= 0 && c.decoder.corrupt()) {
+    // Latch-and-close: the decoder never resynchronizes a corrupt stream,
+    // so neither does the daemon. The client reconnects and resubmits
+    // (replay is idempotent).
     logf(LogLevel::kWarn, "serve: dropping client with corrupt stream");
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  if (c.fd >= 0 && c.decoder.buffered() > kMaxClientInbound) {
+    logf(LogLevel::kWarn,
+         "serve: dropping client flooding %zu undispatched bytes",
+         c.decoder.buffered());
     ::close(c.fd);
     c.fd = -1;
   }
 }
 
-void ServeDaemon::handle_listen() {
+void ServeDaemon::handle_listen(int listen_fd, bool tcp) {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or transient accept error; poll retries
     }
+
+    std::size_t live = 0;
+    for (const Client& c : clients_)
+      if (c.fd >= 0) ++live;
+    if (opt_.max_connections != 0 && live >= opt_.max_connections) {
+      // Before refusing, sweep peers that already sent FIN with nothing
+      // left to read (one-shot status pollers, the startup ready probe):
+      // their EOF may be queued behind this accept in the same poll
+      // batch, and a dead connection holds no claim on a slot.
+      for (Client& c : clients_) {
+        if (c.fd < 0) continue;
+        char peek;
+        if (::recv(c.fd, &peek, 1, MSG_PEEK | MSG_DONTWAIT) == 0) {
+          ::close(c.fd);
+          c.fd = -1;
+          --live;
+        }
+      }
+    }
+    if (opt_.max_connections != 0 && live >= opt_.max_connections) {
+      // Explicit pushback, not a silent RST: one best-effort kJobRejected
+      // frame, then close. The fd is still blocking here, but the frame
+      // is tiny (fits any socket buffer), so this cannot wedge the loop.
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "connection cap (%zu) reached",
+                    opt_.max_connections);
+      const std::string frame = wire_encode_frame(
+          WireType::kJobRejected,
+          std::string("- conn-limit ") + serve_escape(detail));
+      const ssize_t rc = ::write(fd, frame.data(), frame.size());
+      (void)rc;
+      ::close(fd);
+      logf(LogLevel::kWarn, "serve: refused connection: %s", detail);
+      continue;
+    }
+
     subprocess::set_nonblocking(fd);
+    if (tcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     Client c;
     c.fd = fd;
+    c.tcp = tcp;
+    const double now = now_ms();
+    c.last_rx_ms = now;
+    c.last_tx_ms = now;
+    c.last_progress_ms = now;
     clients_.push_back(std::move(c));
+  }
+}
+
+void ServeDaemon::police_clients(double now) {
+  for (Client& c : clients_) {
+    if (c.fd < 0) continue;
+    if (opt_.io_timeout_ms > 0.0) {
+      // Slow loris: a partial frame parked in the decoder with no new
+      // bytes arriving holds daemon memory hostage — evict.
+      if (c.decoder.buffered() > 0 && now - c.last_rx_ms > opt_.io_timeout_ms) {
+        logf(LogLevel::kWarn,
+             "serve: evicting connection stalled mid-frame (%zu bytes, "
+             "silent %.0f ms)",
+             c.decoder.buffered(), now - c.last_rx_ms);
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      // Write deadline: a peer that stops reading while output is queued
+      // is evicted once no write makes progress for the timeout.
+      if (!c.outbuf.empty() &&
+          now - c.last_progress_ms > opt_.io_timeout_ms) {
+        logf(LogLevel::kWarn,
+             "serve: evicting connection not draining %zu queued bytes",
+             c.outbuf.size());
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+    }
+    // Idle keepalive (TCP only): dead peers surface as write errors
+    // instead of lingering forever; live clients skip the frame.
+    if (c.tcp && opt_.keepalive_ms > 0.0 && c.outbuf.empty() &&
+        now - c.last_tx_ms > opt_.keepalive_ms)
+      send_frame(c, WireType::kHeartbeat, "0");
   }
 }
 
@@ -519,8 +800,17 @@ int ServeDaemon::runner_main(const Job& job, int write_fd) {
   };
 
   try {
+    // A spec with its own design reference gets a chip generated in the
+    // runner (the fork keeps the daemon's library/characterization warm);
+    // everything else runs against the inherited resident design.
+    const ChipDesign* target = &design_;
+    ChipDesign job_design;
+    if (job.spec.has_design_ref()) {
+      job_design = generate_dsp_chip(library_, chip_options_for(job.spec));
+      target = &job_design;
+    }
     ChipVerifier verifier(extractor_, chars_);
-    const VerificationReport report = verifier.verify(design_, vo);
+    const VerificationReport report = verifier.verify(*target, vo);
     char summary[256];
     std::snprintf(summary, sizeof(summary),
                   "eligible=%zu analyzed=%zu screened=%zu fallback=%zu "
@@ -606,10 +896,14 @@ bool ServeDaemon::launch(std::uint64_t key, Job& job, double now) {
   job.decoder = WireDecoder();
   job.heard_any = false;
   job.kill_sent = false;
+  job.shed_pending = false;
+  job.shed_sent_ms = 0.0;
   job.kill_reason.clear();
   job.launched_ms = now;
   job.last_heard_ms = now;
   job.state = JobState::kRunning;
+  job.reserve_mb = job_reserve_mb(job.spec);
+  governor_.reserve(key, job.reserve_mb);
 
   std::FILE* pf = std::fopen(paths.pid.c_str(), "wb");
   if (pf) {
@@ -684,11 +978,14 @@ void ServeDaemon::handle_runner_frames(Job& job, double now) {
 std::map<std::size_t, JournalRecord> ServeDaemon::collect_results(
     const Job& job) const {
   const std::uint64_t key = job.spec.key();
+  // Journal headers carry what verify() stamps: the bare options hash
+  // (== key only for resident-design jobs).
+  const std::uint64_t jhash = job.spec.options_hash();
   const JobPaths paths = job_paths(opt_.jobs_dir, key);
   std::map<std::size_t, JournalRecord> results;
   auto fold = [&](const std::string& path) {
     ResultJournal::LoadResult prior = ResultJournal::load(path);
-    if (!prior.has_header || prior.header_hash != key) return;
+    if (!prior.has_header || prior.header_hash != jhash) return;
     for (auto& rec : prior.records)
       results.insert_or_assign(rec.finding.net, std::move(rec));
   };
@@ -729,7 +1026,7 @@ void ServeDaemon::concede_job(std::uint64_t key, Job& job,
   recs.reserve(results.size());
   for (const auto& [net, rec] : results) recs.push_back(&rec);
   try {
-    ResultJournal::write_atomic(paths.journal, recs, key);
+    ResultJournal::write_atomic(paths.journal, recs, job.spec.options_hash());
   } catch (const std::exception& e) {
     logf(LogLevel::kError, "serve: conceding %s: %s",
          job_key_hex(key).c_str(), e.what());
@@ -747,6 +1044,7 @@ void ServeDaemon::concede_job(std::uint64_t key, Job& job,
   job.state = JobState::kConceded;
   job.terminal_summary = summary;
   queue_.erase(key);
+  governor_.release(key);
   logf(LogLevel::kWarn, "serve: job %s conceded: %s",
        job_key_hex(key).c_str(), why.c_str());
   finalize_terminal(key, job);
@@ -758,7 +1056,7 @@ void ServeDaemon::finalize_terminal(std::uint64_t key, Job& job) {
   // re-running, so the runner never re-streams them).
   const JobPaths paths = job_paths(opt_.jobs_dir, key);
   ResultJournal::LoadResult prior = ResultJournal::load(paths.journal);
-  if (prior.has_header && prior.header_hash == key)
+  if (prior.has_header && prior.header_hash == job.spec.options_hash())
     for (const auto& rec : prior.records)
       job.findings[rec.finding.net] = journal_encode(rec);
 
@@ -814,17 +1112,40 @@ void ServeDaemon::reap_runners(double now) {
     ::kill(-pid, SIGKILL);  // straggler shard workers of a crashed runner
     const JobPaths paths = job_paths(opt_.jobs_dir, key);
     ::unlink(paths.pid.c_str());
+    governor_.release(key);
 
+    // The done file is authoritative even when the exit status is not
+    // clean: a runner that finalized its journal and durable marker, then
+    // lost a race with a shed SIGTERM (or a drain kill), still finished
+    // its job — re-running it would only redo completed work.
     std::uint64_t dkey = 0;
     JobState dstate = JobState::kDone;
     std::string dsummary;
-    if (status.clean() && load_done_file(paths.done, &dkey, &dstate,
-                                         &dsummary) && dkey == key) {
+    if (load_done_file(paths.done, &dkey, &dstate, &dsummary) &&
+        dkey == key) {
+      job.shed_pending = false;
       job.state = dstate;
       job.terminal_summary = dsummary;
       logf(LogLevel::kInfo, "serve: job %s done (%s)",
            job_key_hex(key).c_str(), dsummary.c_str());
       finalize_terminal(key, job);
+    } else if (job.shed_pending) {
+      // Shed under memory pressure: this termination was the daemon's
+      // doing, not the job's failure, so the attempt is refunded and the
+      // job goes back to the FIFO *head* with its original enqueue time
+      // (aging will promote it once pressure clears).
+      job.shed_pending = false;
+      if (job.attempts > 0) --job.attempts;
+      std::string werr;
+      if (!write_spec_file(paths.spec, job.spec, job.attempts, &werr))
+        logf(LogLevel::kWarn, "serve: cannot refund attempt for %s: %s",
+             job_key_hex(key).c_str(), werr.c_str());
+      job.state = JobState::kQueued;
+      queue_.push_front(key);
+      logf(LogLevel::kInfo,
+           "serve: job %s shed under memory pressure; requeued with "
+           "attempt count intact (%zu)",
+           job_key_hex(key).c_str(), job.attempts);
     } else {
       const std::string why =
           !job.kill_reason.empty() ? job.kill_reason : status.describe();
@@ -836,6 +1157,12 @@ void ServeDaemon::reap_runners(double now) {
 void ServeDaemon::supervise(double now) {
   for (auto& [key, job] : jobs_) {
     if (job.pid <= 0 || job.kill_sent) continue;
+    if (job.shed_pending) {
+      // Already SIGTERMed by the shed path; only the SIGKILL escalation
+      // applies (deadline/stall verdicts would steal the refund).
+      if (now - job.shed_sent_ms > kShedEscalateMs) kill_runner(job);
+      continue;
+    }
     const double deadline = job.spec.deadline_ms >= 0.0
                                 ? job.spec.deadline_ms
                                 : opt_.default_deadline_ms;
@@ -862,6 +1189,44 @@ void ServeDaemon::supervise(double now) {
   }
 }
 
+void ServeDaemon::maybe_shed(double now) {
+  if (opt_.global_mem_soft_mb <= 0.0) return;
+  if (effective_rss_mb() <= opt_.global_mem_soft_mb) return;
+  if (now - last_shed_ms_ < kShedHysteresisMs) return;
+
+  // Shed only while >= 2 runners are live: with one job left, killing it
+  // would just thrash (the launch gate already stalls new launches, and
+  // per-cluster budgets inside the runner bound its growth).
+  Job* youngest = nullptr;
+  std::uint64_t youngest_key = 0;
+  std::size_t running = 0;
+  for (auto& [key, job] : jobs_) {
+    if (job.pid <= 0 || job.kill_sent || job.shed_pending) continue;
+    ++running;
+    if (!youngest || job.launched_ms > youngest->launched_ms) {
+      youngest = &job;
+      youngest_key = key;
+    }
+  }
+  if (running < 2 || !youngest) return;
+
+  // SIGTERM the runner group, not SIGKILL: the shard supervisor dies
+  // quickly (default disposition), shard journals keep the progress, and
+  // a runner that was one write away from finishing may still finalize —
+  // the reap path honors its done file either way.
+  logf(LogLevel::kWarn,
+       "serve: RSS %.0f MiB over soft budget %.0f MiB; shedding youngest "
+       "job %s back to queued",
+       effective_rss_mb(), opt_.global_mem_soft_mb,
+       job_key_hex(youngest_key).c_str());
+  youngest->shed_pending = true;
+  youngest->shed_sent_ms = now;
+  youngest->kill_reason = "shed under memory pressure";
+  ::kill(-youngest->pid, SIGTERM);
+  ::kill(youngest->pid, SIGTERM);
+  last_shed_ms_ = now;
+}
+
 void ServeDaemon::schedule(double now) {
   for (;;) {
     std::size_t running = 0;
@@ -869,15 +1234,32 @@ void ServeDaemon::schedule(double now) {
       if (job.pid > 0) ++running;
     if (running >= opt_.max_running) return;
     if (!memory_gate_open()) return;  // stays queued; retried next tick
-    std::uint64_t key = 0;
-    if (!queue_.pop_ready(now, &key)) return;
-    auto it = jobs_.find(key);
-    if (it == jobs_.end()) continue;  // cancelled/terminal stale entry
-    Job& job = it->second;
-    if (job.state == JobState::kDone || job.state == JobState::kConceded ||
-        job.pid > 0)
-      continue;
-    launch(key, job, now);
+
+    // Collect every runnable job and let the admission policy pick:
+    // largest-fitting reservation under the governor, aging promotion,
+    // plain FIFO when the budget is off (see serve/governor.h).
+    std::vector<std::uint64_t> ready;
+    queue_.ready_keys(now, &ready);
+    std::vector<LaunchCandidate> cands;
+    std::vector<std::uint64_t> stale;
+    for (std::uint64_t key : ready) {
+      auto it = jobs_.find(key);
+      if (it == jobs_.end() || it->second.state == JobState::kDone ||
+          it->second.state == JobState::kConceded || it->second.pid > 0) {
+        stale.push_back(key);  // cancelled/terminal/running stale entry
+        continue;
+      }
+      cands.push_back(LaunchCandidate{key, job_reserve_mb(it->second.spec),
+                                      it->second.enqueued_ms});
+    }
+    for (std::uint64_t key : stale) queue_.take(key);
+
+    const std::size_t pick =
+        pick_admission(cands, now, opt_.age_promote_ms, governor_);
+    if (pick == kNoAdmission) return;
+    const std::uint64_t key = cands[pick].key;
+    queue_.take(key);
+    launch(key, jobs_.at(key), now);
   }
 }
 
@@ -890,6 +1272,10 @@ int ServeDaemon::run() {
   }
   std::string err;
   if (!bind_socket(&err)) {
+    logf(LogLevel::kError, "serve: %s", err.c_str());
+    return 2;
+  }
+  if (!opt_.listen_address.empty() && !bind_tcp(&err)) {
     logf(LogLevel::kError, "serve: %s", err.c_str());
     return 2;
   }
@@ -933,7 +1319,9 @@ int ServeDaemon::run() {
     }
 
     reap_runners(now);
+    maybe_shed(now);
     supervise(now);
+    police_clients(now);
     if (!draining_) {
       schedule(now);
     } else {
@@ -955,8 +1343,8 @@ int ServeDaemon::run() {
       }
     }
 
-    // Poll set: listener, wake pipe, clients, runner pipes.
-    enum { kListen, kWake, kClient, kRunner };
+    // Poll set: listeners, wake pipe, clients, runner pipes.
+    enum { kListen, kListenTcp, kWake, kClient, kRunner };
     struct Tag {
       int kind;
       std::size_t index;
@@ -966,6 +1354,10 @@ int ServeDaemon::run() {
     std::vector<Tag> tags;
     fds.push_back({listen_fd_, POLLIN, 0});
     tags.push_back({kListen, 0, 0});
+    if (tcp_listen_fd_ >= 0) {
+      fds.push_back({tcp_listen_fd_, POLLIN, 0});
+      tags.push_back({kListenTcp, 0, 0});
+    }
     fds.push_back({wake_read_fd_, POLLIN, 0});
     tags.push_back({kWake, 0, 0});
     for (std::size_t i = 0; i < clients_.size(); ++i) {
@@ -988,13 +1380,17 @@ int ServeDaemon::run() {
     }
     if (rc <= 0) continue;
 
+    // Client and runner events first, accepts last: a disconnect in this
+    // same poll batch frees its slot before the connection-cap check
+    // counts live clients, so a just-closed peer (the startup ready
+    // probe, a one-shot status poll) can never bounce a new connection.
     const double after = now_ms();
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
       switch (tags[i].kind) {
         case kListen:
-          handle_listen();
-          break;
+        case kListenTcp:
+          break;  // second pass
         case kWake: {
           char buf[64];
           while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
@@ -1006,7 +1402,7 @@ int ServeDaemon::run() {
           if (c.fd < 0) break;
           if (fds[i].revents & POLLOUT) flush_client(c);
           if (c.fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
-            handle_client_frames(c);
+            handle_client_frames(c, after);
           break;
         }
         case kRunner: {
@@ -1016,6 +1412,13 @@ int ServeDaemon::run() {
           break;
         }
       }
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (tags[i].kind == kListen)
+        handle_listen(listen_fd_, /*tcp=*/false);
+      else if (tags[i].kind == kListenTcp)
+        handle_listen(tcp_listen_fd_, /*tcp=*/true);
     }
     clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
                                   [](const Client& c) { return c.fd < 0; }),

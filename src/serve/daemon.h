@@ -1,20 +1,28 @@
 // The verification service daemon (DESIGN.md §13).
 //
 // A long-lived process that owns one resident chip design and accepts
-// verification jobs over a Unix-domain socket, speaking the same xwf1
-// framing the shard workers use (core/wire.h). Each job is one
-// ChipVerifier run; the daemon forks a single-purpose *job runner* per
-// attempt, which executes verify() in process-shard mode (so a clean run
+// verification jobs over a Unix-domain socket — and optionally a TCP
+// listener (--listen host:port) — speaking the same xwf1 framing the
+// shard workers use (core/wire.h). Each job is one ChipVerifier run,
+// against the resident design or a per-job design reference carried in
+// its spec; the daemon forks a single-purpose *job runner* per attempt,
+// which executes verify() in process-shard mode (so a clean run
 // finalizes a stable-order, bit-identical journal atomically) and streams
-// per-victim findings back over a pipe as they certify.
+// per-victim findings back over a pipe as they certify. Up to
+// --max-running runners execute concurrently under the cross-job
+// ResourceGovernor (serve/governor.h).
 //
 // The robustness envelope:
 //
 //   admission   bounded queue; a full queue answers kJobRejected
-//               ("queue-full") instead of growing without bound
-//   identity    job key = options_result_hash of the spec'd options ==
-//               the journal header hash; resubmits dedup onto the live
-//               (or finished) job and replay its findings exactly once
+//               ("queue-full") instead of growing without bound; specs
+//               naming an unreadable design file or one larger than
+//               --max-job-nets are rejected at admission
+//   identity    job key = options hash of the spec'd options (mixed with
+//               the design reference when one is set); the journal header
+//               carries the bare options hash verify() stamps; resubmits
+//               dedup onto the live (or finished) job and replay its
+//               findings exactly once
 //   retry       a dead/wedged/deadline-blown runner consumes one attempt;
 //               the job waits out an exponential backoff, then relaunches
 //               with resume=true so completed victims are never redone
@@ -26,18 +34,28 @@
 //               loop; silence past 10x the heartbeat period (after a
 //               startup grace covering the silent pruning phase) reaps
 //               the runner's process group
-//   memory      the scheduler consults the memory governor and the
-//               process RSS before forking a runner; launches stall
-//               (jobs stay queued) while the daemon is under pressure
+//   memory      every launch debits a per-job reservation against the
+//               --global-mem-soft-mb budget (largest-fitting job wins,
+//               aging promotes skipped jobs — serve/governor.h); under
+//               live RSS pressure the daemon *sheds* the youngest runner:
+//               SIGTERM, attempt refunded, job back to queued at the
+//               FIFO head — shrink the blast radius instead of OOMing
+//   transport   TCP connections get per-connection read/write deadlines
+//               (slow-loris eviction), an inbound buffer cap, a
+//               connection cap answered with kJobRejected, idle
+//               keepalive heartbeats, and latch-and-close on any corrupt
+//               frame; framing and checksums are unchanged from the pipe
 //   drain       SIGTERM/SIGINT stops admission, lets running jobs finish
 //               (or kills them at the drain timeout — their journals keep
 //               the progress), leaves queued jobs' spec files on disk for
 //               the next start, and exits 0
-//   recovery    startup scans the jobs directory: finished jobs are
-//               replayable, orphaned runners (from a SIGKILLed daemon)
-//               are reaped, and interrupted jobs re-enter the queue with
-//               their persisted attempt count — or are conceded when the
-//               budget was already spent
+//   recovery    startup sweeps a stale socket file (guarded by a
+//               daemon.pid liveness check so two daemons never share a
+//               jobs dir), then scans the jobs directory: finished jobs
+//               are replayable, orphaned runners (from a SIGKILLed
+//               daemon) are reaped, and interrupted jobs re-enter the
+//               queue with their persisted attempt count — or are
+//               conceded when the budget was already spent
 //
 // The daemon is deliberately single-threaded (one poll() loop): verify()
 // in process mode forks, and fork duplicates only the calling thread, so
@@ -54,6 +72,7 @@
 
 #include "chipgen/dsp_chip.h"
 #include "core/wire.h"
+#include "serve/governor.h"
 #include "serve/job.h"
 #include "serve/queue.h"
 
@@ -63,6 +82,10 @@ namespace serve {
 struct DaemonOptions {
   std::string socket_path;  ///< Unix-domain listening socket
   std::string jobs_dir;     ///< spec/journal/done/pid files live here
+
+  /// Optional TCP listener ("host:port"; port 0 = ephemeral — the bound
+  /// endpoint is published to <jobs_dir>/daemon.tcp). Empty = Unix only.
+  std::string listen_address;
 
   // --- Resident design (generated once at startup) ---
   std::size_t net_count = 800;
@@ -76,17 +99,32 @@ struct DaemonOptions {
   double default_deadline_ms = 0.0;   ///< per-attempt wall clock (0 = off)
   long default_retries = 2;           ///< attempts after the first
   BackoffPolicy backoff;
+  /// Largest per-job design accepted at admission (nets; 0 = unlimited).
+  std::size_t max_job_nets = 50000;
+  /// A queued job older than this is promoted ahead of better-packing
+  /// candidates (anti-starvation; see serve/governor.h).
+  double age_promote_ms = 5000.0;
 
   // --- Supervision ---
   /// Startup grace before the stall check arms: a fresh runner is
   /// legitimately silent while pruning the coupling database.
   double runner_grace_ms = 30000.0;
-  /// Soft RSS gate consulted (with the memory governor) before forking a
-  /// runner (MiB; 0 = off).
+  /// Cross-job memory budget (MiB; 0 = off): reservations gate launches,
+  /// and live RSS above it sheds the youngest runner back to queued.
   double global_mem_soft_mb = 0.0;
   /// How long a drain waits for running jobs before SIGKILLing their
   /// process groups (0 = wait indefinitely).
   double drain_timeout_ms = 0.0;
+
+  // --- TCP connection envelope ---
+  std::size_t max_connections = 64;  ///< live client cap (Unix + TCP)
+  /// A connection that stalls mid-frame (read side) or makes no write
+  /// progress against a non-empty outbuf for this long is evicted (0 =
+  /// never).
+  double io_timeout_ms = 10000.0;
+  /// Idle TCP connections get a kHeartbeat frame at this period so dead
+  /// peers surface as write errors (0 = off; Unix sockets never need it).
+  double keepalive_ms = 3000.0;
 };
 
 class ServeDaemon {
@@ -113,7 +151,11 @@ class ServeDaemon {
     bool heard_any = false;    ///< a heartbeat/finding arrived this attempt
     double launched_ms = 0.0;
     double last_heard_ms = 0.0;
+    double enqueued_ms = 0.0;  ///< when the job (re-)entered the queue (aging)
+    double reserve_mb = 0.0;   ///< governor reservation while running
     bool kill_sent = false;    ///< SIGKILL issued; waiting for the reap
+    bool shed_pending = false; ///< SIGTERMed under memory pressure; reap requeues
+    double shed_sent_ms = 0.0; ///< when the shed SIGTERM went out (escalation)
     std::string kill_reason;   ///< why the supervisor killed it (for the retry log)
     std::string terminal_summary;
     /// Victim net -> journal payload, accumulated from live finding
@@ -124,8 +166,12 @@ class ServeDaemon {
 
   struct Client {
     int fd = -1;
+    bool tcp = false;          ///< TCP accept (gets keepalive + NODELAY)
     WireDecoder decoder;
     std::string outbuf;
+    double last_rx_ms = 0.0;       ///< last byte read off the connection
+    double last_tx_ms = 0.0;       ///< last frame queued for this client
+    double last_progress_ms = 0.0; ///< last successful write() progress
     std::set<std::uint64_t> watching;  ///< job keys streamed to this client
     /// job key -> victims already sent: the exactly-once guard across
     /// replay and live streaming.
@@ -135,16 +181,19 @@ class ServeDaemon {
   // Startup.
   void build_design();
   bool bind_socket(std::string* error);
+  bool bind_tcp(std::string* error);
   void recover_jobs_dir();
 
   // Event handling.
-  void handle_listen();
-  void handle_client_frames(Client& c);
+  void handle_listen(int listen_fd, bool tcp);
+  void handle_client_frames(Client& c, double now);
   void on_submit(Client& c, const std::string& payload);
   void on_query(Client& c, const std::string& payload);
   void handle_runner_frames(Job& job, double now);
   void reap_runners(double now);
   void supervise(double now);
+  void maybe_shed(double now);
+  void police_clients(double now);
   void schedule(double now);
 
   // Job lifecycle.
@@ -155,14 +204,14 @@ class ServeDaemon {
   void concede_job(std::uint64_t key, Job& job, const std::string& why);
   void finalize_terminal(std::uint64_t key, Job& job);
   std::map<std::size_t, JournalRecord> collect_results(const Job& job) const;
-  std::vector<std::size_t> candidates_for(const JobSpec& spec) const;
+  std::vector<std::size_t> candidates_for(const JobSpec& spec);
   void kill_runner(Job& job);
   bool memory_gate_open() const;
+  double job_reserve_mb(const JobSpec& spec) const;
 
   // Client plumbing.
   void send_frame(Client& c, WireType type, const std::string& payload);
   void flush_client(Client& c);
-  void drop_client(std::size_t index);
   void stream_finding(std::uint64_t key, Job& job, std::size_t net,
                       const std::string& payload);
 
@@ -178,12 +227,16 @@ class ServeDaemon {
   PruneResult pruned_;
 
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
   int wake_read_fd_ = -1;   ///< self-pipe: signal handlers wake poll()
   int wake_write_fd_ = -1;
   bool draining_ = false;
   double drain_started_ms_ = -1.0;
+  bool wrote_pid_file_ = false;  ///< we own <jobs_dir>/daemon.pid
+  double last_shed_ms_ = -1e18;  ///< shed hysteresis clock
 
   AdmissionQueue queue_;
+  ResourceGovernor governor_;
   std::map<std::uint64_t, Job> jobs_;
   std::vector<Client> clients_;
 };

@@ -1,0 +1,51 @@
+#include "serve/governor.h"
+
+namespace xtv {
+namespace serve {
+
+namespace {
+
+bool older(const LaunchCandidate& a, const LaunchCandidate& b) {
+  if (a.enqueued_ms != b.enqueued_ms) return a.enqueued_ms < b.enqueued_ms;
+  return a.key < b.key;  // deterministic tiebreak
+}
+
+}  // namespace
+
+std::size_t pick_admission(const std::vector<LaunchCandidate>& ready,
+                           double now_ms, double age_promote_ms,
+                           const ResourceGovernor& governor) {
+  if (ready.empty()) return kNoAdmission;
+
+  if (!governor.enabled()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i)
+      if (older(ready[i], ready[best])) best = i;
+    return best;
+  }
+
+  // Aging: the oldest job past the promotion threshold blocks the line.
+  // Either it fits now, or nothing launches until running jobs free budget.
+  if (age_promote_ms > 0.0) {
+    std::size_t aged = kNoAdmission;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (now_ms - ready[i].enqueued_ms < age_promote_ms) continue;
+      if (aged == kNoAdmission || older(ready[i], ready[aged])) aged = i;
+    }
+    if (aged != kNoAdmission)
+      return governor.fits(ready[aged].mem_mb) ? aged : kNoAdmission;
+  }
+
+  // Best packing: the largest reservation that fits; ties go to the oldest.
+  std::size_t best = kNoAdmission;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (!governor.fits(ready[i].mem_mb)) continue;
+    if (best == kNoAdmission || ready[i].mem_mb > ready[best].mem_mb ||
+        (ready[i].mem_mb == ready[best].mem_mb && older(ready[i], ready[best])))
+      best = i;
+  }
+  return best;
+}
+
+}  // namespace serve
+}  // namespace xtv

@@ -1,0 +1,92 @@
+// Cross-job memory governance for the serve daemon.
+//
+// The daemon runs up to --max-running concurrent job runners, each a forked
+// process tree whose resident footprint the parent cannot cap directly.  The
+// governor keeps an honest *reservation* ledger instead: every launched job
+// debits an estimated footprint against the --global-mem-soft-mb budget, and
+// the scheduler only admits jobs whose reservation still fits.  Reservations
+// are estimates, so the daemon pairs the ledger with RSS-based pressure
+// shedding (see ServeDaemon::maybe_shed) — the ledger prevents predictable
+// overcommit, the shed path handles the surprises.
+//
+// Admission policy (pick_admission):
+//   - budget disabled (soft_mb == 0): strict FIFO — oldest ready job wins.
+//   - aging: any job that has waited past age_promote_ms is promoted; among
+//     aged jobs the oldest wins, and if it does not fit the whole queue
+//     stalls behind it (head-of-line blocking is the anti-starvation
+//     guarantee: smaller late arrivals cannot overtake it forever).
+//   - otherwise: the largest reservation that fits wins (best packing of the
+//     budget), ties broken by age.
+//   - a job whose reservation alone exceeds the entire budget is admitted
+//     only when nothing else is running ("lone" admission): it gets the
+//     machine to itself rather than never running, and the shed path
+//     protects the host if the estimate was right.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace xtv {
+namespace serve {
+
+/// Reservation ledger: per-job estimated footprints debited against a soft
+/// global budget.  soft_mb == 0 disables the budget (everything fits).
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(double soft_mb = 0.0) : soft_mb_(soft_mb) {}
+
+  bool enabled() const { return soft_mb_ > 0.0; }
+  double soft_mb() const { return soft_mb_; }
+  double reserved_mb() const { return reserved_; }
+  std::size_t held() const { return held_.size(); }
+
+  /// Would a job with this reservation fit right now?  Oversized jobs
+  /// (reservation > whole budget) fit only when the ledger is empty.
+  bool fits(double mem_mb) const {
+    if (!enabled()) return true;
+    if (reserved_ + mem_mb <= soft_mb_) return true;
+    return held_.empty() && mem_mb > soft_mb_;
+  }
+
+  /// Debit a reservation for `key`.  Re-reserving an already-held key
+  /// replaces the old charge (relaunch after retry re-estimates).
+  void reserve(std::uint64_t key, double mem_mb) {
+    release(key);
+    held_[key] = mem_mb;
+    reserved_ += mem_mb;
+  }
+
+  /// Credit back `key`'s reservation; no-op when not held.
+  void release(std::uint64_t key) {
+    auto it = held_.find(key);
+    if (it == held_.end()) return;
+    reserved_ -= it->second;
+    if (reserved_ < 0.0) reserved_ = 0.0;  // float drift guard
+    held_.erase(it);
+  }
+
+ private:
+  double soft_mb_ = 0.0;
+  double reserved_ = 0.0;
+  std::map<std::uint64_t, double> held_;
+};
+
+/// One ready-to-launch job as the admission policy sees it.
+struct LaunchCandidate {
+  std::uint64_t key = 0;
+  double mem_mb = 0.0;       ///< reservation estimate
+  double enqueued_ms = 0.0;  ///< when the job (re-)entered the queue
+};
+
+/// Index into `ready` of the job to launch now, or `kNoAdmission` if nothing
+/// should launch (empty set, or an aged head-of-line job does not fit yet).
+/// Pure function of its arguments — see the policy comment at the top.
+inline constexpr std::size_t kNoAdmission = static_cast<std::size_t>(-1);
+std::size_t pick_admission(const std::vector<LaunchCandidate>& ready,
+                           double now_ms, double age_promote_ms,
+                           const ResourceGovernor& governor);
+
+}  // namespace serve
+}  // namespace xtv

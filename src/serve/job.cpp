@@ -130,6 +130,8 @@ JobSpec::JobSpec() {
 bool JobSpec::parse(const std::string& text, JobSpec* spec,
                     std::string* error) {
   JobSpec out;
+  bool saw_inline_design = false;  // nets=/rows=/chip_seed=
+  bool saw_design_file = false;    // design=PATH
   std::istringstream in(text);
   for (std::string tok; in >> tok;) {
     const std::size_t eq = tok.find('=');
@@ -218,12 +220,88 @@ bool JobSpec::parse(const std::string& text, JobSpec* spec,
     } else if (k == "retries") {
       if (!parse_long_text(v, &l)) return bad("an integer");
       out.retries = l;
+    } else if (k == "nets") {
+      if (!parse_size_text(v, &z)) return bad("an integer (0 = resident design)");
+      out.design_nets = z;
+      saw_inline_design = saw_inline_design || z != 0;
+    } else if (k == "rows") {
+      if (!parse_size_text(v, &z)) return bad("an integer (0 = generator default)");
+      out.design_rows = z;
+      saw_inline_design = saw_inline_design || z != 0;
+    } else if (k == "chip_seed") {
+      if (!parse_size_text(v, &z)) return bad("an unsigned integer");
+      out.design_seed = z;
+      saw_inline_design = saw_inline_design || z != 0;
+    } else if (k == "design") {
+      if (saw_design_file) return bad("at most one design= per spec");
+      std::string derr;
+      if (!load_design_ref_file(v, &out.design_nets, &out.design_rows,
+                                &out.design_seed, &derr)) {
+        if (error) *error = derr;
+        return false;
+      }
+      saw_design_file = true;
+    } else if (k == "mem_mb") {
+      if (!parse_double_text(v, &d) || d < 0.0) return bad("a size >= 0");
+      out.mem_mb = d;
     } else {
       if (error) *error = "unknown spec key \"" + k + "\"";
       return false;
     }
   }
+  if (saw_design_file && saw_inline_design) {
+    if (error) *error = "design= conflicts with nets=/rows=/chip_seed=";
+    return false;
+  }
+  if (out.design_nets == 0 && (out.design_rows != 0 || out.design_seed != 0)) {
+    if (error) *error = "rows=/chip_seed= require nets= (a per-job design)";
+    return false;
+  }
   *spec = std::move(out);
+  return true;
+}
+
+bool load_design_ref_file(const std::string& path, std::size_t* nets,
+                          std::size_t* rows, std::uint64_t* seed,
+                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot read design file " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error) *error = "empty design file " + path;
+    return false;
+  }
+  std::istringstream lin(line);
+  std::string magic;
+  if (!(lin >> magic) || magic != "xtvds") {
+    if (error) *error = "design file " + path + " is not an xtvds file";
+    return false;
+  }
+  std::size_t n = 0, r = 0, s = 0;
+  for (std::string tok; lin >> tok;) {
+    const std::size_t eq = tok.find('=');
+    const std::string k = eq == std::string::npos ? tok : tok.substr(0, eq);
+    const std::string v = eq == std::string::npos ? "" : tok.substr(eq + 1);
+    std::size_t z = 0;
+    if (!parse_size_text(v, &z) ||
+        (k != "nets" && k != "rows" && k != "seed")) {
+      if (error) *error = "design file " + path + ": bad token \"" + tok + "\"";
+      return false;
+    }
+    if (k == "nets") n = z;
+    else if (k == "rows") r = z;
+    else s = z;
+  }
+  if (n == 0) {
+    if (error) *error = "design file " + path + " must set nets=N (N >= 1)";
+    return false;
+  }
+  *nets = n;
+  *rows = r;
+  *seed = s;
   return true;
 }
 
@@ -247,6 +325,10 @@ std::string JobSpec::to_text() const {
       << " cache_mb=" << fmt_double(options.model_cache_mb)
       << " cluster_deadline_ms=" << fmt_double(options.cluster_deadline_ms)
       << " cluster_mem_mb=" << fmt_double(options.cluster_mem_mb)
+      << " nets=" << design_nets
+      << " rows=" << design_rows
+      << " chip_seed=" << design_seed
+      << " mem_mb=" << fmt_double(mem_mb)
       << " processes=" << processes
       << " heartbeat_ms=" << fmt_double(heartbeat_ms)
       << " restarts=" << restarts
@@ -263,7 +345,32 @@ VerifierOptions JobSpec::to_options() const {
   return vo;
 }
 
-std::uint64_t JobSpec::key() const { return options_result_hash(to_options()); }
+std::uint64_t JobSpec::options_hash() const {
+  return options_result_hash(to_options());
+}
+
+namespace {
+
+/// FNV-1a step over the 8 little-endian bytes of `v`.
+std::uint64_t fnv_mix64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t JobSpec::key() const {
+  std::uint64_t h = options_hash();
+  if (!has_design_ref()) return h;  // resident design: key == journal hash
+  h = fnv_mix64(h, 0x7874766473ull);  // "xtvds" tag: separates the domains
+  h = fnv_mix64(h, design_nets);
+  h = fnv_mix64(h, design_rows);
+  h = fnv_mix64(h, design_seed);
+  return h;
+}
 
 std::string job_key_hex(std::uint64_t key) {
   char buf[24];

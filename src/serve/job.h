@@ -1,13 +1,17 @@
 // Job model for the verification service (DESIGN.md §13).
 //
-// A job is one ChipVerifier run against the daemon's resident design,
-// described by a short text spec ("threshold=0.1 certify=1 ...") that
-// maps onto the result-affecting VerifierOptions plus a few scheduling
-// knobs. Its identity is the options_result_hash of the resulting
-// options — the same hash stamped into journal headers — so a client
-// that resubmits after a dropped connection lands on the job it already
-// submitted (idempotent dedup), and a job journal can never be confused
-// with a run under different options.
+// A job is one ChipVerifier run, described by a short text spec
+// ("threshold=0.1 certify=1 ...") that maps onto the result-affecting
+// VerifierOptions plus a few scheduling knobs. A spec may also carry its
+// own design reference (nets=/rows=/chip_seed=, or design=PATH naming a
+// daemon-host file that resolves to those parameters); without one the
+// job runs against the daemon's resident design. The job key mixes the
+// options_result_hash of the resulting options with the design reference,
+// so a client that resubmits after a dropped connection lands on the job
+// it already submitted (idempotent dedup). Journal headers always carry
+// the bare options hash (options_hash()) — what verify() itself stamps —
+// which equals the key exactly when no design reference is set, keeping
+// resident-design journals interchangeable with one-shot chip_audit runs.
 //
 // Everything a job needs to survive a daemon crash lives in the jobs
 // directory as plain files keyed by the job:
@@ -50,12 +54,23 @@ struct JobSpec {
   /// daemon and cannot be set from a spec.
   VerifierOptions options;
 
+  // --- Design reference (part of the job key) ---
+  // design_nets == 0 means "the daemon's resident design"; rows/seed must
+  // then also be 0. A nonzero design_nets names a generated chip with that
+  // many nets (design_rows row tiles, chipgen seed design_seed; 0 = the
+  // generator defaults). `design=PATH` in a spec resolves a daemon-host
+  // design file into these fields at parse time.
+  std::size_t design_nets = 0;
+  std::size_t design_rows = 0;
+  std::uint64_t design_seed = 0;
+
   // --- Scheduling (never part of the job key) ---
   std::size_t processes = 0;   ///< shard workers per attempt (0 = daemon default)
   double heartbeat_ms = 250.0; ///< shard worker heartbeat period
   std::size_t restarts = 2;    ///< shard restart budget inside one attempt
   double deadline_ms = -1.0;   ///< per-attempt wall clock (<0 = daemon default, 0 = unlimited)
   long retries = -1;           ///< attempts after the first (<0 = daemon default)
+  double mem_mb = 0.0;         ///< reservation hint for the cross-job governor (0 = estimate)
 
   JobSpec();
 
@@ -73,10 +88,23 @@ struct JobSpec {
   /// folded in (journal path/resume are filled by the daemon).
   VerifierOptions to_options() const;
 
-  /// Job identity: options_result_hash(to_options()) — identical to the
-  /// header hash of the job's journal.
+  bool has_design_ref() const { return design_nets != 0; }
+
+  /// The hash verify() stamps into this job's journal header:
+  /// options_result_hash(to_options()). Design fields never enter it.
+  std::uint64_t options_hash() const;
+
+  /// Job identity: options_hash() with the design reference folded in.
+  /// Equal to options_hash() (and thus the journal header) when the job
+  /// targets the resident design.
   std::uint64_t key() const;
 };
+
+/// Parses a design file ("xtvds nets=N [rows=R] [seed=S]") into design
+/// reference fields. Unreadable or malformed files fail with a message.
+bool load_design_ref_file(const std::string& path, std::size_t* nets,
+                          std::size_t* rows, std::uint64_t* seed,
+                          std::string* error);
 
 /// 16-hex rendering of a job key and its inverse.
 std::string job_key_hex(std::uint64_t key);

@@ -42,6 +42,34 @@ bool AdmissionQueue::pop_ready(double now_ms, std::uint64_t* key) {
   return false;
 }
 
+void AdmissionQueue::push_front(std::uint64_t key) {
+  fifo_.push_front(key);
+}
+
+void AdmissionQueue::ready_keys(double now_ms,
+                                std::vector<std::uint64_t>* out) const {
+  out->clear();
+  for (const Benched& b : backoff_)
+    if (b.ripe_ms <= now_ms) out->push_back(b.key);
+  for (std::uint64_t k : fifo_) out->push_back(k);
+}
+
+bool AdmissionQueue::take(std::uint64_t key) {
+  for (auto it = backoff_.begin(); it != backoff_.end(); ++it) {
+    if (it->key == key) {
+      backoff_.erase(it);
+      return true;
+    }
+  }
+  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+    if (*it == key) {
+      fifo_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t AdmissionQueue::erase(std::uint64_t key) {
   std::size_t dropped = 0;
   for (auto it = fifo_.begin(); it != fifo_.end();) {

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 namespace xtv {
 namespace serve {
@@ -50,6 +51,20 @@ class AdmissionQueue {
   /// Pops the next runnable job: ripe backoff jobs first (they are older
   /// by construction), then the FIFO head. False when nothing is ready.
   bool pop_ready(double now_ms, std::uint64_t* key);
+
+  /// Requeues an admitted job at the FIFO head, ahead of everything else
+  /// (NOT bounded). Used when a running job is shed back to queued under
+  /// memory pressure: it must not lose its place to later arrivals.
+  void push_front(std::uint64_t key);
+
+  /// Fills `out` with every currently runnable key (ripe backoff first,
+  /// then the FIFO in order) without removing anything — the scheduler
+  /// picks one via the admission policy and `take`s it.
+  void ready_keys(double now_ms, std::vector<std::uint64_t>* out) const;
+
+  /// Removes one queued/benched entry for `key` (the scheduler claimed
+  /// it). False if the key was not queued.
+  bool take(std::uint64_t key);
 
   /// Removes every queued/benched entry for `key` (client cancelled or
   /// the job reached a terminal state through another path). Returns how

@@ -25,13 +25,16 @@
 // deterministic as the crash injection.
 //
 // A third phase (--serve-trials) attacks the verification daemon
-// (src/serve): each trial forks a real ServeDaemon, submits a job over
-// its socket, and layers on a seed-drawn subset of {runner crashes,
-// worker SIGKILLs inside the runner, a client disconnect, a daemon
-// SIGKILL + restart mid-run}. The job must still end "done" with every
-// victim reported exactly once, undisturbed victims bit-identical to a
-// direct in-process run of the same options, and the final SIGTERM
-// drain must exit 0.
+// (src/serve): each trial forks a real ServeDaemon, submits over its
+// socket, and layers on a seed-drawn subset of {runner crashes, worker
+// SIGKILLs inside the runner, a client disconnect, a daemon SIGKILL +
+// restart mid-run}. Odd trials run CONCURRENT: three distinct jobs under
+// max_running=4, submitted over the TCP listener instead of the Unix
+// socket, with a memory-pressure spike mid-run that forces the governor
+// to shed the youngest runner back to queued. Every job must still end
+// "done" with every victim reported exactly once, undisturbed victims
+// bit-identical to a direct in-process run of the same options, and the
+// final SIGTERM drain must exit 0.
 //
 // Exit status 0 iff every trial upholds the contract. Run the reduced
 // smoke via ctest (ChaosSoak.Smoke) or the full soak directly:
@@ -46,7 +49,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -600,7 +605,11 @@ int main(int argc, char** argv) {
     for (std::size_t t = 0; t < serve_trials; ++t) {
       const std::size_t trial = trials + process_trials + t;
 
-      // Draw the adversity mix.
+      // Draw the adversity mix. Concurrency and the TCP transport
+      // alternate deterministically so even a 2-trial smoke covers both
+      // the single-job Unix-socket path and the 4-wide TCP path.
+      const bool concurrent = (t % 2 == 1);
+      const bool use_tcp = concurrent;
       const int runner_crashes = rng.uniform_int(0, 2);
       const bool disconnect = rng.bernoulli(0.3);
       const bool daemon_kill = rng.bernoulli(0.4);
@@ -626,6 +635,20 @@ int main(int argc, char** argv) {
       opt.default_retries = 3;  // absorbs the worst crash draw (2)
       opt.backoff.base_ms = 50.0;
       opt.backoff.max_ms = 200.0;
+      const std::string rss_path = dir + "/rss_mb";
+      auto set_rss = [&](const char* mb) {
+        std::ofstream out(rss_path);
+        out << mb << "\n";
+      };
+      if (concurrent) {
+        opt.max_running = 4;
+        opt.listen_address = "127.0.0.1:0";
+        // The governor watches this fake RSS reading; the trial spikes
+        // it mid-run to force a shed.
+        opt.global_mem_soft_mb = 100.0;
+        set_rss("10");
+        ::setenv("XTV_TEST_SERVE_RSS_FILE", rss_path.c_str(), 1);
+      }
 
       if (runner_crashes > 0)
         ::setenv("XTV_TEST_SERVE_RUNNER_CRASH",
@@ -636,32 +659,81 @@ int main(int argc, char** argv) {
         ::setenv("XTV_TEST_SHARD_KILL_ON_START", hook.c_str(), 1);
       }
 
-      char cfg[160];
+      // One job on even trials; three distinct jobs (audit_seed is in
+      // the job identity but, with auditing off, not in the findings) on
+      // concurrent trials. Explicit per-job reservations keep all three
+      // inside the 100 MiB budget at once — the structural estimate for
+      // a 2-process job exceeds the whole budget, which would serialize
+      // them and leave the shed spike with nothing to shed.
+      std::vector<serve::JobSpec> specs(1, spec);
+      if (concurrent) {
+        specs[0].mem_mb = 25.0;
+        for (std::size_t j = 1; j < 3; ++j) {
+          serve::JobSpec s = specs[0];
+          s.options.audit_seed = 1000 + j;
+          specs.push_back(s);
+        }
+      }
+
+      char cfg[192];
       std::snprintf(cfg, sizeof(cfg),
-                    "crashes=%d disconnect=%d daemon-kill=%d worker-kill=%s",
-                    runner_crashes, disconnect ? 1 : 0, daemon_kill ? 1 : 0,
+                    "jobs=%zu tcp=%d crashes=%d disconnect=%d daemon-kill=%d "
+                    "worker-kill=%s",
+                    specs.size(), use_tcp ? 1 : 0, runner_crashes,
+                    disconnect ? 1 : 0, daemon_kill ? 1 : 0,
                     worker_kill ? (std::to_string(kill_victim) + ":" +
                                    std::to_string(worker_kills))
                                       .c_str()
                                 : "-");
+
+      // Resolve the submission endpoint: the Unix socket, or the TCP
+      // endpoint the daemon published (re-read after every restart — an
+      // ephemeral port never survives a SIGKILL).
+      auto endpoint = [&]() -> std::string {
+        if (!use_tcp) return opt.socket_path;
+        const std::string path = opt.jobs_dir + "/daemon.tcp";
+        for (int i = 0; i < 200; ++i) {
+          std::ifstream in(path);
+          std::string ep;
+          if (std::getline(in, ep) && !ep.empty()) return ep;
+          ::usleep(50000);
+        }
+        return "";
+      };
 
       pid_t daemon_pid = fork_daemon(opt);
       bool ok = daemon_pid > 0 &&
                 wait_daemon_ready(opt.socket_path, daemon_pid, 120000.0);
       expect(ok, trial, "daemon never became ready", cfg);
 
-      // Submit from a first client — which may vanish right after.
+      // Submit from first clients — which may vanish right after.
       if (ok) {
-        serve::ServeClient first;
-        std::string err;
-        ok = first.connect(opt.socket_path, &err) &&
-             serve_submit_nowait(first, spec).empty();
-        expect(ok, trial, "submission was not accepted", cfg);
+        std::vector<std::unique_ptr<serve::ServeClient>> firsts;
+        for (const serve::JobSpec& s : specs) {
+          auto first = std::make_unique<serve::ServeClient>();
+          std::string err;
+          const std::string ep = endpoint();
+          ok = !ep.empty() && first->connect(ep, &err) &&
+               serve_submit_nowait(*first, s).empty();
+          expect(ok, trial, "submission was not accepted", cfg);
+          if (!ok) break;
+          firsts.push_back(std::move(first));
+        }
         if (!disconnect && ok) {
-          // Keep the connection open a moment so the daemon exercises a
-          // live watcher; closing it here is the disconnect case.
+          // Keep the connections open a moment so the daemon exercises
+          // live watchers; the scope exit is the disconnect case.
           ::usleep(10000);
         }
+      }
+
+      // Memory-pressure spike: the governor must shed the youngest
+      // runner back to queued (attempt refunded) and recover once the
+      // pressure clears — with zero effect on the final findings.
+      if (ok && concurrent) {
+        ::usleep(static_cast<useconds_t>(rng.uniform_int(50, 250)) * 1000);
+        set_rss("500");
+        ::usleep(300000);
+        set_rss("10");
       }
 
       // Daemon SIGKILL mid-run, then a cold restart over the same state.
@@ -670,57 +742,79 @@ int main(int argc, char** argv) {
         ::kill(daemon_pid, SIGKILL);
         int status = 0;
         ::waitpid(daemon_pid, &status, 0);
+        std::remove((opt.jobs_dir + "/daemon.tcp").c_str());  // stale port
         daemon_pid = fork_daemon(opt);
         ok = daemon_pid > 0 &&
              wait_daemon_ready(opt.socket_path, daemon_pid, 120000.0);
         expect(ok, trial, "restarted daemon never became ready", cfg);
       }
 
-      serve::JobResult result;
+      std::size_t collected = 0;
       if (ok) {
-        serve::ServeClient client;
-        std::string err;
-        ok = client.connect(opt.socket_path, &err) &&
-             serve::submit_and_wait(client, spec, 300000.0, &result, &err);
-        expect(ok, trial, "job never reached a terminal state",
-               std::string(cfg) + (err.empty() ? "" : ": " + err));
-      }
-
-      if (ok) {
-        expect(result.state == serve::JobState::kDone, trial,
-               "job ended conceded despite an absorbable crash budget", cfg);
-        expect(result.duplicate_findings == 0, trial,
-               "a finding was streamed more than once", cfg);
-
-        // Exactly one explicit outcome per victim: the streamed net set
-        // must equal the reference victim set — nothing lost, nothing
-        // invented.
-        expect(result.findings.size() == serve_ref.findings.size(), trial,
-               "finding count differs from the direct run",
-               std::to_string(result.findings.size()) + " vs " +
-                   std::to_string(serve_ref.findings.size()));
-        for (const auto& [net, rec] : result.findings) {
-          const auto it = serve_ref_by_net.find(net);
-          expect(it != serve_ref_by_net.end(), trial,
-                 "served finding for a net the direct run never reported",
-                 "net " + std::to_string(net));
-          if (it == serve_ref_by_net.end()) continue;
-          const VictimFinding& want = *it->second;
-          const VictimFinding& got = rec.finding;
-          if (worker_kill && worker_kills >= 2 && net == kill_victim) {
-            // Twice-killed victim: concession, explicitly typed.
-            expect(got.status == FindingStatus::kShardCrashed, trial,
-                   "twice-killed victim not conceded as kShardCrashed",
-                   "net " + std::to_string(net));
+        for (const serve::JobSpec& s : specs) {
+          serve::JobResult result;
+          serve::ServeClient client;
+          std::string err;
+          const std::string ep = endpoint();
+          const bool job_ok =
+              !ep.empty() && client.connect(ep, &err) &&
+              serve::submit_and_wait(client, s, 300000.0, &result, &err);
+          expect(job_ok, trial, "job never reached a terminal state",
+                 std::string(cfg) + (err.empty() ? "" : ": " + err));
+          if (!job_ok) {
+            ok = false;
             continue;
           }
-          expect(got.peak == want.peak &&
-                     got.peak_fraction == want.peak_fraction &&
-                     got.violation == want.violation &&
-                     got.status == want.status &&
-                     got.reduced_order == want.reduced_order,
-                 trial, "served finding differs from the direct run",
-                 "net " + std::to_string(net));
+          collected += result.findings.size();
+
+          expect(result.state == serve::JobState::kDone, trial,
+                 "job ended conceded despite an absorbable crash budget",
+                 cfg);
+          expect(result.duplicate_findings == 0, trial,
+                 "a finding was streamed more than once", cfg);
+
+          // Exactly one explicit outcome per victim: the streamed net
+          // set must equal the reference victim set — nothing lost,
+          // nothing invented.
+          expect(result.findings.size() == serve_ref.findings.size(), trial,
+                 "finding count differs from the direct run",
+                 std::to_string(result.findings.size()) + " vs " +
+                     std::to_string(serve_ref.findings.size()));
+          for (const auto& [net, rec] : result.findings) {
+            const auto it = serve_ref_by_net.find(net);
+            expect(it != serve_ref_by_net.end(), trial,
+                   "served finding for a net the direct run never reported",
+                   "net " + std::to_string(net));
+            if (it == serve_ref_by_net.end()) continue;
+            const VictimFinding& want = *it->second;
+            const VictimFinding& got = rec.finding;
+            const bool identical =
+                got.peak == want.peak &&
+                got.peak_fraction == want.peak_fraction &&
+                got.violation == want.violation &&
+                got.status == want.status &&
+                got.reduced_order == want.reduced_order;
+            if (worker_kill && net == kill_victim) {
+              // The kill budget is shared across concurrent jobs, so any
+              // one job may have seen 0, 1 (recovered bit-exact), or 2
+              // kills (explicit kShardCrashed concession) on this net.
+              expect(identical ||
+                         got.status == FindingStatus::kShardCrashed,
+                     trial,
+                     "killed victim neither bit-exact nor conceded",
+                     "net " + std::to_string(net));
+              if (!concurrent && worker_kills >= 2)
+                // Single-job trials are deterministic: both kills landed
+                // here, so it MUST be the typed concession.
+                expect(got.status == FindingStatus::kShardCrashed, trial,
+                       "twice-killed victim not conceded as kShardCrashed",
+                       "net " + std::to_string(net));
+              continue;
+            }
+            expect(identical, trial,
+                   "served finding differs from the direct run",
+                   "net " + std::to_string(net));
+          }
         }
       }
 
@@ -736,11 +830,12 @@ int main(int argc, char** argv) {
 
       ::unsetenv("XTV_TEST_SERVE_RUNNER_CRASH");
       ::unsetenv("XTV_TEST_SHARD_KILL_ON_START");
+      ::unsetenv("XTV_TEST_SERVE_RSS_FILE");
       kill_orphan_runners(opt.jobs_dir);
       remove_tree(dir);
       std::printf("trial %3zu: ok=%s findings=%zu [%s]\n", trial,
-                  ok && g_checks_failed == before ? "yes" : "NO",
-                  result.findings.size(), cfg);
+                  ok && g_checks_failed == before ? "yes" : "NO", collected,
+                  cfg);
     }
   }
 

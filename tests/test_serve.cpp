@@ -12,12 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <netdb.h>
+#include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,8 +35,10 @@
 #include "core/verifier.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/governor.h"
 #include "serve/job.h"
 #include "serve/queue.h"
+#include "wire_negatives.h"
 
 namespace xtv {
 namespace {
@@ -41,6 +47,8 @@ using serve::AdmissionQueue;
 using serve::BackoffPolicy;
 using serve::JobSpec;
 using serve::JobState;
+using serve::LaunchCandidate;
+using serve::ResourceGovernor;
 
 // ---------------------------------------------------------------------------
 // Unit: spec canon and identity.
@@ -258,6 +266,182 @@ TEST(AdmissionQueue, EraseDropsEveryEntryForAKey) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(AdmissionQueue, PushFrontRequeuesAheadOfTheFifo) {
+  AdmissionQueue q(4);
+  q.push(1);
+  q.push(2);
+  q.push_front(3);  // a shed job reclaims the head, not the tail
+  std::vector<std::uint64_t> ready;
+  q.ready_keys(0.0, &ready);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[0], 3u);
+  EXPECT_EQ(ready[1], 1u);
+  EXPECT_EQ(ready[2], 2u);
+
+  // ready_keys is non-destructive; take() claims exactly one entry.
+  EXPECT_TRUE(q.take(1));
+  EXPECT_FALSE(q.take(1));
+  q.ready_keys(0.0, &ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 3u);
+  EXPECT_EQ(ready[1], 2u);
+}
+
+TEST(AdmissionQueue, ReadyKeysListsRipeBackoffBeforeTheFifo) {
+  AdmissionQueue q(4);
+  BackoffPolicy p;
+  p.base_ms = 100.0;
+  q.push(7);
+  q.push_backoff(9, 0, 0.0, p);
+  std::vector<std::uint64_t> ready;
+  q.ready_keys(50.0, &ready);  // bench not ripe yet
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 7u);
+  q.ready_keys(150.0, &ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 9u);
+  EXPECT_EQ(ready[1], 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Unit: per-job design references and the key / options-hash split.
+
+TEST(JobSpec, DesignRefSplitsTheKeyFromTheOptionsHash) {
+  JobSpec resident, perjob;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("nets=40", &perjob, &err)) << err;
+  EXPECT_TRUE(perjob.has_design_ref());
+  EXPECT_FALSE(resident.has_design_ref());
+
+  // Same verifier options -> same journal-header hash; but the job
+  // identity must also cover WHAT is being verified.
+  EXPECT_EQ(resident.options_hash(), perjob.options_hash());
+  EXPECT_EQ(resident.key(), resident.options_hash());
+  EXPECT_NE(perjob.key(), perjob.options_hash());
+  EXPECT_NE(perjob.key(), resident.key());
+
+  JobSpec other;
+  ASSERT_TRUE(JobSpec::parse("nets=41", &other, &err)) << err;
+  EXPECT_NE(other.key(), perjob.key());
+
+  // mem_mb is a scheduling hint, never identity.
+  JobSpec heavy;
+  ASSERT_TRUE(JobSpec::parse("nets=40 mem_mb=512", &heavy, &err)) << err;
+  EXPECT_EQ(heavy.key(), perjob.key());
+}
+
+TEST(JobSpec, DesignRefRoundTripsThroughText) {
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("nets=40 rows=2 chip_seed=7", &spec, &err))
+      << err;
+  JobSpec back;
+  ASSERT_TRUE(JobSpec::parse(spec.to_text(), &back, &err)) << err;
+  EXPECT_EQ(back.to_text(), spec.to_text());
+  EXPECT_EQ(back.key(), spec.key());
+}
+
+TEST(JobSpec, RejectsInconsistentDesignRefs) {
+  const char* bad[] = {
+      "rows=2",                      // rows without a per-job design
+      "chip_seed=3",                 // seed without a per-job design
+      "design=/nonexistent/xtvds",   // unreadable file dies at parse time
+      "mem_mb=-1",
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    JobSpec spec;
+    std::string err;
+    EXPECT_FALSE(JobSpec::parse(text, &spec, &err));
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(JobSpec, DesignFileResolvesToTheSameKeyAsInlineTokens) {
+  const std::string path = ::testing::TempDir() + "serve_design_test.xtvds";
+  {
+    std::ofstream out(path);
+    out << "xtvds nets=40 rows=2 seed=7\n";
+  }
+  JobSpec from_file, inline_spec;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("design=" + path, &from_file, &err)) << err;
+  ASSERT_TRUE(
+      JobSpec::parse("nets=40 rows=2 chip_seed=7", &inline_spec, &err))
+      << err;
+  EXPECT_EQ(from_file.key(), inline_spec.key());
+
+  JobSpec both;
+  EXPECT_FALSE(JobSpec::parse("design=" + path + " nets=40", &both, &err));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Unit: cross-job resource governor.
+
+TEST(Governor, ReservationLedgerTracksChargesAndReleases) {
+  ResourceGovernor g(100.0);
+  ASSERT_TRUE(g.enabled());
+  EXPECT_TRUE(g.fits(60.0));
+  g.reserve(1, 60.0);
+  EXPECT_DOUBLE_EQ(g.reserved_mb(), 60.0);
+  EXPECT_TRUE(g.fits(40.0));
+  EXPECT_FALSE(g.fits(41.0));
+  g.reserve(1, 30.0);  // re-reserving replaces, never accumulates
+  EXPECT_DOUBLE_EQ(g.reserved_mb(), 30.0);
+  g.release(1);
+  g.release(1);  // double release is a no-op
+  EXPECT_DOUBLE_EQ(g.reserved_mb(), 0.0);
+  EXPECT_EQ(g.held(), 0u);
+}
+
+TEST(Governor, LoneOversizedJobRunsOnlyOnAnEmptyLedger) {
+  ResourceGovernor g(100.0);
+  EXPECT_TRUE(g.fits(150.0));  // nothing running: let it have the machine
+  g.reserve(1, 10.0);
+  EXPECT_FALSE(g.fits(150.0));
+  g.release(1);
+  EXPECT_TRUE(g.fits(150.0));
+}
+
+TEST(Governor, DisabledGovernorAdmitsStrictlyFifo) {
+  ResourceGovernor g(0.0);
+  EXPECT_FALSE(g.enabled());
+  EXPECT_TRUE(g.fits(1e9));
+  const std::vector<LaunchCandidate> ready = {{2, 500.0, 20.0},
+                                              {1, 1.0, 10.0}};
+  EXPECT_EQ(serve::pick_admission(ready, 100.0, 5000.0, g), 1u);  // oldest
+}
+
+TEST(Governor, LargestFittingReservationWins) {
+  ResourceGovernor g(100.0);
+  g.reserve(9, 40.0);
+  const std::vector<LaunchCandidate> ready = {
+      {1, 30.0, 10.0}, {2, 55.0, 20.0}, {3, 70.0, 5.0}};
+  // 70 does not fit on top of 40; 55 is the largest that does.
+  EXPECT_EQ(serve::pick_admission(ready, 100.0, 0.0, g), 1u);
+  // Ties go to the older job.
+  const std::vector<LaunchCandidate> tied = {{1, 55.0, 20.0},
+                                             {2, 55.0, 10.0}};
+  EXPECT_EQ(serve::pick_admission(tied, 100.0, 0.0, g), 1u);
+}
+
+TEST(Governor, AgedJobPromotesAndStallsTheLineUntilItFits) {
+  ResourceGovernor g(100.0);
+  g.reserve(9, 60.0);
+  // now=10000, promote=5000: candidate 0 (enqueued at 0) is aged; its
+  // 50 MiB does not fit on top of the 60 reserved, so the WHOLE line
+  // stalls — candidate 1 would fit but must not overtake.
+  const std::vector<LaunchCandidate> ready = {{1, 50.0, 0.0},
+                                              {2, 60.0, 9000.0}};
+  EXPECT_EQ(serve::pick_admission(ready, 10000.0, 5000.0, g),
+            serve::kNoAdmission);
+  g.release(9);
+  EXPECT_EQ(serve::pick_admission(ready, 10000.0, 5000.0, g), 0u);
+  // Without aging the largest fitting job would have won instead.
+  EXPECT_EQ(serve::pick_admission(ready, 10000.0, 0.0, g), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Integration: a live forked daemon driven over its socket.
 
@@ -459,6 +643,61 @@ class ServeFixture : public ::testing::Test {
     }
     FAIL() << "job " << serve::job_key_hex(key) << " never reached state "
            << state << " (last: " << query_status(key) << ")";
+  }
+
+  /// The TCP endpoint the daemon published at boot (bind_tcp writes
+  /// "<ip>:<port>\n" so port 0 requests are resolvable).
+  std::string read_tcp_endpoint(double timeout_ms = 30000.0) {
+    const std::string path = jobs_ + "/daemon.tcp";
+    for (double waited = 0.0; waited < timeout_ms; waited += 50.0) {
+      std::ifstream in(path);
+      std::string ep;
+      if (std::getline(in, ep) && !ep.empty()) return ep;
+      ::usleep(50000);
+    }
+    ADD_FAILURE() << "daemon never published " << path;
+    return "";
+  }
+
+  /// Raw TCP connect for byte-level (mutated-frame) injection that
+  /// ServeClient's framing would refuse to send.
+  static int raw_tcp_connect(const std::string& endpoint) {
+    std::string host, port;
+    if (!serve::parse_tcp_endpoint(endpoint, &host, &port)) return -1;
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0)
+      return -1;
+    int fd = -1;
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+  }
+
+  /// Reads (and discards keepalives etc.) until the peer closes. True on
+  /// EOF within the deadline, false on timeout or error.
+  static bool drains_to_eof(int fd, double timeout_ms) {
+    for (double waited = 0.0; waited < timeout_ms;) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 100);
+      waited += 100.0;
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc == 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n == 0) return true;
+      if (n < 0 && errno != EINTR) return false;
+    }
+    return false;
   }
 
   static std::size_t parse_attempts(const std::string& status) {
@@ -773,6 +1012,341 @@ TEST_F(ServeFixture, DrainingDaemonRejectsNewSubmissions) {
   const int status = await_daemon_exit();
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: concurrent runners, the TCP transport, and the governor.
+
+TEST_F(ServeFixture, ConcurrentJobsAllCompleteBitExactly) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.max_running = 3;
+  start_daemon(opt);
+
+  // audit_seed is part of the options hash but (with audit_fraction=0)
+  // never of the findings: three distinct jobs, one expected answer.
+  JobSpec specs[3];
+  serve::ServeClient submitters[3];
+  for (int i = 0; i < 3; ++i) {
+    std::string err;
+    ASSERT_TRUE(JobSpec::parse("audit_seed=" + std::to_string(i + 1),
+                               &specs[i], &err))
+        << err;
+    ASSERT_TRUE(submitters[i].connect(socket_, &err)) << err;
+    ASSERT_EQ(submit_nowait(submitters[i], specs[i]), "");
+  }
+
+  // At least two of the three must be observably in flight at once.
+  bool saw_concurrent = false;
+  for (double waited = 0.0; waited < 60000.0 && !saw_concurrent;
+       waited += 100.0) {
+    std::size_t running = 0, terminal = 0;
+    for (const JobSpec& s : specs) {
+      const std::string status = query_status(s.key());
+      if (status.rfind("running", 0) == 0) ++running;
+      if (status.rfind("done", 0) == 0 || status.rfind("conceded", 0) == 0)
+        ++terminal;
+    }
+    if (running >= 2) saw_concurrent = true;
+    if (terminal == 3) break;
+    ::usleep(100000);
+  }
+  EXPECT_TRUE(saw_concurrent) << "never saw 2+ jobs running concurrently";
+
+  // Every job completes, streams exactly once, and lands bit-identical
+  // to the direct single-job reference.
+  const VerificationReport want = direct_report(specs[0]);
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    serve::ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socket_, &err)) << err;
+    serve::JobResult result;
+    ASSERT_TRUE(
+        serve::submit_and_wait(client, specs[i], 180000.0, &result, &err))
+        << err;
+    EXPECT_EQ(result.state, JobState::kDone);
+    EXPECT_EQ(result.duplicate_findings, 0u);
+    expect_matches_direct(result, want);
+  }
+}
+
+TEST_F(ServeFixture, TcpSubmitMatchesDirectVerifyBitExactly) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.listen_address = "127.0.0.1:0";
+  start_daemon(opt);
+  const std::string ep = read_tcp_endpoint();
+  ASSERT_FALSE(ep.empty());
+
+  JobSpec spec;
+  serve::ServeClient client;
+  std::string err;
+  ASSERT_TRUE(client.connect(ep, &err)) << err;
+  serve::JobResult result;
+  ASSERT_TRUE(serve::submit_and_wait(client, spec, 120000.0, &result, &err))
+      << err;
+  EXPECT_EQ(result.state, JobState::kDone);
+  EXPECT_EQ(result.duplicate_findings, 0u);
+  EXPECT_GT(result.findings.size(), 0u);
+  expect_matches_direct(result, direct_report(spec));
+}
+
+TEST_F(ServeFixture, TcpCorruptionSweepLatchesThatConnectionOnly) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.listen_address = "127.0.0.1:0";
+  opt.keepalive_ms = 0.0;  // quiet wire: EOF below means latch-and-close
+  start_daemon(opt);
+  const std::string ep = read_tcp_endpoint();
+  ASSERT_FALSE(ep.empty());
+
+  const std::string frame =
+      wire_encode_frame(WireType::kJobQuery, "q 00000000000000aa");
+  for (const auto& m : wiretest::negative_sweep(frame)) {
+    SCOPED_TRACE(m.name);
+    const int fd = raw_tcp_connect(ep);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::write(fd, m.bytes.data(), m.bytes.size()),
+              static_cast<ssize_t>(m.bytes.size()));
+    if (wiretest::classify(m.bytes) == wiretest::StreamVerdict::kCorrupt) {
+      // The daemon must latch corruption and close THIS connection.
+      EXPECT_TRUE(drains_to_eof(fd, 15000.0));
+    }
+    ::close(fd);
+  }
+
+  // ...without disrupting the daemon: a clean TCP submit still runs.
+  JobSpec spec;
+  serve::ServeClient client;
+  std::string err;
+  ASSERT_TRUE(client.connect(ep, &err)) << err;
+  serve::JobResult result;
+  ASSERT_TRUE(serve::submit_and_wait(client, spec, 120000.0, &result, &err))
+      << err;
+  EXPECT_EQ(result.state, JobState::kDone);
+  EXPECT_EQ(result.duplicate_findings, 0u);
+}
+
+TEST_F(ServeFixture, ConnectionCapRejectsWithAnExplicitFrame) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.listen_address = "127.0.0.1:0";
+  opt.max_connections = 2;
+  start_daemon(opt);
+  const std::string ep = read_tcp_endpoint();
+  ASSERT_FALSE(ep.empty());
+
+  serve::ServeClient a, b;
+  std::string err;
+  ASSERT_TRUE(a.connect(ep, &err)) << err;
+  ASSERT_TRUE(b.connect(ep, &err)) << err;
+  // Round-trip on `a` so the daemon has provably registered both (and
+  // processed the ready-probe's disconnect) before the third knocks.
+  ASSERT_TRUE(a.send(WireType::kJobQuery, "q 0000000000000000", &err)) << err;
+  WireFrame f;
+  ASSERT_TRUE(a.recv(&f, 15000.0, &err)) << err;
+
+  serve::ServeClient c;
+  ASSERT_TRUE(c.connect(ep, &err)) << err;  // the accept queue takes it...
+  WireFrame rej;
+  ASSERT_TRUE(c.recv(&rej, 15000.0, &err)) << err;
+  EXPECT_EQ(rej.type, WireType::kJobRejected);
+  EXPECT_EQ(rej.payload.rfind("- conn-limit ", 0), 0u) << rej.payload;
+  EXPECT_FALSE(c.recv(&rej, 15000.0, &err));  // ...then closes it
+  EXPECT_NE(err.find("closed"), std::string::npos) << err;
+
+  // Freeing a slot re-opens admission.
+  a.close();
+  for (double waited = 0.0; waited < 15000.0; waited += 100.0) {
+    serve::ServeClient d;
+    if (d.connect(ep, &err) &&
+        d.send(WireType::kJobQuery, "q 0000000000000000", &err) &&
+        d.recv(&f, 2000.0, &err))
+      return;
+    ::usleep(100000);
+  }
+  FAIL() << "slot never freed after a client disconnect";
+}
+
+TEST_F(ServeFixture, SlowLorisHalfFrameIsEvicted) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.listen_address = "127.0.0.1:0";
+  opt.io_timeout_ms = 500.0;
+  start_daemon(opt);
+  const std::string ep = read_tcp_endpoint();
+  ASSERT_FALSE(ep.empty());
+
+  const std::string frame =
+      wire_encode_frame(WireType::kJobQuery, "q 00000000000000aa");
+  const int fd = raw_tcp_connect(ep);
+  ASSERT_GE(fd, 0);
+  // Half a frame, then silence: the read deadline must evict us.
+  ASSERT_EQ(::write(fd, frame.data(), frame.size() / 2),
+            static_cast<ssize_t>(frame.size() / 2));
+  EXPECT_TRUE(drains_to_eof(fd, 15000.0));
+  ::close(fd);
+
+  // An honest client on the same daemon is unaffected (idle connections
+  // have nothing buffered, so the deadline does not apply to them).
+  serve::ServeClient client;
+  std::string err;
+  ASSERT_TRUE(client.connect(ep, &err)) << err;
+  ASSERT_TRUE(client.send(WireType::kJobQuery, "q 00000000000000aa", &err))
+      << err;
+  WireFrame f;
+  ASSERT_TRUE(client.recv(&f, 15000.0, &err)) << err;
+  EXPECT_EQ(f.type, WireType::kJobRejected);  // unknown-job — but served
+}
+
+TEST_F(ServeFixture, RestartAfterSigkillSweepsStaleSocketAndPidFile) {
+  start_daemon(daemon_options());
+  kill_daemon();
+
+  // SIGKILL leaves both boot artifacts behind...
+  struct stat st;
+  EXPECT_EQ(::stat(socket_.c_str(), &st), 0);
+  EXPECT_EQ(::stat((jobs_ + "/daemon.pid").c_str(), &st), 0);
+
+  // ...and a cold restart must sweep them and come up serving.
+  start_daemon(daemon_options());
+  const int status = drain_daemon();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST_F(ServeFixture, SecondDaemonRefusesTheLiveJobsDir) {
+  start_daemon(daemon_options());
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    serve::ServeDaemon second(daemon_options());
+    ::_exit(second.run());
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);  // refused: the pid file is live
+}
+
+TEST_F(ServeFixture, OversizedOrUnreadableDesignRefsDieAtAdmission) {
+  serve::DaemonOptions opt = daemon_options();
+  opt.max_job_nets = 100;
+  start_daemon(opt);
+
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("nets=500", &spec, &err)) << err;
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect(socket_, &err)) << err;
+  const std::string reason = submit_nowait(client, spec);
+  EXPECT_EQ(reason.rfind("oversized", 0), 0u) << reason;
+  EXPECT_EQ(query_status(spec.key()), "unknown-job");  // no trace
+
+  // An unreadable design= file dies at the same gate (raw frame: the
+  // client-side parse would have refused to build this spec at all).
+  ASSERT_TRUE(client.send(WireType::kJobSubmit,
+                          "traw design=/nonexistent/xtv_missing.xtvds",
+                          &err))
+      << err;
+  for (;;) {
+    WireFrame f;
+    ASSERT_TRUE(client.recv(&f, 15000.0, &err)) << err;
+    if (f.payload.rfind("traw ", 0) != 0) continue;
+    EXPECT_EQ(f.type, WireType::kJobRejected);
+    EXPECT_EQ(f.payload.rfind("traw bad-spec ", 0), 0u) << f.payload;
+    break;
+  }
+}
+
+TEST_F(ServeFixture, PerJobDesignMatchesItsOwnDirectVerify) {
+  start_daemon(daemon_options());
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("nets=40", &spec, &err)) << err;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect(socket_, &err)) << err;
+  serve::JobResult result;
+  ASSERT_TRUE(serve::submit_and_wait(client, spec, 120000.0, &result, &err))
+      << err;
+  EXPECT_EQ(result.state, JobState::kDone);
+  EXPECT_EQ(result.duplicate_findings, 0u);
+  EXPECT_GT(result.findings.size(), 0u);
+
+  // Reference on the job's OWN 40-net generated design — not the
+  // daemon's 60-net resident one.
+  DspChipOptions chip;
+  chip.net_count = 40;
+  const ChipDesign design = generate_dsp_chip(ref().lib, chip);
+  VerifierOptions vo = spec.to_options();
+  vo.processes = 0;
+  vo.threads = 1;
+  ChipVerifier verifier(ref().extractor, ref().chars);
+  const VerificationReport want = verifier.verify(design, vo);
+  ASSERT_EQ(result.findings.size(), want.findings.size());
+  for (const VictimFinding& w : want.findings) {
+    SCOPED_TRACE("victim net " + std::to_string(w.net));
+    const auto it = result.findings.find(w.net);
+    ASSERT_NE(it, result.findings.end());
+    EXPECT_EQ(it->second.finding.peak, w.peak);
+    EXPECT_EQ(it->second.finding.status, w.status);
+  }
+}
+
+TEST_F(ServeFixture, MemoryPressureShedsTheYoungestAndRequeues) {
+  const std::string rss = dir_ + "/rss_mb";
+  {
+    std::ofstream out(rss);
+    out << "10\n";
+  }
+  EnvGuard rss_env("XTV_TEST_SERVE_RSS_FILE", rss);
+  // Both first runners stall before their first heartbeat, holding the
+  // two run slots while the test turns the pressure knob.
+  EnvGuard stall("XTV_TEST_SERVE_RUNNER_STALL", "2");
+  serve::DaemonOptions opt = daemon_options();
+  opt.max_running = 2;
+  opt.global_mem_soft_mb = 100.0;
+  start_daemon(opt);
+
+  // Explicit reservations that fit the budget TOGETHER (the structural
+  // estimate for a 2-process job exceeds 100 MiB on its own, which would
+  // serialize the jobs and leave nothing to shed).
+  JobSpec a, b;
+  std::string err;
+  ASSERT_TRUE(JobSpec::parse("audit_seed=1 mem_mb=40", &a, &err)) << err;
+  ASSERT_TRUE(JobSpec::parse("audit_seed=2 mem_mb=40", &b, &err)) << err;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect(socket_, &err)) << err;
+  ASSERT_EQ(submit_nowait(client, a), "");
+  wait_for_state(a.key(), "running");
+  ASSERT_EQ(submit_nowait(client, b), "");
+  wait_for_state(b.key(), "running");  // b launched strictly after a
+
+  // Blow through the soft budget: the daemon must shed the YOUNGEST job
+  // (b) back to queued with its attempt count refunded — and leave a
+  // alone (shedding never reduces the service below one runner).
+  {
+    std::ofstream out(rss);
+    out << "500\n";
+  }
+  wait_for_state(b.key(), "queued");
+  EXPECT_EQ(parse_attempts(query_status(b.key())), 0u);
+  EXPECT_EQ(query_status(a.key()).rfind("running", 0), 0u)
+      << query_status(a.key());
+
+  // While pressure holds, b stays parked (the launch gate reads the same
+  // RSS signal).
+  ::usleep(300000);
+  EXPECT_EQ(query_status(b.key()).rfind("queued", 0), 0u)
+      << query_status(b.key());
+
+  // Pressure gone: b relaunches (its stall token is long spent) and
+  // completes normally.
+  {
+    std::ofstream out(rss);
+    out << "10\n";
+  }
+  wait_for_state(b.key(), "done", 120000.0);
 }
 
 }  // namespace

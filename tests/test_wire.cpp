@@ -11,12 +11,13 @@
 #include <vector>
 
 #include "core/wire.h"
+#include "wire_negatives.h"
 
 namespace xtv {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 4 + 1 + 4;   // magic + type + length
-constexpr std::size_t kChecksumBytes = 8;
+using wiretest::kChecksumBytes;
+using wiretest::kHeaderBytes;
 
 std::vector<WireFrame> decode_all(const std::string& stream,
                                   WireDecoder* decoder) {
@@ -62,10 +63,8 @@ TEST(WireNegative, TruncationAtEveryBoundaryByteIsIncompleteNotCorrupt) {
 // it waits for a payload that will never arrive.
 
 TEST(WireNegative, OversizedDeclaredLengthLatchesCorrupt) {
-  std::string frame = wire_encode_frame(WireType::kHeartbeat, "7");
-  const std::uint32_t huge = (1u << 20) + 1;
-  for (int i = 0; i < 4; ++i)
-    frame[5 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  const std::string frame = wiretest::with_declared_length(
+      wire_encode_frame(WireType::kHeartbeat, "7"), (1u << 20) + 1);
 
   WireDecoder d;
   WireFrame f;
@@ -84,14 +83,10 @@ TEST(WireNegative, OversizedDeclaredLengthLatchesCorrupt) {
 // Type bytes outside the valid range are corruption, on both edges.
 
 TEST(WireNegative, OutOfRangeTypeByteLatchesCorrupt) {
-  for (std::uint8_t bad :
-       {std::uint8_t{0},
-        static_cast<std::uint8_t>(
-            static_cast<std::uint8_t>(WireType::kJobQuery) + 1),
-        std::uint8_t{0xff}}) {
+  for (std::uint8_t bad : wiretest::out_of_range_type_bytes()) {
     SCOPED_TRACE("type byte " + std::to_string(bad));
-    std::string frame = wire_encode_frame(WireType::kHello, "0 1");
-    frame[4] = static_cast<char>(bad);
+    const std::string frame = wiretest::with_type_byte(
+        wire_encode_frame(WireType::kHello, "0 1"), bad);
     WireDecoder d;
     WireFrame f;
     d.feed(frame.data(), frame.size());
@@ -101,8 +96,8 @@ TEST(WireNegative, OutOfRangeTypeByteLatchesCorrupt) {
 }
 
 TEST(WireNegative, BadMagicLatchesCorrupt) {
-  std::string frame = wire_encode_frame(WireType::kHello, "0 1");
-  frame[0] = 'y';
+  const std::string frame =
+      wiretest::with_bad_magic(wire_encode_frame(WireType::kHello, "0 1"));
   WireDecoder d;
   WireFrame f;
   d.feed(frame.data(), frame.size());
@@ -130,8 +125,7 @@ TEST(WireNegative, SingleBitFlipNeverYieldsAForgedFrame) {
     for (int bit = 0; bit < 8; ++bit) {
       SCOPED_TRACE("flip byte " + std::to_string(byte) + " bit " +
                    std::to_string(bit));
-      std::string mutated = stream;
-      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const std::string mutated = wiretest::with_bit_flip(stream, byte, bit);
 
       WireDecoder d;
       const std::vector<WireFrame> got = decode_all(mutated, &d);
@@ -166,10 +160,9 @@ TEST(WireNegative, SingleBitFlipNeverYieldsAForgedFrame) {
 
 TEST(WireNegative, LengthGrowthWithinCapStaysIncomplete) {
   const std::string payload = "short";
-  std::string frame = wire_encode_frame(WireType::kHeartbeat, payload);
-  const std::uint32_t grown = static_cast<std::uint32_t>(payload.size()) + 64;
-  for (int i = 0; i < 4; ++i)
-    frame[5 + i] = static_cast<char>((grown >> (8 * i)) & 0xff);
+  const std::string frame = wiretest::with_declared_length(
+      wire_encode_frame(WireType::kHeartbeat, payload),
+      static_cast<std::uint32_t>(payload.size()) + 64);
 
   WireDecoder d;
   WireFrame f;
@@ -177,6 +170,20 @@ TEST(WireNegative, LengthGrowthWithinCapStaysIncomplete) {
   EXPECT_FALSE(d.next(&f));
   EXPECT_FALSE(d.corrupt());  // waiting for bytes, not corrupt
   EXPECT_EQ(d.buffered(), frame.size());
+}
+
+// ---------------------------------------------------------------------------
+// The shared sweep (replayed over live TCP by test_serve.cpp) must never
+// contain a mutation the decoder accepts as a frame — otherwise the serve
+// sweep would "pass" by accident.
+
+TEST(WireNegative, SharedSweepNeverYieldsAFrame) {
+  const std::string frame =
+      wire_encode_frame(WireType::kJobSubmit, "t0 nets=40");
+  for (const auto& m : wiretest::negative_sweep(frame)) {
+    SCOPED_TRACE(m.name);
+    EXPECT_NE(wiretest::classify(m.bytes), wiretest::StreamVerdict::kYields);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Shared negative-case generators for the xwf1 wire format.
+//
+// test_wire.cpp runs these mutations through a bare WireDecoder;
+// test_serve.cpp replays the same sweep over a live TCP connection to the
+// daemon, asserting that a mutation a local decoder classifies as corrupt
+// makes the daemon latch-and-close that one connection without disturbing
+// the rest of the service. Keeping the generators here guarantees both
+// suites exercise the identical byte streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+
+namespace xtv {
+namespace wiretest {
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4;  // magic + type + length
+constexpr std::size_t kChecksumBytes = 8;
+
+/// Patches the u32 LE declared-length field (bytes 5..8).
+inline std::string with_declared_length(std::string frame,
+                                        std::uint32_t len) {
+  for (int i = 0; i < 4; ++i)
+    frame[5 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  return frame;
+}
+
+/// Patches the type byte (byte 4), leaving the checksum stale.
+inline std::string with_type_byte(std::string frame, std::uint8_t type) {
+  frame[4] = static_cast<char>(type);
+  return frame;
+}
+
+inline std::string with_bad_magic(std::string frame) {
+  frame[0] = 'y';
+  return frame;
+}
+
+inline std::string with_bit_flip(std::string frame, std::size_t byte,
+                                 int bit) {
+  frame[byte] = static_cast<char>(frame[byte] ^ (1 << bit));
+  return frame;
+}
+
+/// The type bytes just outside the valid kHello..kJobQuery range, plus
+/// the extremes.
+inline std::vector<std::uint8_t> out_of_range_type_bytes() {
+  return {std::uint8_t{0},
+          static_cast<std::uint8_t>(
+              static_cast<std::uint8_t>(WireType::kJobQuery) + 1),
+          std::uint8_t{0xff}};
+}
+
+struct Mutation {
+  std::string name;
+  std::string bytes;
+};
+
+/// The canonical negative sweep over one encoded frame: oversized
+/// declared length, every out-of-range type byte, bad magic, truncation
+/// at a few interior boundaries, and a single-bit flip in each structural
+/// region (magic, type, length, payload, checksum). Some entries are
+/// corrupt, some merely incomplete — classify() tells them apart.
+inline std::vector<Mutation> negative_sweep(const std::string& frame) {
+  std::vector<Mutation> out;
+  out.push_back({"oversize-length",
+                 with_declared_length(frame, (1u << 20) + 1)});
+  for (std::uint8_t t : out_of_range_type_bytes())
+    out.push_back({"type-byte-" + std::to_string(t),
+                   with_type_byte(frame, t)});
+  out.push_back({"bad-magic", with_bad_magic(frame)});
+  for (std::size_t cut : {std::size_t{2}, kHeaderBytes, frame.size() - 1})
+    out.push_back({"truncate-at-" + std::to_string(cut),
+                   frame.substr(0, cut)});
+  const std::size_t flips[] = {0, 4, 5, kHeaderBytes, frame.size() - 1};
+  for (std::size_t byte : flips)
+    out.push_back({"bit-flip-byte-" + std::to_string(byte),
+                   with_bit_flip(frame, byte, 3)});
+  return out;
+}
+
+enum class StreamVerdict { kYields, kIncomplete, kCorrupt };
+
+/// What a fresh decoder makes of `bytes`: a verified frame, a quiet wait
+/// for more input, or the latched corruption flag.
+inline StreamVerdict classify(const std::string& bytes) {
+  WireDecoder d;
+  d.feed(bytes.data(), bytes.size());
+  WireFrame f;
+  if (d.next(&f)) return StreamVerdict::kYields;
+  return d.corrupt() ? StreamVerdict::kCorrupt : StreamVerdict::kIncomplete;
+}
+
+}  // namespace wiretest
+}  // namespace xtv
