@@ -34,6 +34,15 @@
 //   --fail-on LIST            exit 3 when any finding is at least as severe as
 //                             any listed status (comma-separated names, e.g.
 //                             "accuracy-bound,failed" or "kFailed") — CI gate
+//   --workers LIST            comma-separated xtv_worker endpoints
+//                             (host:port,...); victims are leased to the
+//                             fleet over TCP (DESIGN.md §14) instead of
+//                             local threads/processes
+//   --worker-heartbeat-ms MS  expected worker heartbeat; 10x silence expires
+//                             its leases (default 250)
+//   --unit-victims N          victims per leased work unit (default 16)
+//   --max-unit-attempts N     lease attempts before a unit is quarantined
+//                             and conceded (default 4)
 #include <algorithm>
 #include <climits>
 #include <cstdio>
@@ -42,9 +51,13 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "chipgen/dsp_chip.h"
 #include "core/verifier.h"
 #include "flags.h"
+#include "serve/job.h"
+#include "serve/remote.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -76,6 +89,7 @@ int main(int argc, char** argv) {
   }
 
   int fail_on_severity = INT_MAX;  // --fail-on CI gate; INT_MAX = disabled
+  serve::RemoteExecOptions remote_options;  // --workers remote fan-out
   flags::SeenFlags seen;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -150,6 +164,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--audit-peak-tol") == 0) {
       options.audit_peak_tol_frac = flags::parse_double(
           arg, value(arg), 0.0, 1.0, "a fraction in [0,1]");
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      std::istringstream list(value(arg));
+      for (std::string ep; std::getline(list, ep, ',');)
+        if (!ep.empty()) remote_options.workers.push_back(ep);
+      if (remote_options.workers.empty())
+        flags::usage_error(arg, "", "a host:port list");
+    } else if (std::strcmp(arg, "--worker-heartbeat-ms") == 0) {
+      remote_options.heartbeat_ms = flags::parse_double(
+          arg, value(arg), 0.0, 1e9, "a period >= 0 ms (0 = stall check off)");
+    } else if (std::strcmp(arg, "--unit-victims") == 0) {
+      remote_options.unit_victims =
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
+    } else if (std::strcmp(arg, "--max-unit-attempts") == 0) {
+      remote_options.max_unit_attempts =
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--fail-on") == 0) {
       std::istringstream list(value(arg));
       for (std::string name; std::getline(list, name, ',');) {
@@ -176,6 +205,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
     return 2;
   }
+
+  // Remote fan-out: workers rebuild the job from a JobSpec text replay,
+  // so any result-affecting flag that does not travel in a spec would
+  // silently put the fleet on different options. The distributability
+  // gate is exact: the spec must round-trip to this run's options hash.
+  std::unique_ptr<serve::RemoteExecutor> remote;
+  if (!remote_options.workers.empty()) {
+    serve::JobSpec spec;
+    spec.options = options;
+    spec.design_nets = chip_options.net_count;
+    if (chip_options.replicate_rows > 1)
+      spec.design_rows = chip_options.replicate_rows;
+    serve::JobSpec echo;
+    std::string perr;
+    if (!serve::JobSpec::parse(spec.to_text(), &echo, &perr)) {
+      std::fprintf(stderr, "--workers: options not distributable: %s\n",
+                   perr.c_str());
+      return 2;
+    }
+    if (options_result_hash(echo.to_options()) !=
+        options_result_hash(options)) {
+      std::fprintf(stderr,
+                   "--workers: options not distributable (a "
+                   "result-affecting flag does not travel in a job spec)\n");
+      return 2;
+    }
+    remote_options.journal_path = options.journal_path;
+    remote_options.options_hash = options_result_hash(options);
+    remote_options.spec_text = spec.to_text();
+    remote = std::make_unique<serve::RemoteExecutor>(remote_options);
+    options.remote_backend = remote.get();
+  }
   chars.load(cell_cache);
 
   std::printf("generating DSP-like design: %zu nets...\n", chip_options.net_count);
@@ -197,6 +258,12 @@ int main(int argc, char** argv) {
                 "per shard)\n",
                 options.processes, options.shard_heartbeat_ms,
                 options.max_shard_restarts);
+  if (remote)
+    std::printf("  %zu remote workers (heartbeat %.0f ms, %zu victims/unit, "
+                "%zu lease attempts)\n",
+                remote_options.workers.size(), remote_options.heartbeat_ms,
+                remote_options.unit_victims,
+                remote_options.max_unit_attempts);
   if (options.cluster_deadline_ms > 0.0)
     std::printf("  per-cluster budget %.1f ms\n", options.cluster_deadline_ms);
   if (options.cluster_mem_mb > 0.0)
@@ -238,11 +305,21 @@ int main(int argc, char** argv) {
               report.victims_fallback, report.victims_deadline_bound,
               report.victims_resource_bound, report.victims_accuracy_bound,
               report.victims_failed);
-  if (options.processes > 0)
+  if (options.processes > 0 && !remote)
     std::printf("process shards: crashes=%zu restarts=%zu quarantined=%zu "
                 "shard-crashed=%zu\n",
                 report.worker_crashes, report.shard_restarts,
                 report.victims_quarantined, report.victims_shard_crashed);
+  if (remote) {
+    const serve::RemoteExecStats& rs = remote->remote_stats();
+    std::printf("remote fan-out: connected=%zu rejected=%zu lost=%zu "
+                "lease-expiries=%zu reassignments=%zu stale-frames=%zu "
+                "duplicates=%zu quarantined=%zu local-fallback=%zu\n",
+                rs.workers_connected, rs.workers_rejected, rs.workers_lost,
+                rs.lease_expiries, rs.lease.reassignments,
+                rs.lease.stale_frames, rs.lease.duplicate_results,
+                report.victims_quarantined, rs.victims_local);
+  }
   if (options.certify)
     std::printf("accuracy: certified=%zu escalated=%zu (order raises=%zu) "
                 "accuracy-bound=%zu\n",

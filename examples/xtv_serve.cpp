@@ -30,6 +30,12 @@
 //                               (slow-loris eviction; 0 = off)
 //       --keepalive-ms MS       idle TCP keepalive period (0 = off)
 //       --drain-timeout-ms MS   drain kills running jobs after this (0 = wait)
+//       --workers LIST          lease every job's victims to these
+//                               xtv_worker endpoints (host:port,...)
+//                               instead of local process shards
+//       --worker-heartbeat-ms MS  expected worker heartbeat (default 250)
+//       --unit-victims N        victims per leased work unit (default 16)
+//       --max-unit-attempts N   lease attempts before quarantine (default 4)
 //
 //   xtv_serve submit --socket ENDPOINT [--timeout-ms MS] [SPEC k=v ...]
 //     Submits one job (trailing k=v tokens form the spec; none = the
@@ -41,6 +47,7 @@
 //     Prints the daemon's status line for a 16-hex job key.
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "flags.h"
@@ -135,6 +142,19 @@ int run_daemon(int argc, char** argv) {
     } else if (std::strcmp(arg, "--drain-timeout-ms") == 0) {
       opt.drain_timeout_ms =
           flags::parse_double(arg, value(), 0.0, 1e12, "a value >= 0 ms");
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      std::istringstream list(value());
+      for (std::string ep; std::getline(list, ep, ',');)
+        if (!ep.empty()) opt.workers.push_back(ep);
+    } else if (std::strcmp(arg, "--worker-heartbeat-ms") == 0) {
+      opt.worker_heartbeat_ms = flags::parse_double(
+          arg, value(), 0.0, 1e9, "a period >= 0 ms (0 = stall check off)");
+    } else if (std::strcmp(arg, "--unit-victims") == 0) {
+      opt.unit_victims = flags::parse_size(arg, value(), 1,
+                                           "an integer >= 1");
+    } else if (std::strcmp(arg, "--max-unit-attempts") == 0) {
+      opt.max_unit_attempts = flags::parse_size(arg, value(), 1,
+                                                "an integer >= 1");
     } else {
       std::fprintf(stderr, "usage error: unknown daemon flag %s\n", arg);
       return 2;

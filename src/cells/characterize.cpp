@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "spice/simulator.h"
+#include "util/atomic_file.h"
 #include "util/resource.h"
 #include "util/status.h"
 
@@ -347,8 +348,11 @@ Table2D read_table(CacheReader& in, const std::string& expect_name) {
 
 std::size_t CharacterizedLibrary::save(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cell cache: cannot write " + path);
+  // Atomic tmp+rename publish (util/atomic_file.h): several processes —
+  // e.g. a fleet of xtv_worker daemons sharing one cache — may save and
+  // load concurrently, and a reader must never see a truncated file that
+  // still claims the current magic.
+  std::ostringstream out;
   out << "xtv-cellmodels-v3 " << cache_.size() << '\n';
   out.precision(17);
   for (const auto& [name, m] : cache_) {
@@ -365,6 +369,9 @@ std::size_t CharacterizedLibrary::save(const std::string& path) const {
     write_table(out, "warp_stretch_rise", m.warp_stretch_rise);
     write_table(out, "warp_stretch_fall", m.warp_stretch_fall);
   }
+  std::string err;
+  if (!write_file_atomic(path, out.str(), &err))
+    throw std::runtime_error("cell cache: " + err);
   return cache_.size();
 }
 

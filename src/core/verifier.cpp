@@ -207,6 +207,162 @@ std::pair<VictimSpec, std::vector<AggressorSpec>> ChipVerifier::build_victim_clu
   return {std::move(victim), std::move(aggressors)};
 }
 
+// --- ChipVerifier::Prepared -------------------------------------------
+
+struct ChipVerifier::Prepared::Impl {
+  const ChipDesign& design;
+  const VerifierOptions& options;
+  std::vector<NetSummary> summaries;
+  PruneResult pruned;
+  GlitchAnalyzer analyzer;
+  std::unique_ptr<ModelCache> model_cache;
+  PipelineContext ctx;
+  std::unique_ptr<VictimPipeline> pipeline;
+  std::vector<std::size_t> candidates;
+  std::size_t shed_threshold = 0;
+  double vdd = 0.0;
+
+  Impl(ChipVerifier& verifier, const ChipDesign& d, const VerifierOptions& o)
+      : design(d),
+        options(o),
+        summaries(chip_net_summaries(d, verifier.extractor_, verifier.chars_)),
+        pruned(prune_couplings(summaries, o.prune)),
+        analyzer(verifier.extractor_, verifier.chars_),
+        vdd(verifier.extractor_.tech().vdd) {
+    // Shared reduced-model cache (off by default; see VerifierOptions).
+    // Hits are bit-identical to fresh computation, so sharing it across
+    // worker threads cannot perturb findings.
+    if (o.model_cache_mb > 0.0)
+      model_cache = std::make_unique<ModelCache>(
+          static_cast<std::size_t>(o.model_cache_mb * 1024.0 * 1024.0));
+
+    // Every victim runs through the staged pipeline (core/pipeline.h);
+    // one stateless pipeline instance serves all workers.
+    ctx.verifier = &verifier;
+    ctx.extractor = &verifier.extractor_;
+    ctx.chars = &verifier.chars_;
+    ctx.analyzer = &analyzer;
+    ctx.design = &d;
+    ctx.summaries = &summaries;
+    ctx.pruned = &pruned;
+    ctx.options = &o;
+    ctx.model_cache = model_cache.get();
+    pipeline = std::make_unique<VictimPipeline>(ctx);
+
+    // Candidate victims in stable net order — the report order,
+    // regardless of which worker (or which prior run) produced each
+    // result.
+    for (std::size_t v = 0; v < d.nets.size(); ++v) {
+      if (pruned.retained[v].empty()) continue;
+      if (o.latch_inputs_only && !d.nets[v].latch_input) continue;
+      candidates.push_back(v);
+    }
+    set_shed_from(candidates);
+  }
+
+  std::size_t footprint(std::size_t v) const {
+    return pruned.retained[v].size();
+  }
+
+  // Admission control: while the RSS watchdog reports memory pressure,
+  // victims with the largest retained clusters (the dominant memory
+  // axis) are shed to their conservative Devgan bound instead of being
+  // admitted to simulation. The threshold is the median footprint of the
+  // work list, so shedding targets the largest half first.
+  void set_shed_from(const std::vector<std::size_t>& work) {
+    shed_threshold = 0;
+    if (work.empty()) return;
+    std::vector<std::size_t> sizes;
+    sizes.reserve(work.size());
+    for (std::size_t v : work) sizes.push_back(footprint(v));
+    std::sort(sizes.begin(), sizes.end());
+    shed_threshold = sizes[sizes.size() / 2];
+  }
+};
+
+ChipVerifier::Prepared::Prepared(ChipVerifier& verifier,
+                                 const ChipDesign& design,
+                                 const VerifierOptions& options)
+    : impl_(std::make_unique<Impl>(verifier, design, options)) {}
+
+ChipVerifier::Prepared::~Prepared() = default;
+
+const std::vector<std::size_t>& ChipVerifier::Prepared::candidates() const {
+  return impl_->candidates;
+}
+
+const PruneResult& ChipVerifier::Prepared::prune_result() const {
+  return impl_->pruned;
+}
+
+std::size_t ChipVerifier::Prepared::footprint(std::size_t victim) const {
+  return impl_->footprint(victim);
+}
+
+void ChipVerifier::Prepared::set_shed_work(
+    const std::vector<std::size_t>& work) {
+  impl_->set_shed_from(work);
+}
+
+double ChipVerifier::Prepared::vdd() const { return impl_->vdd; }
+
+std::optional<JournalRecord> ChipVerifier::Prepared::analyze(
+    std::size_t victim, bool bound_only) {
+  // Injection decisions inside this task are keyed on the victim id, so
+  // a threaded (or sharded, or remote) run disturbs exactly the victims
+  // a serial run would.
+  FaultInjector::ScopedVictim victim_ctx(victim);
+  try {
+    if (!bound_only && XTV_INJECT_FAULT(FaultSite::kVictimTask))
+      throw std::runtime_error(
+          "ChipVerifier: injected worker-task fault outside the ladder");
+    const bool shed =
+        bound_only ||
+        (resource::MemoryGovernor::instance().under_pressure() &&
+         impl_->footprint(victim) >= impl_->shed_threshold);
+    return impl_->pipeline->run(victim, shed);
+  } catch (const std::exception& e) {
+    // A failure outside the ladder (task setup, the journal, the
+    // pessimistic path itself) becomes a typed kFailed finding attached
+    // to this victim — never a lost index or a dead worker.
+    JournalRecord rec;
+    rec.finding.net = victim;
+    record_first_error(rec.finding, e);
+    rec.finding.status = FindingStatus::kFailed;
+    rec.finding.peak = -impl_->vdd;
+    rec.finding.peak_fraction = 1.0;
+    rec.finding.violation = true;
+    return rec;
+  }
+}
+
+JournalRecord ChipVerifier::Prepared::concede(std::size_t victim,
+                                              const std::string& why) const {
+  JournalRecord rec;
+  rec.finding.net = victim;
+  rec.finding.status = FindingStatus::kShardCrashed;
+  rec.finding.error_code = StatusCode::kWorkerCrashed;
+  rec.finding.error = "conceded pessimistically: " + why;
+  rec.finding.peak = -impl_->vdd;
+  rec.finding.peak_fraction = 1.0;
+  rec.finding.violation = true;
+  return rec;
+}
+
+void ChipVerifier::Prepared::fill_cache_stats(
+    VerificationReport* report) const {
+  if (!impl_->model_cache) return;
+  const ModelCache::Stats cs = impl_->model_cache->stats();
+  report->model_cache_hits = cs.hits;
+  report->model_cache_misses = cs.misses;
+  report->model_cache_insertions = cs.insertions;
+  report->model_cache_evictions = cs.evictions;
+  report->model_cache_entries = cs.entries;
+  report->model_cache_bytes = cs.bytes;
+}
+
+// --- verify() ----------------------------------------------------------
+
 VerificationReport ChipVerifier::verify(const ChipDesign& design,
                                         const VerifierOptions& options) {
   if (options.resume && options.journal_path.empty())
@@ -215,49 +371,24 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   VerificationReport report;
   Timer total;
 
-  const std::vector<NetSummary> summaries =
-      chip_net_summaries(design, extractor_, chars_);
-  const PruneResult pruned = prune_couplings(summaries, options.prune);
-  report.prune_stats = pruned.stats;
+  Prepared prep(*this, design, options);
+  report.prune_stats = prep.prune_result().stats;
+  const std::vector<std::size_t>& candidates = prep.candidates();
 
-  GlitchAnalyzer analyzer(extractor_, chars_);
-
-  // Shared reduced-model cache (off by default; see VerifierOptions).
-  // Hits are bit-identical to fresh computation, so sharing it across
-  // worker threads cannot perturb findings.
-  std::unique_ptr<ModelCache> model_cache;
-  if (options.model_cache_mb > 0.0)
-    model_cache = std::make_unique<ModelCache>(
-        static_cast<std::size_t>(options.model_cache_mb * 1024.0 * 1024.0));
-
-  // Every victim runs through the staged pipeline (core/pipeline.h); one
-  // stateless pipeline instance serves all workers.
-  PipelineContext pipeline_ctx;
-  pipeline_ctx.verifier = this;
-  pipeline_ctx.extractor = &extractor_;
-  pipeline_ctx.chars = &chars_;
-  pipeline_ctx.analyzer = &analyzer;
-  pipeline_ctx.design = &design;
-  pipeline_ctx.summaries = &summaries;
-  pipeline_ctx.pruned = &pruned;
-  pipeline_ctx.options = &options;
-  pipeline_ctx.model_cache = model_cache.get();
-
-  // Candidate victims in stable net order — the report order, regardless
-  // of which worker (or which prior run) produced each result.
-  std::vector<std::size_t> candidates;
-  for (std::size_t v = 0; v < design.nets.size(); ++v) {
-    if (pruned.retained[v].empty()) continue;
-    if (options.latch_inputs_only && !design.nets[v].latch_input) continue;
-    candidates.push_back(v);
-  }
-
-  // Process-isolated execution (DESIGN.md §12) replaces the thread pool
-  // with forked worker processes. max_victims is defined by serial
-  // analysis order, which spans shard boundaries — it forces the
-  // in-process path.
-  const bool use_processes = options.processes > 0 && options.max_victims == 0;
-  if (options.processes > 0 && !use_processes)
+  // Remote fan-out (DESIGN.md §14) hands the sweep to the leased-unit
+  // scheduler; process-isolated execution (DESIGN.md §12) replaces the
+  // thread pool with forked worker processes. max_victims is defined by
+  // serial analysis order, which spans shard and unit boundaries — it
+  // forces the in-process path.
+  const bool use_remote =
+      options.remote_backend != nullptr && options.max_victims == 0;
+  if (options.remote_backend && !use_remote)
+    logf(LogLevel::kWarn,
+         "ChipVerifier: a remote backend requires max_victims == 0; "
+         "falling back to the in-process path");
+  const bool use_processes =
+      !use_remote && options.processes > 0 && options.max_victims == 0;
+  if (options.processes > 0 && options.max_victims > 0)
     logf(LogLevel::kWarn,
          "ChipVerifier: processes > 0 requires max_victims == 0; "
          "falling back to the in-process path");
@@ -321,10 +452,11 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
       for (std::size_t k : journal_list_shards(options.journal_path))
         ::unlink(journal_shard_path(options.journal_path, k).c_str());
     }
-    // In process mode the workers append to their own shard journals and
-    // the parent writes the merged journal once, atomically, after the
-    // sweep — an open append handle here would alias the rename target.
-    if (!use_processes)
+    // In process and remote modes the workers (or the remote scheduler)
+    // append to shard journals and the parent writes the merged journal
+    // once, atomically, after the sweep — an open append handle here
+    // would alias the rename target.
+    if (!use_processes && !use_remote)
       journal = std::make_unique<ResultJournal>(options.journal_path,
                                                 options.resume, ohash);
   }
@@ -332,52 +464,12 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   std::vector<std::size_t> work;
   for (std::size_t v : candidates)
     if (!journaled.count(v)) work.push_back(v);
+  prep.set_shed_work(work);
 
-  // Admission control: while the RSS watchdog reports memory pressure,
-  // victims with the largest retained clusters (the dominant memory
-  // axis) are shed to their conservative Devgan bound instead of being
-  // admitted to simulation. The threshold is the median footprint of
-  // this run's work list, so shedding targets the largest half first.
-  const resource::MemoryGovernor& governor = resource::MemoryGovernor::instance();
-  auto footprint = [&](std::size_t v) { return pruned.retained[v].size(); };
-  std::size_t shed_threshold = 0;
-  if (!work.empty()) {
-    std::vector<std::size_t> sizes;
-    sizes.reserve(work.size());
-    for (std::size_t v : work) sizes.push_back(footprint(v));
-    std::sort(sizes.begin(), sizes.end());
-    shed_threshold = sizes[sizes.size() / 2];
-  }
-
-  const double vdd = extractor_.tech().vdd;
-  const VictimPipeline pipeline(pipeline_ctx);
   std::map<std::size_t, JournalRecord> fresh;
   std::mutex fresh_mutex;
   auto run_one = [&](std::size_t v) {
-    // Injection decisions inside this task are keyed on the victim id, so
-    // a threaded run disturbs exactly the victims a serial run would.
-    FaultInjector::ScopedVictim victim_ctx(v);
-    std::optional<JournalRecord> outcome;
-    try {
-      if (XTV_INJECT_FAULT(FaultSite::kVictimTask))
-        throw std::runtime_error(
-            "ChipVerifier: injected worker-task fault outside the ladder");
-      const bool shed =
-          governor.under_pressure() && footprint(v) >= shed_threshold;
-      outcome = pipeline.run(v, shed);
-    } catch (const std::exception& e) {
-      // A failure outside the ladder (task setup, the journal, the
-      // pessimistic path itself) becomes a typed kFailed finding attached
-      // to this victim — never a lost index or a dead worker.
-      JournalRecord rec;
-      rec.finding.net = v;
-      record_first_error(rec.finding, e);
-      rec.finding.status = FindingStatus::kFailed;
-      rec.finding.peak = -vdd;
-      rec.finding.peak_fraction = 1.0;
-      rec.finding.violation = true;
-      outcome = std::move(rec);
-    }
+    std::optional<JournalRecord> outcome = prep.analyze(v, false);
     if (!outcome) return;
     if (journal) journal->append(*outcome);
     if (options.on_record) {
@@ -394,66 +486,35 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
   // RSS watchdog for the duration of the sweep (no-op when disabled).
   // Process mode must keep the parent single-threaded until the workers
   // are forked (fork duplicates only the calling thread), so there each
-  // worker starts its own watchdog instead.
+  // worker starts its own watchdog instead. The remote coordinator never
+  // forks, so it runs the watchdog itself — it may end up analyzing
+  // victims locally (concessions, the all-workers-dead fallback).
   std::optional<resource::RssWatchdog> watchdog;
   if (options.global_mem_soft_mb > 0.0 && !use_processes)
     watchdog.emplace(static_cast<std::size_t>(options.global_mem_soft_mb *
                                               1024.0 * 1024.0));
 
   ShardExecStats shard_stats;
-  if (use_processes) {
-    ShardExecOptions sopt;
-    sopt.processes = options.processes;
-    sopt.heartbeat_ms = options.shard_heartbeat_ms;
-    sopt.max_shard_restarts = options.max_shard_restarts;
-    sopt.journal_path = options.journal_path;
-    sopt.options_hash = ohash;
-
+  if (use_processes || use_remote) {
     ShardCallbacks scb;
-    // Worker side. Identical body to run_one below, except the record is
-    // returned (streamed over the wire and shard-journaled by the shard
-    // executor) instead of being appended locally, and `bound_only`
+    // Worker side. Identical semantics to run_one above, except the
+    // record is returned (streamed over the wire and shard-journaled by
+    // the executor) instead of being appended locally, and `bound_only`
     // routes straight to the terminal Devgan-bound stage (the concession
     // rung of the quarantine ladder).
     scb.analyze = [&](std::size_t v,
                       bool bound_only) -> std::optional<JournalRecord> {
-      FaultInjector::ScopedVictim victim_ctx(v);
-      try {
-        if (!bound_only && XTV_INJECT_FAULT(FaultSite::kVictimTask))
-          throw std::runtime_error(
-              "ChipVerifier: injected worker-task fault outside the ladder");
-        const bool shed =
-            bound_only ||
-            (governor.under_pressure() && footprint(v) >= shed_threshold);
-        return pipeline.run(v, shed);
-      } catch (const std::exception& e) {
-        JournalRecord rec;
-        rec.finding.net = v;
-        record_first_error(rec.finding, e);
-        rec.finding.status = FindingStatus::kFailed;
-        rec.finding.peak = -vdd;
-        rec.finding.peak_fraction = 1.0;
-        rec.finding.violation = true;
-        return rec;
-      }
+      return prep.analyze(v, bound_only);
     };
     scb.worker_init = [&] {
       if (options.global_mem_soft_mb > 0.0)
         watchdog.emplace(static_cast<std::size_t>(options.global_mem_soft_mb *
                                                   1024.0 * 1024.0));
     };
-    // Last-resort record when even the bound-only process died: maximally
-    // pessimistic (|peak| = Vdd), pure struct assembly.
+    // Last-resort record when even the bound-only analysis died:
+    // maximally pessimistic (|peak| = Vdd), pure struct assembly.
     scb.concede = [&](std::size_t v, const std::string& why) {
-      JournalRecord rec;
-      rec.finding.net = v;
-      rec.finding.status = FindingStatus::kShardCrashed;
-      rec.finding.error_code = StatusCode::kWorkerCrashed;
-      rec.finding.error = "conceded pessimistically: " + why;
-      rec.finding.peak = -vdd;
-      rec.finding.peak_fraction = 1.0;
-      rec.finding.violation = true;
-      return rec;
+      return prep.concede(v, why);
     };
     if (options.on_record)
       scb.on_result = [&](const JournalRecord& rec) {
@@ -470,7 +531,17 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
         }
       };
 
-    fresh = run_process_shards(work, scb, sopt, &shard_stats);
+    if (use_remote) {
+      fresh = options.remote_backend->run(work, scb, &shard_stats);
+    } else {
+      ShardExecOptions sopt;
+      sopt.processes = options.processes;
+      sopt.heartbeat_ms = options.shard_heartbeat_ms;
+      sopt.max_shard_restarts = options.max_shard_restarts;
+      sopt.journal_path = options.journal_path;
+      sopt.options_hash = ohash;
+      fresh = run_process_shards(work, scb, sopt, &shard_stats);
+    }
     report.worker_crashes = shard_stats.worker_crashes;
     report.shard_restarts = shard_stats.shard_restarts;
     report.victims_quarantined = shard_stats.victims_quarantined;
@@ -495,7 +566,7 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     // Merge order (below) and victim-keyed injection are both execution-
     // order independent, so this cannot change a clean run's report.
     std::stable_sort(work.begin(), work.end(), [&](std::size_t a, std::size_t b) {
-      return footprint(a) < footprint(b);
+      return prep.footprint(a) < prep.footprint(b);
     });
     ThreadPool pool(options.threads);
     pool.parallel_for(work.size(),
@@ -569,11 +640,11 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     }
     if (f.violation) ++report.violations;
   }
-  // Process mode finalization: one atomic write of the merged journal in
-  // stable candidate order (bit-identical to what an uninterrupted
+  // Process/remote finalization: one atomic write of the merged journal
+  // in stable candidate order (bit-identical to what an uninterrupted
   // in-process run would have journaled), then the shard journals are
   // retired — they were only ever crash insurance.
-  if (use_processes && !options.journal_path.empty()) {
+  if ((use_processes || use_remote) && !options.journal_path.empty()) {
     std::vector<const JournalRecord*> recs;
     recs.reserve(journaled.size() + fresh.size());
     for (std::size_t v : candidates) {
@@ -589,15 +660,7 @@ VerificationReport ChipVerifier::verify(const ChipDesign& design,
     for (std::size_t k : journal_list_shards(options.journal_path))
       ::unlink(journal_shard_path(options.journal_path, k).c_str());
   }
-  if (model_cache) {
-    const ModelCache::Stats cs = model_cache->stats();
-    report.model_cache_hits = cs.hits;
-    report.model_cache_misses = cs.misses;
-    report.model_cache_insertions = cs.insertions;
-    report.model_cache_evictions = cs.evictions;
-    report.model_cache_entries = cs.entries;
-    report.model_cache_bytes = cs.bytes;
-  }
+  prep.fill_cache_stats(&report);
   report.wall_seconds = total.elapsed();
   return report;
 }

@@ -8,7 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "chipgen/dsp_chip.h"
 #include "core/glitch_analyzer.h"
@@ -17,7 +21,25 @@
 
 namespace xtv {
 
-struct JournalRecord;  // core/journal.h (which includes this header)
+struct JournalRecord;    // core/journal.h (which includes this header)
+struct ShardCallbacks;   // core/shard_exec.h
+struct ShardExecStats;   // core/shard_exec.h
+
+/// Pluggable execution backend for the remote fan-out path (implemented
+/// by serve/remote.h RemoteExecutor; core stays ignorant of sockets).
+/// run() receives the un-journaled work list in stable net order plus the
+/// same ShardCallbacks the process-shard supervisor gets, and must return
+/// exactly one record per victim, keyed by net — the contract of
+/// run_process_shards. A backend that loses every worker is expected to
+/// finish the remainder locally through callbacks.analyze rather than
+/// dropping victims.
+class RemoteBackend {
+ public:
+  virtual ~RemoteBackend() = default;
+  virtual std::map<std::size_t, JournalRecord> run(
+      const std::vector<std::size_t>& work, const ShardCallbacks& callbacks,
+      ShardExecStats* stats) = 0;
+};
 
 struct VerifierOptions {
   PruningOptions prune;
@@ -88,6 +110,18 @@ struct VerifierOptions {
   /// remaining victims are conceded to the conservative bound
   /// (FindingStatus::kShardCrashed) instead of respawning forever.
   std::size_t max_shard_restarts = 2;
+
+  // --- Remote fan-out (DESIGN.md §14; scheduling-only, NOT hashed) ---
+
+  /// When set (and max_victims == 0), eligible un-journaled victims are
+  /// executed by this backend — leased work units on remote xtv_worker
+  /// hosts — instead of local threads or forked processes; `processes`
+  /// is ignored for the sweep itself. Non-owning: the backend must
+  /// outlive verify(). Like threads/processes this is a pure scheduling
+  /// knob: a clean remote run's merged journal is bit-identical to the
+  /// serial one, and every remote failure mode degrades to an explicit
+  /// FindingStatus, never a lost victim.
+  RemoteBackend* remote_backend = nullptr;
 
   // --- Streaming hooks (scheduling-only; NOT in options_result_hash) ---
 
@@ -315,6 +349,12 @@ class ChipVerifier {
  public:
   ChipVerifier(const Extractor& extractor, CharacterizedLibrary& chars);
 
+  /// The per-run analysis engine, extracted from verify() so any
+  /// execution model — the in-process pool, forked shard workers, or a
+  /// remote xtv_worker that rebuilt the design from a job spec — drives
+  /// the identical per-victim semantics. See the definition below.
+  class Prepared;
+
   VerificationReport verify(const ChipDesign& design,
                             const VerifierOptions& options);
 
@@ -330,6 +370,61 @@ class ChipVerifier {
  private:
   const Extractor& extractor_;
   CharacterizedLibrary& chars_;
+};
+
+/// Everything one verification run needs to analyze victims: summaries,
+/// pruned coupling database, analyzer, model cache, and the staged
+/// pipeline, built once from (design, options). analyze() reproduces the
+/// exact worker-task semantics of verify() — victim-keyed fault
+/// injection, the kVictimTask site, pressure shedding, and the
+/// pessimistic kFailed envelope — so results are bit-identical no matter
+/// which execution model calls it. `design` and `options` are captured by
+/// reference and must outlive the Prepared.
+class ChipVerifier::Prepared {
+ public:
+  Prepared(ChipVerifier& verifier, const ChipDesign& design,
+           const VerifierOptions& options);
+  ~Prepared();
+  Prepared(const Prepared&) = delete;
+  Prepared& operator=(const Prepared&) = delete;
+
+  /// Candidate victims (>= 1 retained coupling, latch filter applied) in
+  /// stable net order — the report and journal order.
+  const std::vector<std::size_t>& candidates() const;
+
+  const PruneResult& prune_result() const;
+
+  /// Retained-cluster size: the dominant memory axis, used as the
+  /// shedding key under RSS pressure.
+  std::size_t footprint(std::size_t victim) const;
+
+  /// Recomputes the pressure-shed threshold as the median footprint of
+  /// `work` (verify() passes its un-journaled work list; a remote worker
+  /// passes the full candidate list). Until called, the threshold is the
+  /// median over candidates().
+  void set_shed_work(const std::vector<std::size_t>& work);
+
+  double vdd() const;
+
+  /// Analyzes one victim. `bound_only` routes straight to the terminal
+  /// conservative Devgan bound (the concession rung). Returns nullopt for
+  /// ineligible victims (no retained aggressor survives the filters);
+  /// never throws — any escaping failure becomes a kFailed record with
+  /// peak pessimistically at Vdd.
+  std::optional<JournalRecord> analyze(std::size_t victim, bool bound_only);
+
+  /// The last-resort pessimistic record (peak = Vdd, kShardCrashed /
+  /// kWorkerCrashed) for a victim whose concession analysis itself died.
+  /// Pure struct assembly — cannot fail.
+  JournalRecord concede(std::size_t victim, const std::string& why) const;
+
+  /// Copies the model-cache counters into the report (no-op when the
+  /// cache is off).
+  void fill_cache_stats(VerificationReport* report) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace xtv

@@ -66,6 +66,12 @@ const char* wire_type_name(WireType t) {
     case WireType::kJobFinding: return "job-finding";
     case WireType::kJobDone: return "job-done";
     case WireType::kJobQuery: return "job-query";
+    case WireType::kWorkerSetup: return "worker-setup";
+    case WireType::kWorkerReady: return "worker-ready";
+    case WireType::kWorkerReject: return "worker-reject";
+    case WireType::kUnitAssign: return "unit-assign";
+    case WireType::kUnitResult: return "unit-result";
+    case WireType::kUnitDone: return "unit-done";
   }
   return "unknown";
 }
@@ -103,7 +109,7 @@ bool WireDecoder::next(WireFrame* frame) {
   const std::uint8_t type = static_cast<std::uint8_t>(p[4]);
   const std::uint32_t len = get_u32(p + 5);
   if (type < static_cast<std::uint8_t>(WireType::kHello) ||
-      type > static_cast<std::uint8_t>(WireType::kJobQuery) ||
+      type > static_cast<std::uint8_t>(WireType::kUnitDone) ||
       len > kMaxPayload) {
     corrupt_ = true;
     return false;

@@ -52,6 +52,22 @@ enum class WireType : std::uint8_t {
   kJobFinding,       ///< "<job key> <journal payload>" — one settled victim
   kJobDone,          ///< "<job key> <done|conceded> <k=v ...>" — terminal
   kJobQuery,         ///< client->daemon: "<token> <job key>" — status poll
+
+  // --- Remote shard fan-out (src/serve/remote.h, DESIGN.md §14) ---
+  // A coordinator (chip_audit --workers, or a daemon job runner) dials
+  // xtv_worker processes over TCP and leases work units — contiguous
+  // victim slices — to them. Same framing; payloads are text. Every
+  // unit-scoped frame carries "<unit id> <attempt>" so completions from a
+  // partitioned-then-healed worker are recognized as stale and dropped
+  // idempotently. kHeartbeat (above) doubles as the worker liveness
+  // signal, exactly like a shard worker's pipe heartbeat.
+  kWorkerSetup,      ///< coord->worker: "<options hash hex> <spec text>"
+  kWorkerReady,      ///< worker->coord: "<options hash hex> <pid>"
+  kWorkerReject,     ///< worker->coord: "<reason> <detail>" — typed refusal
+  kUnitAssign,       ///< coord->worker: "<unit id> <attempt> <victims...>"
+  kUnitResult,       ///< worker->coord: "<unit id> <attempt> r <journal payload>"
+                     ///<            or "<unit id> <attempt> s <victim>" (skip)
+  kUnitDone,         ///< worker->coord: "<unit id> <attempt> <results streamed>"
 };
 
 const char* wire_type_name(WireType t);

@@ -42,6 +42,11 @@ class ServeClient {
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Raw descriptor — the remote-fan-out coordinator (serve/remote.h)
+  /// polls several worker connections at once and so cannot use the
+  /// blocking single-socket recv() above.
+  int fd() const { return fd_; }
+
  private:
   int fd_ = -1;
   WireDecoder decoder_;

@@ -18,10 +18,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "core/journal.h"
 #include "core/verifier.h"
+#include "serve/remote.h"
+#include "util/atomic_file.h"
 #include "util/log.h"
 #include "util/resource.h"
 #include "util/subprocess.h"
@@ -258,12 +261,11 @@ bool ServeDaemon::bind_socket(std::string* error) {
   }
   subprocess::set_nonblocking(listen_fd_);
 
-  std::FILE* own = std::fopen(pid_path.c_str(), "wb");
-  if (own) {
-    std::fprintf(own, "%ld\n", static_cast<long>(::getpid()));
-    std::fclose(own);
+  // Atomic write: a reader racing our startup must never see a torn pid
+  // (the liveness check would probe the wrong process).
+  if (write_file_atomic(pid_path,
+                        std::to_string(static_cast<long>(::getpid())) + "\n"))
     wrote_pid_file_ = true;
-  }
   return true;
 }
 
@@ -319,11 +321,10 @@ bool ServeDaemon::bind_tcp(std::string* error) {
       ::getnameinfo(reinterpret_cast<sockaddr*>(&bound), blen, bhost,
                     sizeof(bhost), bport, sizeof(bport),
                     NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
-    std::FILE* f = std::fopen(daemon_tcp_path(opt_.jobs_dir).c_str(), "wb");
-    if (f) {
-      std::fprintf(f, "%s:%s\n", bhost, bport);
-      std::fclose(f);
-    }
+    // Atomic write: tests and clients poll this file; a torn endpoint
+    // (half a port number) would send them dialing a stranger's socket.
+    write_file_atomic(daemon_tcp_path(opt_.jobs_dir),
+                      std::string(bhost) + ":" + bport + "\n");
     logf(LogLevel::kInfo, "serve: TCP listener on %s:%s", bhost, bport);
   }
   return true;
@@ -799,6 +800,29 @@ int ServeDaemon::runner_main(const Job& job, int write_fd) {
     writer.send(WireType::kJobFinding, hex + " " + journal_encode(rec));
   };
 
+  // Remote fan-out: lease this job's victims to the configured xtv_worker
+  // fleet (serve/remote.h). Workers rebuild the design from the spec text,
+  // so a resident-design job gets the daemon's generator parameters
+  // stamped in as an explicit design reference first.
+  std::unique_ptr<RemoteExecutor> remote;
+  if (!opt_.workers.empty()) {
+    JobSpec wspec = job.spec;
+    if (!wspec.has_design_ref()) {
+      wspec.design_nets = opt_.net_count;
+      if (opt_.replicate_rows > 1) wspec.design_rows = opt_.replicate_rows;
+    }
+    RemoteExecOptions ro;
+    ro.workers = opt_.workers;
+    ro.heartbeat_ms = opt_.worker_heartbeat_ms;
+    ro.unit_victims = opt_.unit_victims;
+    ro.max_unit_attempts = opt_.max_unit_attempts;
+    ro.journal_path = vo.journal_path;
+    ro.options_hash = options_result_hash(vo);
+    ro.spec_text = wspec.to_text();
+    remote = std::make_unique<RemoteExecutor>(ro);
+    vo.remote_backend = remote.get();
+  }
+
   try {
     // A spec with its own design reference gets a chip generated in the
     // runner (the fork keeps the daemon's library/characterization warm);
@@ -905,11 +929,10 @@ bool ServeDaemon::launch(std::uint64_t key, Job& job, double now) {
   job.reserve_mb = job_reserve_mb(job.spec);
   governor_.reserve(key, job.reserve_mb);
 
-  std::FILE* pf = std::fopen(paths.pid.c_str(), "wb");
-  if (pf) {
-    std::fprintf(pf, "%ld\n", static_cast<long>(pid));
-    std::fclose(pf);
-  }
+  // Atomic write: recovery reads this file to reap orphaned runners; a
+  // torn pid would aim the reaper at an unrelated process.
+  write_file_atomic(paths.pid,
+                    std::to_string(static_cast<long>(pid)) + "\n");
   logf(LogLevel::kInfo, "serve: job %s attempt %zu running as pid %ld",
        job_key_hex(key).c_str(), job.attempts, static_cast<long>(pid));
   return true;

@@ -105,6 +105,15 @@ struct DaemonOptions {
   /// candidates (anti-starvation; see serve/governor.h).
   double age_promote_ms = 5000.0;
 
+  // --- Remote fan-out (DESIGN.md §14) ---
+  /// xtv_worker endpoints ("host:port"). Non-empty routes every job's
+  /// victims through the leased remote backend (serve/remote.h); the
+  /// job runner degrades to local execution if every worker is lost.
+  std::vector<std::string> workers;
+  double worker_heartbeat_ms = 250.0;  ///< expected worker heartbeat period
+  std::size_t unit_victims = 16;       ///< victims per leased work unit
+  std::size_t max_unit_attempts = 4;   ///< lease attempts before quarantine
+
   // --- Supervision ---
   /// Startup grace before the stall check arms: a fresh runner is
   /// legitimately silent while pruning the coupling database.

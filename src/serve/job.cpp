@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/atomic_file.h"
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -57,40 +59,6 @@ bool parse_bool_text(const std::string& s, bool* out) {
   if (s == "0") { *out = false; return true; }
   if (s == "1") { *out = true; return true; }
   return false;
-}
-
-/// fsyncs the directory containing `path` so a completed rename() is
-/// durable (mirrors ResultJournal::write_atomic).
-void fsync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.rfind('/');
-  const std::string dir =
-      slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
-}
-
-bool write_file_atomic(const std::string& path, const std::string& content,
-                       std::string* error) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) {
-    if (error) *error = "cannot open " + tmp;
-    return false;
-  }
-  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  ok = ok && std::fflush(f) == 0;
-  ok = ok && ::fsync(fileno(f)) == 0;
-  ok = std::fclose(f) == 0 && ok;
-  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    if (error) *error = "short write finalizing " + tmp;
-    return false;
-  }
-  fsync_parent_dir(path);
-  return true;
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Leased work-unit distribution for the remote fan-out (DESIGN.md §14).
+//
+// The coordinator splits a job's un-journaled victims into contiguous
+// stable-order *units* and leases each to exactly one connected worker at
+// a time. This table is the pure bookkeeping core of that protocol — no
+// sockets, no clocks of its own (callers pass `now_ms`), so every
+// failure-policy decision is unit-testable deterministically:
+//
+//   ownership    a unit is kQueued, kLeased (by one holder, under one
+//                attempt number), kQuarantined, or kDone; acquire() hands
+//                out the lowest-id ready unit and bumps its attempt
+//   idempotency  results and completions carry (unit, attempt); frames
+//                from a lapsed lease — a partitioned-then-healed worker
+//                flushing stale work — are classified kStale and dropped,
+//                and a victim can settle at most once (kDuplicate)
+//   finality     settled victims stay settled across reassignment: a
+//                re-leased unit carries only its *remaining* victims, so
+//                partial progress from a dead worker is never redone
+//   backoff      a failed unit re-enters the queue after an exponential
+//                per-unit backoff (base * 2^(failures-1), capped)
+//   quarantine   a unit that died under two distinct holders — or burned
+//                its attempt budget — is quarantined: the caller collects
+//                its remaining victims via take_quarantined() and concedes
+//                them locally (kShardCrashed + Devgan bound, PR 6
+//                semantics) instead of feeding a poison unit to the fleet
+//                forever
+//   short completion
+//                a kUnitDone whose lease still has unsettled victims
+//                (result frames were dropped in transit) requeues the
+//                remainder immediately WITHOUT charging the holder a
+//                failure — lost frames are a transport fault, not
+//                evidence the unit kills workers
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xtv {
+namespace serve {
+
+struct LeaseOptions {
+  /// Victims per work unit (the last unit takes the remainder).
+  std::size_t unit_victims = 16;
+  /// Total leases a unit may consume before it is quarantined.
+  std::size_t max_unit_attempts = 4;
+  /// Distinct holders a unit may die under before it is quarantined
+  /// ("two distinct hosts" — holders are worker endpoints, so two workers
+  /// on one machine still count separately).
+  std::size_t quarantine_distinct_holders = 2;
+  /// Exponential re-lease backoff after a failure: the n-th failure
+  /// delays the unit backoff_base_ms * 2^(n-1), capped at backoff_max_ms.
+  double backoff_base_ms = 200.0;
+  double backoff_max_ms = 5000.0;
+};
+
+/// One lease handed to a worker: the unit, the attempt number that every
+/// result/done frame must echo, and the victims still unsettled.
+struct LeaseAssignment {
+  std::size_t unit = 0;
+  std::size_t attempt = 0;
+  std::vector<std::size_t> victims;
+};
+
+enum class LeaseVerdict {
+  kAccepted,     ///< live lease, fresh victim — count it
+  kStale,        ///< unit/attempt does not match the live lease — drop
+  kDuplicate,    ///< victim already settled — drop
+  kUnknown,      ///< unit id out of range or victim not a member — drop
+};
+
+struct LeaseTableStats {
+  std::size_t leases = 0;             ///< acquire() grants
+  std::size_t reassignments = 0;      ///< grants beyond a unit's first
+  std::size_t failures = 0;           ///< fail_unit/fail_holder events
+  std::size_t stale_frames = 0;       ///< result/done frames from lapsed leases
+  std::size_t duplicate_results = 0;  ///< settled-victim re-deliveries
+  std::size_t short_completions = 0;  ///< kUnitDone with victims missing
+  std::size_t units_quarantined = 0;
+};
+
+class LeaseTable {
+ public:
+  /// Slices `work` (victim nets, stable order) into ceil(n/unit_victims)
+  /// contiguous units.
+  LeaseTable(const std::vector<std::size_t>& work, const LeaseOptions& opt);
+
+  std::size_t unit_count() const { return units_.size(); }
+  std::size_t victims_total() const { return victims_total_; }
+  std::size_t victims_settled() const { return victims_settled_; }
+
+  /// Every victim settled (results accepted, quarantine taken, or
+  /// drained) — the run's exit condition.
+  bool all_settled() const { return victims_settled_ == victims_total_; }
+
+  /// Units currently out on lease.
+  std::size_t leased_count() const;
+
+  /// Grants the lowest-id queued unit whose backoff has elapsed to
+  /// `holder`, bumping its attempt. Returns false when nothing is ready
+  /// (all leased, backing off, quarantined, or done).
+  bool acquire(const std::string& holder, double now_ms,
+               LeaseAssignment* out);
+
+  /// Classifies one result frame; on kAccepted the victim is settled and
+  /// stays settled forever.
+  LeaseVerdict result(std::size_t unit, std::size_t attempt,
+                      std::size_t victim);
+
+  /// Classifies a unit-done frame. A matching lease with unsettled
+  /// victims left is a short completion: the remainder requeues
+  /// immediately and no failure is charged.
+  LeaseVerdict complete(std::size_t unit, std::size_t attempt,
+                        double now_ms);
+
+  /// Fails the live lease on `unit` (lease expiry, read error, forced by
+  /// the kLeaseExpiry fault site): charges the holder, requeues with
+  /// backoff, or quarantines per the options. No-op unless leased.
+  void fail_unit(std::size_t unit, double now_ms);
+
+  /// Fails every unit leased to `holder` (connection loss, heartbeat
+  /// silence, SIGKILLed worker).
+  void fail_holder(const std::string& holder, double now_ms);
+
+  /// Remaining victims of every unit quarantined since the last call;
+  /// those victims are marked settled (the caller concedes them locally,
+  /// so the table must not hand them out again).
+  std::vector<std::size_t> take_quarantined();
+
+  /// Every unsettled victim across queued/leased/backing-off units,
+  /// marked settled — the all-workers-dead local fallback. Live leases
+  /// are abandoned (late frames for them classify kStale).
+  std::vector<std::size_t> drain_remaining();
+
+  /// Earliest absolute time (ms) a queued unit becomes ready, 0 when one
+  /// is ready now, or a negative value when no unit is queued — the
+  /// coordinator's poll-timeout hint.
+  double next_ready_ms(double now_ms) const;
+
+  const LeaseTableStats& stats() const { return stats_; }
+
+ private:
+  enum class UnitState { kQueued, kLeased, kQuarantined, kDone };
+
+  struct Unit {
+    std::vector<std::size_t> victims;      ///< original stable-order slice
+    std::set<std::size_t> remaining;       ///< not yet settled
+    UnitState state = UnitState::kQueued;
+    std::size_t attempt = 0;               ///< leases granted so far
+    std::string holder;                    ///< live lease holder
+    std::set<std::string> failed_holders;  ///< distinct holders it died under
+    std::size_t failures = 0;
+    double backoff_until_ms = 0.0;
+    bool quarantine_taken = false;
+  };
+
+  void fail_locked(Unit& u, double now_ms);
+
+  LeaseOptions opt_;
+  std::vector<Unit> units_;
+  std::map<std::size_t, std::size_t> victim_unit_;  ///< victim -> unit id
+  std::size_t victims_total_ = 0;
+  std::size_t victims_settled_ = 0;
+  LeaseTableStats stats_;
+};
+
+}  // namespace serve
+}  // namespace xtv

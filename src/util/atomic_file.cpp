@@ -1,0 +1,46 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace xtv {
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  // Per-process tmp name: several processes may publish to the same path
+  // concurrently (a worker fleet saving one shared cell cache), and a
+  // shared tmp would let one writer truncate another's half-finalized
+  // file. Last rename wins; every rename is a complete file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + tmp;
+    return false;
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    if (error) *error = "short write finalizing " + tmp;
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+}  // namespace xtv

@@ -1,0 +1,29 @@
+// Atomic small-file writes for control files (endpoint files, pid files,
+// job specs, done markers).
+//
+// A control file read by another process — daemon.tcp, daemon.pid, a job
+// runner's .pid, a worker's published endpoint — must never be observed
+// torn: a reader racing a writer that was SIGKILLed mid-write() would see
+// a prefix and act on garbage (half a port number, a truncated pid). The
+// only portable way to make "the file exists" imply "the file is whole"
+// is the journal's own recipe: write to a sibling tmp file, fsync it,
+// rename() over the target, fsync the parent directory. rename() is
+// atomic on POSIX filesystems, so readers see either the old file or the
+// complete new one — never a mix.
+#pragma once
+
+#include <string>
+
+namespace xtv {
+
+/// Atomically replaces `path` with `content` (tmp + fsync + rename +
+/// parent-dir fsync). On failure the tmp file is removed and `error`
+/// (when non-null) describes the failing step; `path` is untouched.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error = nullptr);
+
+/// fsyncs the directory containing `path` so a completed rename() is
+/// durable across power loss (mirrors ResultJournal::write_atomic).
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace xtv

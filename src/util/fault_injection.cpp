@@ -37,6 +37,9 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kFpTrap: return "fp-trap";
     case FaultSite::kVictimTask: return "victim-task";
     case FaultSite::kCertifyProbe: return "certify-probe";
+    case FaultSite::kRemoteSend: return "remote-send";
+    case FaultSite::kRemoteRecv: return "remote-recv";
+    case FaultSite::kLeaseExpiry: return "lease-expiry";
     case FaultSite::kCount: break;
   }
   return "unknown";

@@ -40,6 +40,9 @@ enum class FaultSite : int {
   kFpTrap,              ///< util: FpKernelGuard check (forced FP exception)
   kVictimTask,          ///< core: verifier worker task outside the ladder
   kCertifyProbe,        ///< mor: a-posteriori certificate probe solve failure
+  kRemoteSend,          ///< serve: coordinator->worker frame write failure
+  kRemoteRecv,          ///< serve: worker->coordinator frame read failure
+  kLeaseExpiry,         ///< serve: force a held lease to expire immediately
   kCount,               ///< number of sites (not a site)
 };
 

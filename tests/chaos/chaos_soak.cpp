@@ -36,10 +36,22 @@
 // bit-identical to a direct in-process run of the same options, and the
 // final SIGTERM drain must exit 0.
 //
+// A fourth phase (--remote-trials) attacks the leased multi-host fan-out
+// (src/serve/remote): each trial forks a fleet of real xtv_worker
+// processes, runs one verification through a RemoteExecutor over TCP, and
+// layers on a seed-drawn subset of {a worker that _exits on a chosen
+// unit, a worker partitioned by a heartbeat stall then healed, a worker
+// dropping result frames, mid-run SIGKILLs of up to the whole fleet}. It
+// checks that every victim settles exactly once, that every finding is
+// either bit-identical to a direct in-process run or an explicit
+// kShardCrashed quarantine concession (and concessions appear only under
+// worker-killing adversity), and that losing all workers still completes
+// the job through the local fallback.
+//
 // Exit status 0 iff every trial upholds the contract. Run the reduced
 // smoke via ctest (ChaosSoak.Smoke) or the full soak directly:
 //   ./build/tests/chaos/chaos_soak --trials 100 --process-trials 10
-//       --serve-trials 6 --seed 1
+//       --serve-trials 6 --remote-trials 6 --seed 1
 #include <dirent.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -53,6 +65,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chipgen/dsp_chip.h"
@@ -60,6 +73,7 @@
 #include "core/verifier.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/remote.h"
 #include "util/fault_injection.h"
 #include "util/prng.h"
 #include "util/resource.h"
@@ -358,6 +372,40 @@ void kill_orphan_runners(const std::string& jobs_dir) {
   ::closedir(d);
 }
 
+// ---------------------------------------------------------------------------
+// Remote-phase plumbing (--remote-trials).
+
+/// Forks one xtv_worker serving a single coordinator; the bound ephemeral
+/// endpoint is discovered through the atomically published file. Test
+/// hooks travel to the worker through the environment, so callers set
+/// them before this fork and clear them right after.
+pid_t fork_remote_worker(const std::string& ep_file,
+                         const std::string& cell_cache) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::remove(ep_file.c_str());
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    serve::WorkerOptions wo;
+    wo.listen = "127.0.0.1:0";
+    wo.endpoint_file = ep_file;
+    wo.cell_cache = cell_cache;
+    wo.max_coordinators = 1;
+    ::_exit(serve::run_worker(wo));
+  }
+  return pid;
+}
+
+std::string read_worker_endpoint(const std::string& ep_file) {
+  for (int i = 0; i < 200; ++i) {
+    std::ifstream in(ep_file);
+    std::string ep;
+    if (in >> ep && !ep.empty()) return ep;
+    ::usleep(50000);
+  }
+  return "";
+}
+
 /// Submits without waiting; "" on acceptance, the reason otherwise.
 std::string serve_submit_nowait(serve::ServeClient& client,
                                 const serve::JobSpec& spec) {
@@ -382,6 +430,7 @@ int main(int argc, char** argv) {
   std::size_t trials = 50;
   std::size_t process_trials = 0;
   std::size_t serve_trials = 0;
+  std::size_t remote_trials = 0;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
@@ -390,12 +439,14 @@ int main(int argc, char** argv) {
       process_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--serve-trials") == 0 && i + 1 < argc)
       serve_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--remote-trials") == 0 && i + 1 < argc)
+      remote_trials = static_cast<std::size_t>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--trials N] [--process-trials N] "
-                   "[--serve-trials N] [--seed S]\n");
+                   "[--serve-trials N] [--remote-trials N] [--seed S]\n");
       return 2;
     }
   }
@@ -839,8 +890,206 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Phase four: remote fan-out trials. Each trial forks a worker fleet,
+  // runs one verification through a RemoteExecutor, and layers seed-drawn
+  // worker adversity on top. The contract: every victim settles exactly
+  // once, every finding is bit-identical to the direct run or an explicit
+  // quarantine concession, and concessions only appear when something
+  // actually killed workers.
+  if (remote_trials > 0) {
+    // Direct-run reference with the worker's exact construction: default
+    // characterization and the default DSP chip at the spec'd net count.
+    const std::size_t remote_nets = 60;
+    CellLibrary remote_lib(tech);
+    CharacterizedLibrary remote_chars(remote_lib);
+    Extractor remote_extractor(tech);
+    DspChipOptions remote_chip;
+    remote_chip.net_count = remote_nets;
+    const ChipDesign remote_design = generate_dsp_chip(remote_lib, remote_chip);
+    serve::JobSpec rspec;  // chip_audit-parity defaults
+    rspec.design_nets = remote_nets;
+    ChipVerifier remote_verifier(remote_extractor, remote_chars);
+    std::printf("remote reference run (direct, in-process)...\n");
+    const VerificationReport remote_ref =
+        remote_verifier.verify(remote_design, rspec.to_options());
+    std::map<std::size_t, VictimFinding> remote_reference;
+    for (const VictimFinding& f : remote_ref.findings)
+      remote_reference[f.net] = f;
+
+    // Warm cell cache: workers skip recharacterization, keeping each
+    // trial's handshake in the milliseconds.
+    const std::string tag = std::to_string(::getpid());
+    const std::string cache = "chaos_remote_cells_" + tag + ".cache";
+    const std::string rjournal = "chaos_remote_" + tag + ".journal";
+    remote_chars.save(cache);
+
+    for (std::size_t t = 0; t < remote_trials; ++t) {
+      const std::size_t trial = trials + process_trials + serve_trials + t;
+      const std::size_t n_workers =
+          static_cast<std::size_t>(rng.uniform_int(1, 3));
+      // Worker 0 may _exit on a chosen unit; the last worker may stall
+      // through its lease (partition-then-heal); worker 1 may drop result
+      // frames. With a small fleet the draws can collide on one worker —
+      // crash beats stall beats drop, so each trial stays interpretable.
+      const std::size_t crash_unit =
+          static_cast<std::size_t>(rng.uniform_int(0, 3));
+      const std::size_t drop_every =
+          static_cast<std::size_t>(rng.uniform_int(2, 4));
+      const bool crash_one = rng.bernoulli(0.35);
+      const bool stall_one =
+          rng.bernoulli(0.3) && !(crash_one && n_workers == 1);
+      const bool drop_one =
+          rng.bernoulli(0.3) &&
+          !(n_workers == 1 && (crash_one || stall_one));
+      const int sigkills = rng.uniform_int(0, static_cast<int>(n_workers));
+      const int kill_delay_ms = rng.uniform_int(30, 250);
+      const bool journal_on = rng.bernoulli(0.5);
+
+      std::vector<pid_t> pids;
+      std::vector<std::string> eps;
+      bool ok = true;
+      for (std::size_t w = 0; w < n_workers && ok; ++w) {
+        const bool crash_here = crash_one && w == 0;
+        const bool stall_here = stall_one && w == n_workers - 1 && !crash_here;
+        const bool drop_here = drop_one && (n_workers == 1 || w == 1);
+        if (crash_here)
+          ::setenv("XTV_TEST_WORKER_CRASH_UNIT",
+                   std::to_string(crash_unit).c_str(), 1);
+        if (stall_here) ::setenv("XTV_TEST_WORKER_STALL_MS", "1200", 1);
+        if (drop_here)
+          ::setenv("XTV_TEST_DROP_FRAME_EVERY",
+                   std::to_string(drop_every).c_str(), 1);
+        const std::string ep_file =
+            "chaos_remote_" + tag + "_" + std::to_string(w) + ".ep";
+        const pid_t pid = fork_remote_worker(ep_file, cache);
+        ::unsetenv("XTV_TEST_WORKER_CRASH_UNIT");
+        ::unsetenv("XTV_TEST_WORKER_STALL_MS");
+        ::unsetenv("XTV_TEST_DROP_FRAME_EVERY");
+        if (pid <= 0) {
+          expect(false, trial, "worker fork failed");
+          ok = false;
+          break;
+        }
+        pids.push_back(pid);
+        const std::string ep = read_worker_endpoint(ep_file);
+        std::remove(ep_file.c_str());
+        if (ep.empty()) {
+          expect(false, trial, "worker never published an endpoint");
+          ok = false;
+          break;
+        }
+        eps.push_back(ep);
+      }
+
+      char cfg[160];
+      std::snprintf(cfg, sizeof(cfg),
+                    "workers=%zu crash=%s stall=%d drop=%s sigkills=%d@%dms "
+                    "journal=%d",
+                    n_workers,
+                    crash_one ? std::to_string(crash_unit).c_str() : "-",
+                    stall_one ? 1 : 0,
+                    drop_one ? std::to_string(drop_every).c_str() : "-",
+                    sigkills, kill_delay_ms, journal_on ? 1 : 0);
+
+      bool escaped = false;
+      VerificationReport report;
+      if (ok) {
+        VerifierOptions vo = rspec.to_options();
+        if (journal_on) vo.journal_path = rjournal;
+        serve::RemoteExecOptions ro;
+        ro.workers = eps;
+        ro.heartbeat_ms = 100.0;  // a 1.2 s stall expires and heals in-trial
+        ro.unit_victims = 4;
+        ro.backoff_base_ms = 100.0;
+        ro.journal_path = vo.journal_path;
+        ro.options_hash = options_result_hash(vo);
+        ro.spec_text = rspec.to_text();
+        serve::RemoteExecutor exec(ro);
+        vo.remote_backend = &exec;
+
+        // Seed-keyed mid-run SIGKILLs, fleet-wide at the top draw — the
+        // all-workers-dead trials must still complete via local fallback.
+        std::thread killer;
+        if (sigkills > 0) {
+          std::vector<pid_t> targets(pids.begin(), pids.begin() + sigkills);
+          killer = std::thread([targets, kill_delay_ms] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kill_delay_ms));
+            for (pid_t pid : targets) ::kill(pid, SIGKILL);
+          });
+        }
+        try {
+          report = remote_verifier.verify(remote_design, vo);
+        } catch (const std::exception& e) {
+          escaped = true;
+          ++escapes;
+          ++g_checks_failed;
+          std::fprintf(stderr, "trial %zu: ESCAPED EXCEPTION: %s [%s]\n",
+                       trial, e.what(), cfg);
+        }
+        if (killer.joinable()) killer.join();
+      }
+
+      for (pid_t pid : pids) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+      std::remove(rjournal.c_str());
+
+      if (ok && !escaped) {
+        const std::size_t before = g_checks_failed;
+        check_contract(trial, report, remote_reference, false, false);
+
+        // Exactly once: the victim population survives any adversity.
+        expect(report.victims_eligible == remote_ref.victims_eligible, trial,
+               "remote trial lost eligible victims", cfg);
+        expect(report.findings.size() == remote_ref.findings.size(), trial,
+               "remote trial changed the finding count", cfg);
+
+        // Every finding is the direct run's, bit for bit, or an explicit
+        // quarantine concession — and concessions require worker deaths.
+        const bool deadly = crash_one || sigkills > 0;
+        std::size_t conceded = 0;
+        for (const VictimFinding& f : report.findings) {
+          const auto it = remote_reference.find(f.net);
+          expect(it != remote_reference.end(), trial,
+                 "remote finding for a net the direct run never reported",
+                 "net " + std::to_string(f.net));
+          if (it == remote_reference.end()) continue;
+          if (f.status == FindingStatus::kShardCrashed) {
+            ++conceded;
+            expect(deadly, trial,
+                   "quarantine concession without worker-killing adversity",
+                   "net " + std::to_string(f.net));
+            continue;
+          }
+          const VictimFinding& want = it->second;
+          expect(f.peak == want.peak &&
+                     f.peak_fraction == want.peak_fraction &&
+                     f.violation == want.violation &&
+                     f.status == want.status &&
+                     f.reduced_order == want.reduced_order,
+                 trial, "remote finding differs from the direct run",
+                 "net " + std::to_string(f.net));
+        }
+        expect(report.victims_shard_crashed == conceded, trial,
+               "shard-crashed counter disagrees with the findings", cfg);
+
+        std::printf("trial %3zu: ok=%s findings=%zu conceded=%zu "
+                    "restarts=%zu [%s]\n",
+                    trial, g_checks_failed == before ? "yes" : "NO",
+                    report.findings.size(), conceded, report.shard_restarts,
+                    cfg);
+      }
+    }
+    std::remove(cache.c_str());
+  }
+
   std::printf("\nchaos_soak: %zu trials, %zu process trials, %zu serve "
-              "trials, %zu contract violations, %zu escaped exceptions\n",
-              trials, process_trials, serve_trials, g_checks_failed, escapes);
+              "trials, %zu remote trials, %zu contract violations, %zu "
+              "escaped exceptions\n",
+              trials, process_trials, serve_trials, remote_trials,
+              g_checks_failed, escapes);
   return g_checks_failed == 0 ? 0 : 1;
 }

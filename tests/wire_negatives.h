@@ -45,12 +45,12 @@ inline std::string with_bit_flip(std::string frame, std::size_t byte,
   return frame;
 }
 
-/// The type bytes just outside the valid kHello..kJobQuery range, plus
+/// The type bytes just outside the valid kHello..kUnitDone range, plus
 /// the extremes.
 inline std::vector<std::uint8_t> out_of_range_type_bytes() {
   return {std::uint8_t{0},
           static_cast<std::uint8_t>(
-              static_cast<std::uint8_t>(WireType::kJobQuery) + 1),
+              static_cast<std::uint8_t>(WireType::kUnitDone) + 1),
           std::uint8_t{0xff}};
 }
 
