@@ -21,9 +21,21 @@
 //   --model-cache-mb MB       reduced-model cache budget (default 64; repeated
 //                             cluster pencils reuse their certified model)
 //   --no-model-cache          disable the reduced-model cache
+//   --canonical-cache         permutation/tolerance-invariant cache keys; a
+//                             tolerant hit is reused only after its accuracy
+//                             certificate re-passes against the requesting
+//                             cluster's exact matrices
+//   --canonical-cache-tol T   canonical key quantization tolerance (default
+//                             1e-6 relative)
+//   --batch-width W           lockstep lanes per reduced-transient batch
+//                             (default 1 = scalar; scheduling-only, findings
+//                             are bit-identical at any width)
 //   --cell-cache PATH         cell characterization cache file (default:
 //                             xtv_cells.cache next to the binary)
 //   --replicate-rows R        tile the design out of R identical rows
+//   --cluster-repeat-skew S   jitter replicated-row receiver loads by a
+//                             relative factor up to S (defeats exact cache
+//                             fingerprints; pairs with --canonical-cache)
 //   --mor-order Q             starting reduced-model order (default 16)
 //   --certify                 a-posteriori accuracy certificates + escalation
 //   --cert-tol T              max relative transfer-fn error (default 0.02)
@@ -136,11 +148,25 @@ int main(int argc, char** argv) {
           arg, value(arg), 0.0, 1e9, "a size >= 0 MiB");
     } else if (std::strcmp(arg, "--no-model-cache") == 0) {
       options.model_cache_mb = 0.0;
+    } else if (std::strcmp(arg, "--canonical-cache") == 0) {
+      options.canonical_cache = true;
+    } else if (std::strcmp(arg, "--canonical-cache-tol") == 0) {
+      const char* v = value(arg);
+      options.canonical_cache_tol =
+          flags::parse_double(arg, v, 0.0, 1.0, "a relative tolerance in (0,1]");
+      if (options.canonical_cache_tol <= 0.0)
+        flags::usage_error(arg, v, "a relative tolerance in (0,1]");
+    } else if (std::strcmp(arg, "--batch-width") == 0) {
+      options.batch_width =
+          flags::parse_size(arg, value(arg), 1, "an integer >= 1");
     } else if (std::strcmp(arg, "--cell-cache") == 0) {
       cell_cache = value(arg);
     } else if (std::strcmp(arg, "--replicate-rows") == 0) {
       chip_options.replicate_rows =
           flags::parse_size(arg, value(arg), 1, "an integer >= 1");
+    } else if (std::strcmp(arg, "--cluster-repeat-skew") == 0) {
+      chip_options.cluster_repeat_skew = flags::parse_double(
+          arg, value(arg), 0.0, 1.0, "a relative skew in [0,1)");
     } else if (std::strcmp(arg, "--mor-order") == 0) {
       options.glitch.mor.max_order = flags::parse_size(
           arg, value(arg), 0, "an integer (0 = automatic)");
@@ -203,6 +229,14 @@ int main(int argc, char** argv) {
   }
   if (options.resume && options.journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 2;
+  }
+  if (!remote_options.workers.empty() &&
+      chip_options.cluster_repeat_skew > 0.0) {
+    // The design knob does not travel in a job spec: remote workers would
+    // rebuild an unskewed design and verify different electricals.
+    std::fprintf(stderr,
+                 "--cluster-repeat-skew cannot be combined with --workers\n");
     return 2;
   }
 
@@ -272,8 +306,16 @@ int main(int argc, char** argv) {
     std::printf("  soft RSS limit %.1f MiB\n", options.global_mem_soft_mb);
   if (options.model_cache_mb > 0.0)
     std::printf("  reduced-model cache %.0f MiB\n", options.model_cache_mb);
+  if (options.canonical_cache)
+    std::printf("  canonical cache keys (quantization tol %.3g, "
+                "certificate-gated reuse)\n",
+                options.canonical_cache_tol);
+  if (options.batch_width > 1)
+    std::printf("  lockstep batch width %zu\n", options.batch_width);
   if (chip_options.replicate_rows > 1)
-    std::printf("  %zu replicated rows\n", chip_options.replicate_rows);
+    std::printf("  %zu replicated rows%s\n", chip_options.replicate_rows,
+                chip_options.cluster_repeat_skew > 0.0 ? " (load-skewed)"
+                                                       : "");
   if (!options.journal_path.empty())
     std::printf("  journal %s%s\n", options.journal_path.c_str(),
                 options.resume ? " (resuming)" : "");
@@ -336,6 +378,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(report.model_cache_bytes) /
                     (1024.0 * 1024.0),
                 report.model_cache_evictions);
+  if (report.canonical_hits + report.canonical_cert_rejects > 0)
+    std::printf("canonical cache: certified-reuses=%zu cert-rejects=%zu\n",
+                report.canonical_hits, report.canonical_cert_rejects);
+  if (report.batched_victims > 0)
+    std::printf("batched: victims=%zu lane-fallbacks=%zu\n",
+                report.batched_victims, report.batch_lane_fallbacks);
   if (report.victims_audited > 0)
     std::printf("audit: sampled=%zu out-of-tolerance=%zu "
                 "worst peak delta=%.4g V worst arrival delta=%.3g s\n",

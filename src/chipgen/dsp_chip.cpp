@@ -22,6 +22,24 @@ const char* kLoadPool[] = {
     "INV_X1", "INV_X4", "NAND2_X2", "NOR2_X1", "DFF_X1", "DLAT_X2", "BUF_X4",
 };
 
+/// splitmix64 finalizer: a stateless, platform-stable hash of the final
+/// (post-offset) net id used to derive per-replica load jitter. Keyed on
+/// the id — not the row loop — so the jitter a net receives is a property
+/// of the design, independent of stamping order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [-1, 1] from a hashed id (53 mantissa bits).
+double signed_unit(std::uint64_t hashed) {
+  const double u01 =
+      static_cast<double>(hashed >> 11) * 0x1.0p-53;  // [0, 1)
+  return 2.0 * u01 - 1.0;
+}
+
 }  // namespace
 
 ChipDesign generate_dsp_chip(const CellLibrary& library,
@@ -53,6 +71,14 @@ ChipDesign generate_dsp_chip(const CellLibrary& library,
         ChipNet net = src;
         net.id = src.id + r * n0;
         net.track = src.track + r * track_stride;
+        if (options.cluster_repeat_skew > 0.0) {
+          // De-repeat the replicas: perturb each stamped net's receiver
+          // load by a hash of its final id, mixed with the seed so two
+          // chips differing only in seed also differ in jitter.
+          const double u = signed_unit(
+              mix64(static_cast<std::uint64_t>(net.id) ^ options.seed));
+          net.receiver_cap *= 1.0 + options.cluster_repeat_skew * u;
+        }
         design.nets.push_back(std::move(net));
       }
       for (const ChipCoupling& src : base.couplings) {

@@ -73,6 +73,13 @@ struct DspChipOptions {
   /// the same (G, C, B) pencils. Rows are electrically independent
   /// (inter-row track gap exceeds the coupling scan range).
   std::size_t replicate_rows = 1;
+  /// Multiplicative receiver-load jitter across replicated rows (0 keeps
+  /// replicas bit-identical). Each stamped net's receiver_cap is scaled
+  /// by (1 + skew*u), u in [-1, 1] deterministic in the final net id —
+  /// low-repetition workloads where exact model fingerprints never
+  /// re-match, but a tolerance-canonical key with tol >= skew still
+  /// does. Only meaningful with replicate_rows >= 2.
+  double cluster_repeat_skew = 0.0;
 };
 
 /// Generates the design. Deterministic in the seed.

@@ -228,6 +228,8 @@ GlitchAnalyzer::ReducedOutcome GlitchAnalyzer::reduce(
   ReducedOutcome out;
   ModelCache* cache = options.model_cache;
   ClusterFingerprint fp{};
+  CanonicalKey canon{};
+  const bool use_canonical = cache && options.canonical_cache;
   // The dense pencil is assembled once: it keys the cache, and on a miss
   // it feeds the reduction (the RcNetwork overload of sympvl_reduce
   // assembles exactly these matrices).
@@ -242,6 +244,68 @@ GlitchAnalyzer::ReducedOutcome GlitchAnalyzer::reduce(
       out.payload = std::move(hit);
       out.from_cache = true;
       return out;
+    }
+  }
+  if (use_canonical) {
+    // Exact key missed: try the canonical (permutation/tolerance-
+    // invariant) index. Cluster nets own contiguous node blocks, each
+    // starting at its driver port node (extract_cluster layout).
+    const RcNetwork& net = prepared.built.network;
+    const std::size_t nets = net.port_count() / 2;
+    std::vector<std::size_t> net_node_begin;
+    net_node_begin.reserve(nets + 1);
+    for (std::size_t k = 0; k < nets; ++k)
+      net_node_begin.push_back(
+          static_cast<std::size_t>(net.port_node(ClusterPorts::driver(k))));
+    net_node_begin.push_back(static_cast<std::size_t>(net.node_count()));
+    canon = canonical_cluster_fingerprint(
+        g, c, b, net_node_begin, options.canonical_cache_tol, options.mor,
+        options.certify, options.cert_rel_tol, options.cert_freqs, s_min,
+        s_max);
+    auto chit = cache->canonical_lookup(canon.key);
+    if (chit && chit->agg_order.size() == canon.agg_order.size() &&
+        chit->payload->model.port_count() == 2 * nets) {
+      // Re-express the donor payload in this cluster's port order:
+      // canonical slot c pairs the donor aggressor chit->agg_order[c]
+      // with our aggressor canon.agg_order[c].
+      std::vector<std::size_t> port_from(2 * nets);
+      port_from[0] = 0;
+      port_from[1] = 1;
+      for (std::size_t slot = 0; slot < canon.agg_order.size(); ++slot) {
+        const std::size_t req = canon.agg_order[slot];
+        const std::size_t don = chit->agg_order[slot];
+        port_from[2 * req] = 2 * don;
+        port_from[2 * req + 1] = 2 * don + 1;
+      }
+      std::shared_ptr<CachedReducedModel> candidate =
+          permute_payload_ports(*chit->payload, port_from);
+      // Certificate gate — always, even when the run does not certify
+      // fresh reductions: a tolerant hit is only trusted once its model
+      // re-passes the a-posteriori certificate against THIS cluster's
+      // exact pencil. Deadline expiry propagates as usual.
+      CertifyOptions copt;
+      copt.num_freqs = options.cert_freqs;
+      copt.s_min = s_min;
+      copt.s_max = s_max;
+      copt.cancel = options.cancel;
+      const Certificate gate =
+          certify_reduced_model(net, candidate->model, true, copt);
+      if (gate.pass(options.cert_rel_tol)) {
+        // Attach the gate certificate only when the run certifies anyway,
+        // so certify=false findings look identical to the fresh path.
+        if (options.certify) {
+          candidate->certificate = gate;
+          candidate->have_certificate = true;
+          candidate->certified = true;
+        }
+        candidate->account();
+        cache->count_canonical_hit();
+        out.payload = std::move(candidate);
+        out.from_cache = true;
+        out.canonical = true;
+        return out;
+      }
+      cache->count_canonical_cert_reject();
     }
   }
 
@@ -282,6 +346,8 @@ GlitchAnalyzer::ReducedOutcome GlitchAnalyzer::reduce(
       payload->account();
     }
     cache->insert(fp, payload);
+    if (use_canonical)
+      cache->canonical_insert(canon.key, std::move(canon.agg_order), payload);
     out.payload = std::move(payload);
   } else {
     // No cache: the payload lives and dies with this victim, so the
@@ -298,7 +364,7 @@ GlitchAnalyzer::ReducedOutcome GlitchAnalyzer::reduce(
   return out;
 }
 
-GlitchResult GlitchAnalyzer::simulate_reduced(
+GlitchAnalyzer::SimulateSetup GlitchAnalyzer::prepare_simulate(
     const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
     const PreparedCluster& prepared, const ReducedOutcome& reduced,
     const GlitchAnalysisOptions& options) {
@@ -307,23 +373,28 @@ GlitchResult GlitchAnalyzer::simulate_reduced(
   const CachedReducedModel& payload = *reduced.payload;
   const double vdd = extractor_.tech().vdd;
 
-  Timer timer;
   // Copy the (possibly shared, immutable) diagonalization into the
   // simulator under the victim's scope. Cached and fresh payloads are
   // bit-identical by the fingerprint contract, so the transient below
   // cannot tell them apart.
-  ReducedSimulator sim(
-      ReducedEigenSystem{payload.eigen.d, payload.eigen.eta});
+  SimulateSetup setup{
+      ReducedSimulator(
+          ReducedEigenSystem{payload.eigen.d, payload.eigen.eta}),
+      ReducedSimOptions{},
+      nullptr,
+      reduced.payload,
+      switch_times,
+      aggressors.size()};
+  ReducedSimulator& sim = setup.sim;
 
   // Victim driver.
   const CellModel& vic_model = chars_.model(victim.driver_cell);
-  std::shared_ptr<const OnePortDevice> victim_holder;
   if (options.driver_model == DriverModelKind::kNonlinearTable) {
     const double vin = victim_input_level(
         chars_.library().by_name(victim.driver_cell), victim.held_high, vdd);
-    victim_holder = std::make_shared<NonlinearTableDriver>(
+    setup.victim_holder = std::make_shared<NonlinearTableDriver>(
         std::make_shared<CellModel>(vic_model), SourceWave::dc(vin));
-    sim.set_termination(ClusterPorts::driver(0), victim_holder);
+    sim.set_termination(ClusterPorts::driver(0), setup.victim_holder);
   } else if (victim.held_high && built.victim_drive_r > 0.0) {
     // Norton equivalent of the Thevenin holder to Vdd.
     sim.set_input(ClusterPorts::driver(0),
@@ -359,15 +430,20 @@ GlitchResult GlitchAnalyzer::simulate_reduced(
     }
   }
 
-  ReducedSimOptions ropt;
-  ropt.tstop = options.tstop;
-  ropt.dt = options.dt;
-  ropt.cancel = options.cancel;
-  const ReducedSimResult res = sim.run(ropt);
+  setup.ropt.tstop = options.tstop;
+  setup.ropt.dt = options.dt;
+  setup.ropt.cancel = options.cancel;
+  return setup;
+}
+
+GlitchResult GlitchAnalyzer::measure_reduced(const SimulateSetup& setup,
+                                             const ReducedSimResult& res,
+                                             double cpu_seconds) {
   check_finite_waves(res.port_voltages, "GlitchAnalyzer::analyze");
 
+  const CachedReducedModel& payload = *setup.payload;
   GlitchResult out;
-  out.cpu_seconds = timer.elapsed();
+  out.cpu_seconds = cpu_seconds;
   out.reduced_order = payload.model.order();
   out.certificate = payload.certificate;  // copy: the payload may be shared
   out.certified = payload.certified;
@@ -375,24 +451,35 @@ GlitchResult GlitchAnalyzer::simulate_reduced(
   out.peak = out.victim_wave.peak_deviation();
   out.peak_at_driver =
       res.port_voltages[ClusterPorts::driver(0)].peak_deviation();
-  if (!aggressors.empty())
+  if (setup.aggressor_count > 0)
     out.aggressor_wave = res.port_voltages[ClusterPorts::receiver(1)];
-  out.switch_times = switch_times;
+  out.switch_times = setup.switch_times;
 
   // Electromigration audit: reconstruct the victim holder's current from
   // its port-voltage waveform through the (memoryless) driver model.
-  if (victim_holder) {
+  if (setup.victim_holder) {
     const Waveform& vd = res.port_voltages[ClusterPorts::driver(0)];
     Waveform current;
     current.reserve(vd.size());
     for (std::size_t i = 0; i < vd.size(); ++i)
       current.append(vd.time(i),
-                     victim_holder->current(vd.value(i), vd.time(i)));
+                     setup.victim_holder->current(vd.value(i), vd.time(i)));
     out.victim_driver_rms_current = current.rms();
     out.victim_driver_peak_current =
         std::max(std::fabs(current.max_value()), std::fabs(current.min_value()));
   }
   return out;
+}
+
+GlitchResult GlitchAnalyzer::simulate_reduced(
+    const VictimSpec& victim, const std::vector<AggressorSpec>& aggressors,
+    const PreparedCluster& prepared, const ReducedOutcome& reduced,
+    const GlitchAnalysisOptions& options) {
+  Timer timer;
+  SimulateSetup setup =
+      prepare_simulate(victim, aggressors, prepared, reduced, options);
+  const ReducedSimResult res = setup.sim.run(setup.ropt);
+  return measure_reduced(setup, res, timer.elapsed());
 }
 
 GlitchResult GlitchAnalyzer::analyze(const VictimSpec& victim,

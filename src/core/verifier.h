@@ -17,6 +17,7 @@
 #include "chipgen/dsp_chip.h"
 #include "core/glitch_analyzer.h"
 #include "core/pruning.h"
+#include "mor/batch_sim.h"
 #include "util/status.h"
 
 namespace xtv {
@@ -73,6 +74,18 @@ struct VerifierOptions {
   /// reproduces the serial report. max_victims > 0 forces serial
   /// execution: the cap is defined by serial analysis order.
   std::size_t threads = 1;
+  /// Lockstep batch width for the reduced-transient stage (<= 1 =
+  /// scalar, the default). Victims reaching their first reduced
+  /// transient are parked, grouped by (reduced order, driver-model
+  /// class, timestep policy), and integrated together in
+  /// structure-of-arrays lanes (mor/batch_sim.h, DESIGN.md §16).
+  /// Per-lane convergence, deadline polling, and scalar fallback keep
+  /// every FindingStatus and retry-ladder decision identical to a
+  /// scalar run, and a clean batched run's findings are bit-identical
+  /// to the serial ones. Pure scheduling knob like `threads` (NOT part
+  /// of options_result_hash); ignored (scalar) under max_victims,
+  /// process shards, and remote fan-out.
+  std::size_t batch_width = 1;
   /// Per-cluster wall-clock budget (ms; 0 = unlimited). A cluster that
   /// exhausts it mid-simulation is cancelled cooperatively and reported
   /// through the conservative Devgan bound as FindingStatus::kDeadlineBound
@@ -150,6 +163,20 @@ struct VerifierOptions {
   /// it on. Result-affecting under memory budgets (a hit skips the
   /// Krylov charges), hence part of options_result_hash.
   double model_cache_mb = 0.0;
+
+  /// Canonical (permutation/tolerance-invariant) model-cache keys
+  /// (DESIGN.md §16): when an exact fingerprint lookup misses, a
+  /// tolerant canonical hit may stand in for a fresh reduction — but
+  /// only after its model re-passes the a-posteriori certificate
+  /// against the requesting cluster's exact (G, C, B) at cert_rel_tol;
+  /// a failed certificate counts as a miss (canonical_cert_rejects).
+  /// Result-affecting (a certified tolerant reuse is equivalent within
+  /// the certificate tolerance, not bit-identical), hence hashed. Off
+  /// by default: exact keying remains the only bit-identical mode.
+  bool canonical_cache = false;
+  /// Relative quantization tolerance of the canonical key (values
+  /// within it usually collide; see canonical_cluster_fingerprint).
+  double canonical_cache_tol = 1e-6;
 
   /// Per-cluster memory budget (MiB; 0 = unlimited) covering dense
   /// matrices, Krylov blocks, and waveform storage of one victim's
@@ -335,6 +362,12 @@ struct VerificationReport {
   std::size_t model_cache_evictions = 0;
   std::size_t model_cache_entries = 0;  ///< live entries at end of run
   std::size_t model_cache_bytes = 0;    ///< live payload bytes at end of run
+  /// Canonical-cache accounting (canonical_cache runs).
+  std::size_t canonical_hits = 0;          ///< certified tolerant reuses
+  std::size_t canonical_cert_rejects = 0;  ///< tolerant hits failing re-cert
+  /// Batched-execution accounting (batch_width > 1 runs).
+  std::size_t batched_victims = 0;       ///< victims integrated in batch lanes
+  std::size_t batch_lane_fallbacks = 0;  ///< lanes rerouted to the scalar engine
   /// Summed per-victim compute time across all workers. Under N threads
   /// this exceeds wall_seconds by up to a factor of N; the ratio is the
   /// realized parallel efficiency.
@@ -412,6 +445,29 @@ class ChipVerifier::Prepared {
   /// never throws — any escaping failure becomes a kFailed record with
   /// peak pessimistically at Vdd.
   std::optional<JournalRecord> analyze(std::size_t victim, bool bound_only);
+
+  /// A victim parked at its first reduced-transient attempt, waiting
+  /// for a batch slot (opaque; defined in verifier.cpp). Exposes the
+  /// lockstep grouping keys and its BatchLane to the scheduler.
+  class ParkedVictim;
+
+  /// Result of analyze_begin(): at most one of {record, parked} is set;
+  /// both empty means the victim was ineligible (analyze()'s nullopt).
+  /// Defined in verifier.cpp (JournalRecord is incomplete here — the
+  /// journal header includes this one).
+  struct BeginOutcome;
+
+  /// First half of analyze() for the batch scheduler (DESIGN.md §16):
+  /// runs the victim to completion or parks it at its first reduced-
+  /// transient attempt. Same injection keying, shedding, and kFailed
+  /// envelope as analyze().
+  BeginOutcome analyze_begin(std::size_t victim);
+
+  /// Second half: completes a parked victim from its batch-lane
+  /// integration result (or error). Never throws — failures become the
+  /// kFailed envelope analyze() produces. Pairs with exactly one
+  /// analyze_begin() that parked.
+  JournalRecord analyze_finish(ParkedVictim& parked, BatchLaneResult lane);
 
   /// The last-resort pessimistic record (peak = Vdd, kShardCrashed /
   /// kWorkerCrashed) for a victim whose concession analysis itself died.

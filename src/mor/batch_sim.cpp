@@ -1,0 +1,452 @@
+#include "mor/batch_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "linalg/dense_matrix.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
+#include "util/fp_guard.h"
+#include "util/resource.h"
+#include "util/status.h"
+
+namespace xtv {
+
+namespace {
+
+// In-place partial-pivot LU mirroring DenseLu (linalg/dense_lu.cpp)
+// element for element — same pivot selection (strict >), same pivot_tol,
+// same update order, same fault-injection poll and error strings — so a
+// batched Woodbury solve is bit-identical to the scalar path's
+// DenseLu(msys).solve(srhs) without the per-iteration matrix copy.
+void lu_factor_inplace(double* lu, std::size_t n,
+                       std::vector<std::size_t>& perm) {
+  if (XTV_INJECT_FAULT(FaultSite::kDenseLuFactor))
+    throw NumericalError(StatusCode::kSingularMatrix,
+                         "DenseLu: injected factorization fault");
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::fabs(lu[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu[i * n + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best <= 1e-300)
+      throw NumericalError(StatusCode::kSingularMatrix,
+                           "DenseLu: matrix is singular");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu[k * n + c], lu[piv * n + c]);
+      std::swap(perm[k], perm[piv]);
+    }
+    const double pivot = lu[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu[i * n + k] / pivot;
+      lu[i * n + k] = m;
+      if (m == 0.0) continue;
+      const double* urow = lu + k * n;
+      double* irow = lu + i * n;
+      for (std::size_t c = k + 1; c < n; ++c) irow[c] -= m * urow[c];
+    }
+  }
+}
+
+void lu_solve_inplace(const double* lu, const std::size_t* perm,
+                      std::size_t n, const Vector& b, Vector& x) {
+  x.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm[i]];
+    const double* row = lu + i * n;
+    for (std::size_t j = 0; j < i; ++j) s -= row[j] * x[j];
+    x[i] = s;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    const double* row = lu + ii * n;
+    for (std::size_t j = ii + 1; j < n; ++j) s -= row[j] * x[j];
+    x[ii] = s / row[ii];
+  }
+}
+
+/// One lane's flattened system plus the integration state that the scalar
+/// run() keeps in locals. LaneState lives in a deque (ScopedCharge is
+/// not movable).
+struct LaneState {
+  // Flattened configuration: the simulator's maps walked once, into
+  // arrays the inner loops index directly.
+  std::size_t q = 0, p = 0, m = 0;
+  const Vector* d = nullptr;
+  const DenseMatrix* eta = nullptr;
+  std::vector<std::pair<std::size_t, const SourceWave*>> inputs;
+  std::vector<std::size_t> nl_ports;
+  std::vector<const OnePortDevice*> nl_devs;
+  double dt = 0.0;
+
+  /// eta's nonlinear-port columns packed q x m row-major: the Woodbury
+  /// loops read U contiguously instead of striding eta by p. Pure copies,
+  /// so every accumulation sees the same values in the same order.
+  Vector u_cols;
+  /// Per-alpha system pieces. Dd^{-1} = (I + alpha D)^{-1} and
+  /// S = U^T Dd^{-1} U depend only on alpha and the lane's fixed (d, eta,
+  /// ports) — not on the Newton iterate — so they are recomputed only when
+  /// alpha changes (a step halving, or the DC solve's alpha = 0). The
+  /// uniform-h step sequence reuses them across every step and iteration.
+  /// Recomputation is the scalar expression in the scalar loop order, so a
+  /// cached S is bit-identical to the per-iteration rebuild.
+  Vector dd_inv, s_alpha;
+  double alpha_cached = std::numeric_limits<double>::quiet_NaN();
+
+  // Integration state (the scalar run()'s loop variables).
+  Vector x, xdot, x_acc_prev, d_beta, trial;
+  double t = 0.0, h = 0.0, h_prev = 0.0;
+  int halvings = 0;
+  bool have_prev = false;
+  /// True while a time point is being retried at halved steps; false
+  /// between accepted points (the scalar outer/inner loop boundary).
+  bool step_open = false;
+
+  ReducedSimResult result;
+  /// Charged against the lane's scope exactly as the scalar run() does;
+  /// released at lane completion or failure (the scalar function-exit /
+  /// unwind points).
+  std::optional<resource::ScopedCharge> wave_bytes;
+
+  bool active = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const std::vector<BatchLane>& lanes) : lanes_(lanes) {}
+
+  std::vector<BatchLaneResult> run() {
+    results_.resize(lanes_.size());
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      states_.emplace_back();
+      lane_init(i);
+    }
+    // Lockstep rounds: one uninterrupted step attempt per active lane per
+    // round, so every per-lane guard (FP flags, victim binding, scope
+    // activation) opens and closes without another lane in between.
+    for (;;) {
+      bool any = false;
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (!states_[i].active) continue;
+        any = true;
+        lane_attempt(i);
+      }
+      if (!any) break;
+    }
+    return std::move(results_);
+  }
+
+ private:
+  void lane_init(std::size_t idx) {
+    LaneState& st = states_[idx];
+    const BatchLane& lane = lanes_[idx];
+    FaultInjector::ScopedVictim victim(lane.victim_net);
+    resource::ClusterScope::Activation act(lane.scope);
+    try {
+      if (!lane.sim) throw std::runtime_error("run_batch: null simulator");
+      if (XTV_INJECT_FAULT(FaultSite::kBatchLane)) {
+        // Poisoned lane: run it on the untouched scalar engine instead.
+        // The configured simulator was never mutated, so this is exactly
+        // the scalar path for this victim.
+        results_[idx].fell_back_scalar = true;
+        results_[idx].result = lane.sim->run(lane.options);
+        return;
+      }
+      const ReducedSimOptions& options = lane.options;
+      // From here on: the scalar run() preamble, same order.
+      if (options.tstop <= 0.0)
+        throw std::runtime_error("ReducedSimulator: tstop must be positive");
+      if (XTV_INJECT_FAULT(FaultSite::kReducedNewton))
+        throw NumericalError(StatusCode::kNewtonDivergence,
+                             "ReducedSimulator: injected Newton divergence");
+      poll_cancel(options.cancel, "ReducedSimulator");
+      st.dt = options.dt > 0.0 ? options.dt : options.tstop / 2000.0;
+
+      st.q = lane.sim->order();
+      st.p = lane.sim->port_count();
+      st.d = &lane.sim->eigenvalues();
+      st.eta = &lane.sim->port_modes();
+      st.inputs.clear();
+      st.inputs.reserve(lane.sim->inputs().size());
+      for (const auto& [port, wave] : lane.sim->inputs())
+        st.inputs.emplace_back(port, &wave);
+      st.nl_ports.clear();
+      st.nl_devs.clear();
+      for (const auto& [port, dev] : lane.sim->terminations()) {
+        st.nl_ports.push_back(port);
+        st.nl_devs.push_back(dev.get());
+      }
+      st.m = st.nl_ports.size();
+      st.u_cols.assign(st.q * st.m, 0.0);
+      for (std::size_t i = 0; i < st.q; ++i)
+        for (std::size_t k = 0; k < st.m; ++k)
+          st.u_cols[i * st.m + k] = (*st.eta)(i, st.nl_ports[k]);
+
+      st.wave_bytes.emplace();
+      st.wave_bytes->add(
+          (static_cast<std::size_t>(options.tstop / st.dt) + 2) * st.p * 2 *
+          sizeof(double));
+
+      // DC start (scalar: dc_opts = options with max_newton = 200).
+      st.x.assign(st.q, 0.0);
+      st.d_beta.assign(st.q, 0.0);
+      {
+        std::size_t iters = 0;
+        if (!lane_newton(st, st.x, 0.0, 0.0, st.d_beta, 200,
+                         options.v_abstol, iters))
+          throw NumericalError(StatusCode::kNewtonDivergence,
+                               "ReducedSimulator: DC fixed point failed");
+      }
+      st.xdot.assign(st.q, 0.0);
+
+      st.result.port_voltages.resize(st.p);
+      const std::size_t expected_samples =
+          static_cast<std::size_t>(options.tstop / st.dt) + 2;
+      for (auto& wave : st.result.port_voltages)
+        wave.reserve(expected_samples);
+      record(st, 0.0);
+
+      st.t = 0.0;
+      st.x_acc_prev.assign(st.q, 0.0);
+      st.h_prev = 0.0;
+      st.have_prev = false;
+      st.step_open = false;
+      st.active = true;
+    } catch (...) {
+      st.wave_bytes.reset();
+      results_[idx].error = std::current_exception();
+      st.active = false;
+    }
+  }
+
+  /// One iteration of the scalar run()'s time loop: open a step if none
+  /// is being retried, attempt it, accept/halve/fail exactly as the
+  /// scalar inner loop does.
+  void lane_attempt(std::size_t idx) {
+    LaneState& st = states_[idx];
+    const BatchLane& lane = lanes_[idx];
+    const ReducedSimOptions& options = lane.options;
+    FaultInjector::ScopedVictim victim(lane.victim_net);
+    resource::ClusterScope::Activation act(lane.scope);
+    try {
+      if (!st.step_open) {
+        // The scalar while-condition, rechecked between accepted points.
+        if (!(st.t < options.tstop - 1e-18)) {
+          complete(idx);
+          return;
+        }
+        st.h = std::min(st.dt, options.tstop - st.t);
+        st.halvings = 0;
+        st.step_open = true;
+      }
+      poll_cancel(options.cancel, "ReducedSimulator");
+      const double a = (options.trapezoidal ? 2.0 : 1.0) / st.h;
+      const Vector& d = *st.d;
+      for (std::size_t i = 0; i < st.q; ++i) {
+        const double beta = options.trapezoidal
+                                ? (-a * st.x[i] - st.xdot[i])
+                                : (-a * st.x[i]);
+        st.d_beta[i] = d[i] * beta;
+      }
+      st.trial = st.x;
+      std::size_t iters = 0;
+      const bool ok = lane_newton(st, st.trial, st.t + st.h, a, st.d_beta,
+                                  options.max_newton, options.v_abstol, iters);
+      st.result.newton_iterations += iters;
+
+      if (ok && options.lte_vtol > 0.0 && st.have_prev &&
+          st.halvings < options.max_step_halvings) {
+        const double r = st.h / st.h_prev;
+        double lte = 0.0;
+        matvec_transposed_into(*st.eta, st.trial, lte_vt_);
+        matvec_transposed_into(*st.eta, st.x, lte_vc_);
+        matvec_transposed_into(*st.eta, st.x_acc_prev, lte_vp_);
+        for (std::size_t pp = 0; pp < st.p; ++pp)
+          lte = std::max(lte, std::fabs(lte_vt_[pp] - lte_vc_[pp] -
+                                        r * (lte_vc_[pp] - lte_vp_[pp])));
+        if (lte > options.lte_vtol) {
+          ++st.halvings;
+          ++st.result.step_rejections;
+          st.h *= 0.5;
+          return;
+        }
+      }
+
+      if (ok) {
+        if (options.trapezoidal) {
+          for (std::size_t i = 0; i < st.q; ++i)
+            st.xdot[i] = a * (st.trial[i] - st.x[i]) - st.xdot[i];
+        }
+        st.x_acc_prev = st.x;
+        st.h_prev = st.h;
+        st.have_prev = true;
+        st.x = st.trial;
+        st.t += st.h;
+        ++st.result.steps;
+        record(st, st.t);
+        st.step_open = false;
+        return;
+      }
+      if (++st.halvings > options.max_step_halvings)
+        throw NumericalError(StatusCode::kNewtonDivergence,
+                             "ReducedSimulator: Newton failed at t=" +
+                                 std::to_string(st.t));
+      ++st.result.step_rejections;
+      st.h *= 0.5;
+    } catch (...) {
+      st.wave_bytes.reset();
+      results_[idx].error = std::current_exception();
+      st.active = false;
+    }
+  }
+
+  /// ReducedSimulator::newton_solve, operation for operation, on engine
+  /// scratch. Every extent is assign()ed before use, so sharing buffers
+  /// across lanes cannot change any value.
+  bool lane_newton(LaneState& st, Vector& x, double t, double alpha,
+                   const Vector& d_beta, int max_newton, double v_abstol,
+                   std::size_t& iterations) {
+    const std::size_t q = st.q;
+    const std::size_t p = st.p;
+    const std::size_t m = st.m;
+    const Vector& d = *st.d;
+    const DenseMatrix& eta = *st.eta;
+
+    // Refresh the per-alpha pieces only when alpha actually changed (the
+    // != compares false against the NaN sentinel, forcing the first
+    // build). On the uniform-h fast path this runs once per transient.
+    if (!(alpha == st.alpha_cached)) {
+      st.dd_inv.assign(q, 0.0);
+      for (std::size_t i = 0; i < q; ++i)
+        st.dd_inv[i] = 1.0 / (1.0 + alpha * d[i]);
+      st.s_alpha.assign(m * m, 0.0);
+      for (std::size_t a2 = 0; a2 < m; ++a2) {
+        for (std::size_t b = 0; b < m; ++b) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < q; ++i)
+            acc += st.u_cols[i * m + a2] * st.dd_inv[i] * st.u_cols[i * m + b];
+          st.s_alpha[a2 * m + b] = acc;
+        }
+      }
+      st.alpha_cached = alpha;
+    }
+    const Vector& dd_inv = st.dd_inv;
+
+    u_.assign(p, 0.0);
+    for (const auto& [port, wave] : st.inputs) u_[port] += wave->value(t);
+
+    FpKernelGuard fp("reduced_newton");
+    for (int iter = 0; iter < max_newton; ++iter) {
+      ++iterations;
+      fp.rearm();
+      matvec_transposed_into(eta, x, vports_);
+      itotal_ = u_;
+      g_.assign(m, 0.0);
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t port = st.nl_ports[k];
+        const OnePortDevice* dev = st.nl_devs[k];
+        itotal_[port] += dev->current(vports_[port], t);
+        g_[k] = dev->conductance(vports_[port], t);
+      }
+
+      matvec_into(eta, itotal_, eta_i_);
+      r_.assign(q, 0.0);
+      for (std::size_t i = 0; i < q; ++i)
+        r_[i] = eta_i_[i] - ((1.0 + alpha * d[i]) * x[i] + d_beta[i]);
+
+      dx_.assign(q, 0.0);
+      if (m == 0) {
+        for (std::size_t i = 0; i < q; ++i) dx_[i] = dd_inv[i] * r_[i];
+      } else {
+        // The scalar path charges three m x m DenseMatrix allocations per
+        // iteration here (S, Msys, and DenseLu's copy). Replicate the
+        // charges — without the allocations — so a marginal memory budget
+        // breaches at the same program point with the same message. S
+        // itself comes from the per-alpha cache above.
+        const std::size_t mat_bytes = m * m * sizeof(double);
+        resource::MemCharge charge_s(mat_bytes);
+        srhs_.assign(m, 0.0);
+        for (std::size_t a2 = 0; a2 < m; ++a2)
+          for (std::size_t i = 0; i < q; ++i)
+            srhs_[a2] += st.u_cols[i * m + a2] * dd_inv[i] * r_[i];
+        resource::MemCharge charge_msys(mat_bytes);
+        msys_.assign(m * m, 0.0);
+        for (std::size_t a2 = 0; a2 < m; ++a2)
+          for (std::size_t b = 0; b < m; ++b)
+            msys_[a2 * m + b] =
+                (a2 == b ? 1.0 : 0.0) - st.s_alpha[a2 * m + b] * g_[b];
+        resource::MemCharge charge_lu(mat_bytes);
+        lu_factor_inplace(msys_.data(), m, perm_);
+        lu_solve_inplace(msys_.data(), perm_.data(), m, srhs_, w_);
+        rgw_ = r_;
+        for (std::size_t k = 0; k < m; ++k)
+          for (std::size_t i = 0; i < q; ++i)
+            rgw_[i] += st.u_cols[i * m + k] * g_[k] * w_[k];
+        for (std::size_t i = 0; i < q; ++i) dx_[i] = dd_inv[i] * rgw_[i];
+      }
+
+      for (std::size_t i = 0; i < q; ++i) x[i] += dx_[i];
+
+      double max_dv = 0.0;
+      bool finite = true;
+      matvec_transposed_into(eta, dx_, dv_);
+      for (std::size_t pp = 0; pp < p; ++pp) {
+        finite = finite && std::isfinite(dv_[pp]);
+        max_dv = std::max(max_dv, std::fabs(dv_[pp]));
+      }
+      if (finite && max_dv < v_abstol) {
+        fp.check();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void record(LaneState& st, double t) {
+    matvec_transposed_into(*st.eta, st.x, rec_);
+    for (std::size_t pp = 0; pp < st.p; ++pp)
+      st.result.port_voltages[pp].append(t, rec_[pp]);
+  }
+
+  void complete(std::size_t idx) {
+    LaneState& st = states_[idx];
+    st.wave_bytes.reset();
+    results_[idx].result = std::move(st.result);
+    st.active = false;
+  }
+
+  const std::vector<BatchLane>& lanes_;
+  std::deque<LaneState> states_;
+  std::vector<BatchLaneResult> results_;
+
+  // Engine scratch shared across lanes (each lane's step attempt fully
+  // rewrites every extent it reads).
+  Vector u_, vports_, itotal_, g_, eta_i_, r_, dx_, srhs_, rgw_, dv_;
+  Vector rec_, lte_vt_, lte_vc_, lte_vp_;
+  Vector msys_, w_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace
+
+std::vector<BatchLaneResult> run_batch(const std::vector<BatchLane>& lanes) {
+  if (lanes.empty()) return {};
+  return Engine(lanes).run();
+}
+
+}  // namespace xtv

@@ -1,0 +1,84 @@
+// Lockstep batch integration of reduced models (the SimulateReduced stage
+// of several victims at once).
+//
+// The scalar ReducedSimulator (mor/reduced_sim.h) integrates one reduced
+// system at a time; across a chip-scale run the SimulateReduced stage
+// dominates wall-clock on cache-miss-heavy workloads, and most of its cost
+// hides in per-call overhead: map walks to rebuild the nonlinear port
+// list, a fresh Vector allocation for the input currents and the Newton
+// trial every step attempt, and three charged DenseMatrix allocations per
+// Newton iteration for the m x m Woodbury solve. BatchSimulator runs many
+// victims' transients through one structure-of-arrays engine: each lane's
+// configuration (input waves, nonlinear terminations) is flattened into
+// sorted arrays once, every scratch extent is a reused engine buffer, and
+// the Woodbury LU is factored in place — so the arithmetic per lane is
+// *identical* to the scalar path, operation for operation, while the
+// bookkeeping overhead is paid once per batch instead of once per step.
+//
+// Lockstep granularity is one step *attempt* per lane per round: a lane
+// runs poll_cancel + Newton solve + accept-or-halve uninterrupted (its
+// FpKernelGuard never brackets another lane's arithmetic), then yields.
+// Per lane, the engine reproduces the scalar run() contract exactly:
+//
+//  - the same fault-injection polls in the same order, under the lane's
+//    own FaultInjector::ScopedVictim binding;
+//  - the same resource charges against the lane's own ClusterScope
+//    (re-attached via ClusterScope::Activation for every lane section);
+//  - the same cancellation polls against the lane's own CancelToken;
+//  - the same exceptions with the same messages, captured per lane as an
+//    exception_ptr so one diverging lane never disturbs its neighbors.
+//
+// The kBatchLane fault site poisons a lane before any batch arithmetic
+// runs: the engine then falls back to the untouched scalar
+// ReducedSimulator::run for that lane (fell_back_scalar), which is also
+// the recovery path the pipeline uses — batching is an optimization, the
+// scalar engine remains the semantic ground truth.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "mor/reduced_sim.h"
+
+namespace xtv {
+
+namespace resource {
+class ClusterScope;
+}
+
+/// One victim's reduced transient queued for lockstep integration. The
+/// simulator must stay configured (inputs/terminations) and alive for the
+/// duration of the batch run; the engine reads its system through the
+/// const accessors and never mutates it except on the scalar-fallback
+/// path, which calls run() exactly as the pipeline's scalar stage would.
+struct BatchLane {
+  ReducedSimulator* sim = nullptr;
+  ReducedSimOptions options;
+  /// Victim net id bound (FaultInjector::ScopedVictim) around every lane
+  /// section, so injection decisions match a scalar run of this victim.
+  std::uint64_t victim_net = 0;
+  /// Accounting scope re-attached (ClusterScope::Activation) around every
+  /// lane section; null = charges are unaccounted, as when no scope is
+  /// active on the scalar path.
+  resource::ClusterScope* scope = nullptr;
+};
+
+/// Per-lane outcome: exactly one of {result valid, error set}. A lane
+/// that failed carries the same exception object the scalar path would
+/// have thrown (deadline, Newton divergence, FP trap, resource breach...)
+/// for the pipeline to rethrow into its normal retry ladder.
+struct BatchLaneResult {
+  ReducedSimResult result;
+  std::exception_ptr error;
+  /// True when the kBatchLane fault site fired for this lane and the
+  /// result (or error) comes from the scalar ReducedSimulator::run
+  /// fallback instead of the batch kernels.
+  bool fell_back_scalar = false;
+};
+
+/// Runs every lane to completion (or failure) in lockstep rounds.
+/// Results are positionally aligned with `lanes`.
+std::vector<BatchLaneResult> run_batch(const std::vector<BatchLane>& lanes);
+
+}  // namespace xtv

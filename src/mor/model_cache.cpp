@@ -1,7 +1,10 @@
 #include "mor/model_cache.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace xtv {
 
@@ -32,11 +35,37 @@ struct FingerprintHasher {
     std::memcpy(&bits, &v, sizeof(bits));
     u64(bits);
   }
+  /// Quantized hash: values within a relative `tol` of each other usually
+  /// land in the same (mantissa bucket, exponent) pair. "Usually" because
+  /// bucket and binade boundaries split near-equal values — a false
+  /// negative, which canonical mode tolerates by design.
+  void qf64(double v, double tol) {
+    if (tol <= 0.0 || v == 0.0 || !std::isfinite(v)) {
+      f64(v);
+      return;
+    }
+    int exp = 0;
+    const double m = std::frexp(v, &exp);  // |m| in [0.5, 1)
+    u64(static_cast<std::uint64_t>(std::llround(m / tol)));
+    u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(exp)));
+  }
   void matrix(const DenseMatrix& m) {
     u64(m.rows());
     u64(m.cols());
     for (std::size_t r = 0; r < m.rows(); ++r)
       bytes(m.row(r), m.cols() * sizeof(double));
+  }
+  void options(const SympvlOptions& mor, bool certify, double cert_rel_tol,
+               std::size_t cert_freqs, double s_min, double s_max) {
+    u64(mor.max_order);
+    f64(mor.deflation_tol);
+    u64(certify ? 1 : 0);
+    if (certify) {
+      f64(cert_rel_tol);
+      u64(cert_freqs);
+      f64(s_min);
+      f64(s_max);
+    }
   }
 };
 
@@ -57,16 +86,97 @@ ClusterFingerprint cluster_fingerprint(const DenseMatrix& g,
   h.matrix(g);
   h.matrix(c);
   h.matrix(b);
-  h.u64(mor.max_order);
-  h.f64(mor.deflation_tol);
-  h.u64(certify ? 1 : 0);
-  if (certify) {
-    h.f64(cert_rel_tol);
-    h.u64(cert_freqs);
-    h.f64(s_min);
-    h.f64(s_max);
-  }
+  h.options(mor, certify, cert_rel_tol, cert_freqs, s_min, s_max);
   return ClusterFingerprint{h.hi, h.lo};
+}
+
+CanonicalKey canonical_cluster_fingerprint(
+    const DenseMatrix& g, const DenseMatrix& c, const DenseMatrix& b,
+    const std::vector<std::size_t>& net_node_begin, double tol,
+    const SympvlOptions& mor, bool certify, double cert_rel_tol,
+    std::size_t cert_freqs, double s_min, double s_max) {
+  const std::size_t n = g.rows();
+  const std::size_t nets =
+      net_node_begin.empty() ? 0 : net_node_begin.size() - 1;
+  assert(nets > 0 && net_node_begin.front() == 0 &&
+         net_node_begin.back() == n && b.cols() == 2 * nets);
+
+  // Sort signature per aggressor: everything about the aggressor that
+  // does not depend on how the *other* aggressors are ordered — block
+  // size, intra-block G/C entries, coupling to the (fixed) victim block,
+  // and its own B columns — all quantized. Aggressor-aggressor couplings
+  // are excluded here (they would be circular) but fully covered by the
+  // permuted whole-pencil hash below.
+  CanonicalKey out;
+  const std::size_t agg_count = nets > 0 ? nets - 1 : 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sig(agg_count);
+  const std::size_t v_begin = net_node_begin.empty() ? 0 : net_node_begin[0];
+  const std::size_t v_end = nets > 0 ? net_node_begin[1] : 0;
+  for (std::size_t a = 0; a < agg_count; ++a) {
+    const std::size_t k = a + 1;  // cluster net index
+    const std::size_t begin = net_node_begin[k];
+    const std::size_t end = net_node_begin[k + 1];
+    FingerprintHasher h;
+    h.u64(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+      for (std::size_t j = begin; j < end; ++j) {
+        h.qf64(g(i, j), tol);
+        h.qf64(c(i, j), tol);
+      }
+    for (std::size_t i = begin; i < end; ++i)
+      for (std::size_t j = v_begin; j < v_end; ++j) {
+        h.qf64(g(i, j), tol);
+        h.qf64(c(i, j), tol);
+      }
+    for (std::size_t i = begin; i < end; ++i) {
+      h.qf64(b(i, 2 * k), tol);
+      h.qf64(b(i, 2 * k + 1), tol);
+    }
+    sig[a] = {h.hi, h.lo};
+  }
+  out.agg_order.resize(agg_count);
+  for (std::size_t a = 0; a < agg_count; ++a) out.agg_order[a] = a + 1;
+  std::stable_sort(out.agg_order.begin(), out.agg_order.end(),
+                   [&sig](std::size_t ka, std::size_t kb) {
+                     return sig[ka - 1] < sig[kb - 1];
+                   });
+
+  // Canonical node/port order: victim block first (original order), then
+  // aggressor blocks in signature order; hash the whole pencil — every
+  // cross coupling included — through that permutation, quantized.
+  std::vector<std::size_t> node_perm;
+  node_perm.reserve(n);
+  std::vector<std::size_t> port_perm;
+  port_perm.reserve(2 * nets);
+  for (std::size_t i = v_begin; i < v_end; ++i) node_perm.push_back(i);
+  port_perm.push_back(0);
+  port_perm.push_back(1);
+  for (std::size_t k : out.agg_order) {
+    for (std::size_t i = net_node_begin[k]; i < net_node_begin[k + 1]; ++i)
+      node_perm.push_back(i);
+    port_perm.push_back(2 * k);
+    port_perm.push_back(2 * k + 1);
+  }
+
+  FingerprintHasher h;
+  h.f64(tol);
+  h.u64(nets);
+  h.u64(v_end - v_begin);
+  for (std::size_t k : out.agg_order)
+    h.u64(net_node_begin[k + 1] - net_node_begin[k]);
+  h.u64(n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      h.qf64(g(node_perm[r], node_perm[c2]), tol);
+      h.qf64(c(node_perm[r], node_perm[c2]), tol);
+    }
+  h.u64(b.cols());
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c2 = 0; c2 < port_perm.size(); ++c2)
+      h.qf64(b(node_perm[r], port_perm[c2]), tol);
+  h.options(mor, certify, cert_rel_tol, cert_freqs, s_min, s_max);
+  out.key = ClusterFingerprint{h.hi, h.lo};
+  return out;
 }
 
 void CachedReducedModel::account() {
@@ -77,12 +187,38 @@ void CachedReducedModel::account() {
           certificate.probe_error.size();
 }
 
+std::shared_ptr<CachedReducedModel> permute_payload_ports(
+    const CachedReducedModel& payload,
+    const std::vector<std::size_t>& port_from) {
+  auto out = std::make_shared<CachedReducedModel>();
+  out->model.t = payload.model.t;
+  out->eigen.d = payload.eigen.d;
+  const DenseMatrix& rho = payload.model.rho;
+  assert(port_from.size() == rho.cols());
+  DenseMatrix new_rho(rho.rows(), rho.cols());
+  for (std::size_t r = 0; r < rho.rows(); ++r)
+    for (std::size_t j = 0; j < rho.cols(); ++j)
+      new_rho(r, j) = rho(r, port_from[j]);
+  out->model.rho = std::move(new_rho);
+  const DenseMatrix& eta = payload.eigen.eta;
+  DenseMatrix new_eta(eta.rows(), eta.cols());
+  for (std::size_t r = 0; r < eta.rows(); ++r)
+    for (std::size_t j = 0; j < eta.cols(); ++j)
+      new_eta(r, j) = eta(r, port_from[j]);
+  out->eigen.eta = std::move(new_eta);
+  out->have_certificate = false;
+  out->certified = false;
+  out->account();
+  return out;
+}
+
 ModelCache::ModelCache(std::size_t max_bytes, std::size_t shard_count) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i)
     shards_.push_back(std::make_unique<Shard>());
   shard_budget_ = max_bytes == 0 ? 0 : std::max<std::size_t>(1, max_bytes / shard_count);
+  canonical_budget_ = max_bytes;
 }
 
 std::shared_ptr<const CachedReducedModel> ModelCache::lookup(
@@ -91,11 +227,11 @@ std::shared_ptr<const CachedReducedModel> ModelCache::lookup(
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return it->second->payload;
 }
 
@@ -108,7 +244,7 @@ void ModelCache::insert(const ClusterFingerprint& key,
   shard.lru.push_front(Entry{key, std::move(payload)});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += shard.lru.front().payload->bytes;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.insertions;
   // LRU eviction against the shard budget; the newest entry always stays
   // (an oversized payload occupies the shard alone rather than thrashing).
   while (shard_budget_ > 0 && shard.bytes > shard_budget_ &&
@@ -117,21 +253,71 @@ void ModelCache::insert(const ClusterFingerprint& key,
     shard.bytes -= victim.payload->bytes;
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
 }
 
+std::optional<ModelCache::CanonicalHit> ModelCache::canonical_lookup(
+    const ClusterFingerprint& key) {
+  std::lock_guard<std::mutex> lock(canonical_mutex_);
+  auto it = canonical_index_.find(key);
+  if (it == canonical_index_.end()) return std::nullopt;
+  canonical_lru_.splice(canonical_lru_.begin(), canonical_lru_, it->second);
+  return CanonicalHit{it->second->payload, it->second->agg_order};
+}
+
+void ModelCache::canonical_insert(
+    const ClusterFingerprint& key, std::vector<std::size_t> agg_order,
+    std::shared_ptr<const CachedReducedModel> payload) {
+  if (!payload) return;
+  std::lock_guard<std::mutex> lock(canonical_mutex_);
+  if (canonical_index_.find(key) != canonical_index_.end()) return;
+  canonical_lru_.push_front(
+      CanonicalEntry{key, std::move(agg_order), std::move(payload)});
+  canonical_index_.emplace(key, canonical_lru_.begin());
+  canonical_bytes_ += canonical_lru_.front().payload->bytes;
+  while (canonical_budget_ > 0 && canonical_bytes_ > canonical_budget_ &&
+         canonical_lru_.size() > 1) {
+    const CanonicalEntry& victim = canonical_lru_.back();
+    canonical_bytes_ -= victim.payload->bytes;
+    canonical_index_.erase(victim.key);
+    canonical_lru_.pop_back();
+  }
+}
+
+void ModelCache::count_canonical_hit() {
+  std::lock_guard<std::mutex> lock(canonical_mutex_);
+  ++canonical_hits_;
+}
+
+void ModelCache::count_canonical_cert_reject() {
+  std::lock_guard<std::mutex> lock(canonical_mutex_);
+  ++canonical_cert_rejects_;
+}
+
 ModelCache::Stats ModelCache::stats() const {
+  // Consistent snapshot: acquire every shard lock (fixed index order, so
+  // concurrent stats() calls cannot deadlock each other) plus the
+  // canonical-index lock before reading any counter. A concurrent lookup
+  // either fully precedes the snapshot or fully follows it — hits +
+  // misses always equals the lookups observed, and byte/entry totals
+  // always match the counters.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  std::lock_guard<std::mutex> canonical_lock(canonical_mutex_);
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.insertions += shard->insertions;
+    s.evictions += shard->evictions;
     s.entries += shard->lru.size();
     s.bytes += shard->bytes;
   }
+  s.canonical_hits = canonical_hits_;
+  s.canonical_cert_rejects = canonical_cert_rejects_;
+  s.canonical_entries = canonical_lru_.size();
   return s;
 }
 

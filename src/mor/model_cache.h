@@ -25,19 +25,38 @@
 //    and legitimately produces a different pencil — no collision, by
 //    design.
 //
+// Canonical (tolerant) keys — opt-in, certificate-gated: exact keys miss
+// when clusters repeat *almost*: aggressors enumerated in a different
+// order (renumbered nodes/ports) or element values perturbed below any
+// electrical relevance (process-skewed replicas). The canonical index
+// keys a second map by a permutation-invariant, value-quantized
+// fingerprint: aggressor blocks are sorted by quantized content and the
+// whole pencil is hashed in that canonical node/port order with every
+// value quantized to a relative tolerance. A canonical hit is NOT
+// bit-identity — the caller must re-run the a-posteriori certificate
+// against the *requesting* cluster's exact (G, C, B) before reuse, and a
+// failed certificate counts as a miss (canonical_cert_rejects). Exact
+// lookups stay the default and are checked first; canonical reuse is
+// certified-equivalent, never silently trusted.
+//
 // Concurrency: the table is sharded (fingerprint-selected shard, one
 // mutex each) so parallel workers rarely contend; payloads are immutable
 // behind shared_ptr<const>. Eviction is per-shard LRU against a byte
-// budget. Payload storage binds to no ClusterScope (it outlives every
-// victim); see resource::ClusterScope::Suspension.
+// budget; the canonical index is a separate single-mutex LRU over the
+// same shared payloads (no lock is ever held while taking another).
+// Counters live under the same mutexes as the structures they describe,
+// and stats() takes every lock before reading any counter, so a snapshot
+// is always internally consistent (hits + misses == lookups). Payload
+// storage binds to no ClusterScope (it outlives every victim); see
+// resource::ClusterScope::Suspension.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +91,35 @@ ClusterFingerprint cluster_fingerprint(const DenseMatrix& g,
                                        std::size_t cert_freqs, double s_min,
                                        double s_max);
 
+/// Canonical fingerprint of a reduction request plus the aggressor
+/// ordering that realizes it. `agg_order[c]` is the 1-based cluster net
+/// index of the aggressor placed at canonical slot `c`.
+struct CanonicalKey {
+  ClusterFingerprint key;
+  std::vector<std::size_t> agg_order;
+};
+
+/// Permutation/tolerance-invariant fingerprint of a reduction request.
+///
+/// The cluster's nodes are grouped into per-net blocks:
+/// `net_node_begin[k] .. net_node_begin[k+1]` are the matrix rows of
+/// cluster net `k` (net 0 = victim, fixed; nets 1.. = aggressors), and
+/// net `k` owns port columns `2k` (driver) and `2k+1` (receiver) of B —
+/// the GlitchAnalyzer cluster layout. Aggressor blocks are sorted by a
+/// quantized content signature (intra-block and victim-coupling entries
+/// plus their own B columns); the full pencil is then hashed in that
+/// canonical node/port order with every value quantized to the relative
+/// tolerance `tol` (tol <= 0 hashes exact bits, making the key
+/// permutation-invariant only). Two clusters that differ by aggressor
+/// renumbering and sub-`tol` value skew collide on purpose; values
+/// straddling a quantization boundary may still miss (a false negative,
+/// never a correctness issue — reuse is certificate-gated regardless).
+CanonicalKey canonical_cluster_fingerprint(
+    const DenseMatrix& g, const DenseMatrix& c, const DenseMatrix& b,
+    const std::vector<std::size_t>& net_node_begin, double tol,
+    const SympvlOptions& mor, bool certify, double cert_rel_tol,
+    std::size_t cert_freqs, double s_min, double s_max);
+
 /// Everything a fingerprint hit reuses: the reduced model, its
 /// diagonalization, and the certificate computed with it.
 struct CachedReducedModel {
@@ -86,6 +134,15 @@ struct CachedReducedModel {
   void account();
 };
 
+/// Deep copy of `payload` with its port-indexed storage (model.rho and
+/// eigen.eta columns) permuted: column j of the copy is column
+/// `port_from[j]` of the original. Used to re-express a canonical hit in
+/// the requesting cluster's port order. The certificate is dropped — the
+/// caller must re-certify against its own exact pencil before reuse.
+std::shared_ptr<CachedReducedModel> permute_payload_ports(
+    const CachedReducedModel& payload,
+    const std::vector<std::size_t>& port_from);
+
 /// Bounded, sharded, thread-safe reduced-model cache.
 class ModelCache {
  public:
@@ -96,6 +153,18 @@ class ModelCache {
     std::size_t evictions = 0;
     std::size_t entries = 0;  ///< live entries (snapshot)
     std::size_t bytes = 0;    ///< live payload bytes (snapshot)
+    std::size_t canonical_hits = 0;          ///< certified tolerant reuses
+    std::size_t canonical_cert_rejects = 0;  ///< tolerant hits that failed re-cert
+    std::size_t canonical_entries = 0;       ///< canonical index size (snapshot)
+  };
+
+  /// A canonical-index hit: the cached payload plus the aggressor order
+  /// (canonical slot -> donor's 1-based net index) the donor was stored
+  /// with; composing it with the requester's own canonical order yields
+  /// the port permutation that maps the payload to the requester.
+  struct CanonicalHit {
+    std::shared_ptr<const CachedReducedModel> payload;
+    std::vector<std::size_t> agg_order;
   };
 
   /// `max_bytes` caps the summed payload estimates (split evenly across
@@ -113,6 +182,23 @@ class ModelCache {
   /// duplicate (payloads for equal keys are bit-identical anyway).
   void insert(const ClusterFingerprint& key,
               std::shared_ptr<const CachedReducedModel> payload);
+
+  /// Returns the canonical-index entry for `key` (refreshing its LRU
+  /// position), or nullopt. A hit is only a *candidate* for reuse — the
+  /// caller must certify it and then report the verdict through
+  /// count_canonical_hit() / count_canonical_cert_reject().
+  std::optional<CanonicalHit> canonical_lookup(const ClusterFingerprint& key);
+
+  /// Indexes `payload` (already inserted under its exact key, or fresh)
+  /// under the canonical `key`; `agg_order` records the aggressor order
+  /// this payload's ports follow. First writer wins.
+  void canonical_insert(const ClusterFingerprint& key,
+                        std::vector<std::size_t> agg_order,
+                        std::shared_ptr<const CachedReducedModel> payload);
+
+  /// Records the outcome of certifying a canonical_lookup() candidate.
+  void count_canonical_hit();
+  void count_canonical_cert_reject();
 
   Stats stats() const;
 
@@ -133,6 +219,20 @@ class ModelCache {
                        FingerprintHash>
         index;
     std::size_t bytes = 0;
+    // Counters live under the shard mutex with the structures they
+    // describe; stats() locks every shard before reading any of them, so
+    // a snapshot can never observe a lookup's hit/miss increment without
+    // the matching structural change (or vice versa).
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+  };
+
+  struct CanonicalEntry {
+    ClusterFingerprint key;
+    std::vector<std::size_t> agg_order;
+    std::shared_ptr<const CachedReducedModel> payload;
   };
 
   Shard& shard_for(const ClusterFingerprint& key) {
@@ -141,10 +241,19 @@ class ModelCache {
 
   std::size_t shard_budget_ = 0;  ///< per-shard byte cap (0 = unbounded)
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::atomic<std::size_t> hits_{0};
-  mutable std::atomic<std::size_t> misses_{0};
-  std::atomic<std::size_t> insertions_{0};
-  std::atomic<std::size_t> evictions_{0};
+
+  // Canonical index: one mutex, its own LRU over the shared payloads.
+  // Never locked while a shard mutex is held (and vice versa), except in
+  // stats(), which takes shards first (fixed index order) then this.
+  mutable std::mutex canonical_mutex_;
+  std::list<CanonicalEntry> canonical_lru_;  ///< front = most recently used
+  std::unordered_map<ClusterFingerprint, std::list<CanonicalEntry>::iterator,
+                     FingerprintHash>
+      canonical_index_;
+  std::size_t canonical_bytes_ = 0;
+  std::size_t canonical_budget_ = 0;  ///< byte cap (0 = unbounded)
+  std::size_t canonical_hits_ = 0;
+  std::size_t canonical_cert_rejects_ = 0;
 };
 
 }  // namespace xtv

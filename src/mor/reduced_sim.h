@@ -102,6 +102,17 @@ class ReducedSimulator {
   std::size_t port_count() const { return eta_.cols(); }
   std::size_t order() const { return d_.size(); }
 
+  /// Read access for the lockstep batch engine (mor/batch_sim.{h,cpp}),
+  /// which flattens the configuration into structure-of-arrays lanes and
+  /// must replicate run()'s arithmetic on exactly this data.
+  const Vector& eigenvalues() const { return d_; }
+  const DenseMatrix& port_modes() const { return eta_; }
+  const std::map<std::size_t, SourceWave>& inputs() const { return inputs_; }
+  const std::map<std::size_t, std::shared_ptr<const OnePortDevice>>&
+  terminations() const {
+    return terminations_;
+  }
+
  private:
   /// Total known (linear) current injections at time t, per port.
   Vector input_currents(double t) const;

@@ -167,6 +167,13 @@ bool JobSpec::parse(const std::string& text, JobSpec* spec,
     } else if (k == "cache_mb") {
       if (!parse_double_text(v, &d) || d < 0.0) return bad("a size >= 0");
       out.options.model_cache_mb = d;
+    } else if (k == "canonical_cache") {
+      if (!parse_bool_text(v, &b)) return bad("0 or 1");
+      out.options.canonical_cache = b;
+    } else if (k == "canonical_tol") {
+      if (!parse_double_text(v, &d) || d <= 0.0 || d > 1.0)
+        return bad("a relative tolerance in (0,1]");
+      out.options.canonical_cache_tol = d;
     } else if (k == "cluster_deadline_ms") {
       if (!parse_double_text(v, &d) || d < 0.0) return bad("a value >= 0");
       out.options.cluster_deadline_ms = d;
@@ -182,6 +189,9 @@ bool JobSpec::parse(const std::string& text, JobSpec* spec,
     } else if (k == "restarts") {
       if (!parse_size_text(v, &z)) return bad("an integer >= 0");
       out.restarts = z;
+    } else if (k == "batch_width") {
+      if (!parse_size_text(v, &z)) return bad("an integer >= 0");
+      out.batch_width = z;
     } else if (k == "deadline_ms") {
       if (!parse_double_text(v, &d)) return bad("a value in ms");
       out.deadline_ms = d;
@@ -291,6 +301,8 @@ std::string JobSpec::to_text() const {
       << " audit_fraction=" << fmt_double(options.audit_fraction)
       << " audit_seed=" << options.audit_seed
       << " cache_mb=" << fmt_double(options.model_cache_mb)
+      << " canonical_cache=" << (options.canonical_cache ? 1 : 0)
+      << " canonical_tol=" << fmt_double(options.canonical_cache_tol)
       << " cluster_deadline_ms=" << fmt_double(options.cluster_deadline_ms)
       << " cluster_mem_mb=" << fmt_double(options.cluster_mem_mb)
       << " nets=" << design_nets
@@ -300,6 +312,7 @@ std::string JobSpec::to_text() const {
       << " processes=" << processes
       << " heartbeat_ms=" << fmt_double(heartbeat_ms)
       << " restarts=" << restarts
+      << " batch_width=" << batch_width
       << " deadline_ms=" << fmt_double(deadline_ms)
       << " retries=" << retries;
   return out.str();
@@ -310,6 +323,7 @@ VerifierOptions JobSpec::to_options() const {
   vo.processes = processes;
   vo.shard_heartbeat_ms = heartbeat_ms;
   vo.max_shard_restarts = restarts;
+  vo.batch_width = batch_width;  // 0 folds to the daemon default at launch
   return vo;
 }
 

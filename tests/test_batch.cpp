@@ -1,0 +1,681 @@
+// Batched reduced-model simulation (DESIGN.md §16): the lockstep batch
+// engine must be bit-compatible with the scalar ReducedSimulator lane by
+// lane, a diverging lane must never disturb its neighbors, and the
+// verifier's batch scheduler must produce findings bit-identical to the
+// scalar sweep at every width. Canonical (permutation/tolerance-invariant)
+// cache keys ride along: a tolerant hit is reused only after its
+// certificate re-passes against the requesting cluster's exact pencil.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chipgen/dsp_chip.h"
+#include "core/verifier.h"
+#include "mor/batch_sim.h"
+#include "mor/model_cache.h"
+#include "mor/reduced_sim.h"
+#include "mor/sympvl.h"
+#include "netlist/rc_network.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
+
+namespace xtv {
+namespace {
+
+const Technology kTech = Technology::default_250nm();
+
+// ---------------------------------------------------------------------------
+// Lockstep engine vs the scalar simulator.
+
+/// Nonlinear clamp pulling toward v0 (stiffening cubic): exercises the
+/// batched Newton/Woodbury path, not just the linear diagonal solve.
+class CubicClamp final : public OnePortDevice {
+ public:
+  CubicClamp(double v0, double g1, double g3) : v0_(v0), g1_(g1), g3_(g3) {}
+  double current(double v, double) const override {
+    const double e = v0_ - v;
+    return g1_ * e + g3_ * e * e * e;
+  }
+  double conductance(double v, double) const override {
+    const double e = v0_ - v;
+    return -(g1_ + 3.0 * g3_ * e * e);
+  }
+
+ private:
+  double v0_, g1_, g3_;
+};
+
+/// Two coupled RC lines with driver/receiver ports (test_mor.cpp's
+/// cluster shape); `r` varies electricals per lane.
+RcNetwork make_coupled_pair(int stages, double r) {
+  RcNetwork net;
+  std::vector<int> a(static_cast<std::size_t>(stages) + 1);
+  std::vector<int> v(static_cast<std::size_t>(stages) + 1);
+  for (int i = 0; i <= stages; ++i) {
+    a[static_cast<std::size_t>(i)] = net.add_node();
+    v[static_cast<std::size_t>(i)] = net.add_node();
+  }
+  for (int i = 0; i < stages; ++i) {
+    net.add_resistor(a[static_cast<std::size_t>(i)],
+                     a[static_cast<std::size_t>(i) + 1], r);
+    net.add_resistor(v[static_cast<std::size_t>(i)],
+                     v[static_cast<std::size_t>(i) + 1], r);
+  }
+  for (int i = 1; i <= stages; ++i) {
+    net.add_capacitor(a[static_cast<std::size_t>(i)], RcNetwork::kGround, 4e-15);
+    net.add_capacitor(v[static_cast<std::size_t>(i)], RcNetwork::kGround, 4e-15);
+    net.add_capacitor(a[static_cast<std::size_t>(i)],
+                      v[static_cast<std::size_t>(i)], 6e-15, true);
+  }
+  net.add_port(a[0]);
+  net.add_port(v[0]);
+  net.add_port(a[static_cast<std::size_t>(stages)]);
+  net.add_port(v[static_cast<std::size_t>(stages)]);
+  net.stamp_port_conductance(0, 1e-2);
+  net.stamp_port_conductance(1, 1e-3);
+  net.stamp_port_conductance(2, 1e-9);
+  net.stamp_port_conductance(3, 1e-9);
+  return net;
+}
+
+/// A configured simulator plus its scalar reference options.
+struct LaneSetup {
+  std::unique_ptr<ReducedSimulator> sim;
+  ReducedSimOptions options;
+};
+
+LaneSetup make_lane(int stages, double r, bool nonlinear) {
+  RcNetwork net = make_coupled_pair(stages, r);
+  const double g_agg = net.port_conductance(0);
+  LaneSetup lane;
+  lane.sim = std::make_unique<ReducedSimulator>(sympvl_reduce(net));
+  lane.sim->set_input(0, SourceWave::pwl({{0.0, 0.0},
+                                          {0.2e-9, 0.0},
+                                          {0.35e-9, 3.0 * g_agg}}));
+  if (nonlinear)
+    lane.sim->set_termination(1, std::make_shared<CubicClamp>(0.0, 5e-4, 2e-3));
+  lane.options.tstop = 2e-9;
+  lane.options.dt = 1e-12;
+  return lane;
+}
+
+void expect_waves_bitwise_equal(const ReducedSimResult& a,
+                                const ReducedSimResult& b) {
+  ASSERT_EQ(a.port_voltages.size(), b.port_voltages.size());
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.newton_iterations, b.newton_iterations);
+  EXPECT_EQ(a.step_rejections, b.step_rejections);
+  for (std::size_t p = 0; p < a.port_voltages.size(); ++p) {
+    SCOPED_TRACE("port " + std::to_string(p));
+    ASSERT_EQ(a.port_voltages[p].size(), b.port_voltages[p].size());
+    EXPECT_EQ(a.port_voltages[p].times(), b.port_voltages[p].times());
+    EXPECT_EQ(a.port_voltages[p].values(), b.port_voltages[p].values());
+  }
+}
+
+TEST(BatchSim, LanesMatchScalarBitwise) {
+  // Heterogeneous lanes (different pencils, linear and nonlinear
+  // terminations) integrated in lockstep: every lane's waveforms, step
+  // count, and Newton iteration count must equal its own scalar run
+  // bit for bit — the engine replicates the arithmetic, not just the
+  // answer.
+  std::vector<LaneSetup> setups;
+  setups.push_back(make_lane(6, 40.0, false));
+  setups.push_back(make_lane(6, 80.0, true));
+  setups.push_back(make_lane(5, 25.0, true));
+  setups.push_back(make_lane(7, 60.0, false));
+
+  std::vector<ReducedSimResult> scalar;
+  for (auto& s : setups) scalar.push_back(s.sim->run(s.options));
+
+  std::vector<BatchLane> lanes;
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    BatchLane lane;
+    lane.sim = setups[i].sim.get();
+    lane.options = setups[i].options;
+    lane.victim_net = i;
+    lanes.push_back(lane);
+  }
+  const std::vector<BatchLaneResult> batched = run_batch(lanes);
+  ASSERT_EQ(batched.size(), setups.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    ASSERT_EQ(batched[i].error, nullptr);
+    EXPECT_FALSE(batched[i].fell_back_scalar);
+    expect_waves_bitwise_equal(batched[i].result, scalar[i]);
+  }
+}
+
+TEST(BatchSim, ExpiredLaneFailsAloneNeighborsUnaffected) {
+  // Lane 1 enters the batch with an already-exhausted budget: it must
+  // carry the scalar path's deadline exception while lanes 0 and 2
+  // complete bit-identically to their solo runs — one lane's divergence
+  // is masked out, never propagated.
+  std::vector<LaneSetup> setups;
+  setups.push_back(make_lane(6, 40.0, true));
+  setups.push_back(make_lane(6, 55.0, false));
+  setups.push_back(make_lane(5, 30.0, true));
+  std::vector<ReducedSimResult> scalar;
+  scalar.push_back(setups[0].sim->run(setups[0].options));
+  scalar.push_back(setups[2].sim->run(setups[2].options));
+
+  const CancelToken expired{Deadline::after_seconds(0.0)};
+  std::vector<BatchLane> lanes;
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    BatchLane lane;
+    lane.sim = setups[i].sim.get();
+    lane.options = setups[i].options;
+    if (i == 1) lane.options.cancel = &expired;
+    lane.victim_net = i;
+    lanes.push_back(lane);
+  }
+  const std::vector<BatchLaneResult> batched = run_batch(lanes);
+  ASSERT_EQ(batched.size(), 3u);
+  ASSERT_NE(batched[1].error, nullptr);
+  try {
+    std::rethrow_exception(batched[1].error);
+    FAIL() << "expected a deadline exception";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("budget exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+  ASSERT_EQ(batched[0].error, nullptr);
+  ASSERT_EQ(batched[2].error, nullptr);
+  expect_waves_bitwise_equal(batched[0].result, scalar[0]);
+  expect_waves_bitwise_equal(batched[2].result, scalar[1]);
+}
+
+TEST(BatchSim, PoisonedLanesFallBackToScalarEngine) {
+  // The kBatchLane fault site poisons lanes before any batch arithmetic
+  // runs (victim-keyed, so max_fires caps per victim): with period 1
+  // every lane takes the scalar ReducedSimulator::run fallback — same
+  // results bit for bit, fell_back_scalar set. Partial poisoning (some
+  // lanes batched, some fallen back, findings unchanged) is exercised at
+  // the verifier level in LaneFaultFallsBackWithoutChangingFindings.
+  std::vector<LaneSetup> setups;
+  setups.push_back(make_lane(6, 40.0, false));
+  setups.push_back(make_lane(6, 70.0, true));
+  setups.push_back(make_lane(5, 35.0, false));
+  std::vector<ReducedSimResult> scalar;
+  for (auto& s : setups) scalar.push_back(s.sim->run(s.options));
+
+  std::vector<BatchLane> lanes;
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    BatchLane lane;
+    lane.sim = setups[i].sim.get();
+    lane.options = setups[i].options;
+    lane.victim_net = 100 + i;
+    lanes.push_back(lane);
+  }
+  FaultInjector::instance().reset();
+  FaultInjector::instance().arm(FaultSite::kBatchLane, /*period=*/1,
+                                /*max_fires=*/1);
+  const std::vector<BatchLaneResult> batched = run_batch(lanes);
+  FaultInjector::instance().reset();
+
+  ASSERT_EQ(batched.size(), setups.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    ASSERT_EQ(batched[i].error, nullptr);
+    EXPECT_TRUE(batched[i].fell_back_scalar);
+    expect_waves_bitwise_equal(batched[i].result, scalar[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical fingerprints.
+
+/// Hand-built cluster pencil in the GlitchAnalyzer layout: victim net 0
+/// (2 nodes) plus two aggressor nets (2 nodes each); net k owns matrix
+/// rows 2k..2k+1 and B port columns 2k (driver), 2k+1 (receiver).
+/// `swap_aggressors` enumerates the aggressors in the opposite order;
+/// `skew` scales one aggressor's coupling cap.
+struct Pencil {
+  DenseMatrix g, c, b;
+  std::vector<std::size_t> net_node_begin;
+};
+
+Pencil make_pencil(bool swap_aggressors, double skew = 0.0) {
+  // Nodes are added in enumeration order so the per-net block layout
+  // (rows 2k..2k+1 for cluster net k) matches the aggressor ordering.
+  RcNetwork net;
+  std::vector<int> vn, an, bn;
+  auto two_nodes = [&](std::vector<int>& dst) {
+    dst.push_back(net.add_node());
+    dst.push_back(net.add_node());
+  };
+  two_nodes(vn);
+  net.add_resistor(vn[0], vn[1], 50.0);
+  net.add_capacitor(vn[1], RcNetwork::kGround, 3e-15);
+  // Aggressor A (stronger coupling) and B, enumerated either way round.
+  auto add_net = [&](std::vector<int>& dst, double r, double cc) {
+    two_nodes(dst);
+    net.add_resistor(dst[0], dst[1], r);
+    net.add_capacitor(dst[1], RcNetwork::kGround, 2e-15);
+    net.add_capacitor(dst[1], vn[1], cc, true);
+  };
+  if (!swap_aggressors) {
+    add_net(an, 40.0, 6e-15 * (1.0 + skew));
+    add_net(bn, 90.0, 2e-15);
+  } else {
+    add_net(bn, 90.0, 2e-15);
+    add_net(an, 40.0, 6e-15 * (1.0 + skew));
+  }
+  // Driver + receiver port per net, in net order (the glitch-analyzer
+  // cluster layout: net k owns B columns 2k and 2k+1).
+  for (const std::vector<int>* nodes : {&vn, swap_aggressors ? &bn : &an,
+                                        swap_aggressors ? &an : &bn}) {
+    const int driver = net.add_port((*nodes)[0]);
+    net.stamp_port_conductance(static_cast<std::size_t>(driver), 1e-3);
+    const int receiver = net.add_port((*nodes)[1]);
+    net.stamp_port_conductance(static_cast<std::size_t>(receiver), 1e-9);
+  }
+  Pencil p;
+  p.g = net.g_matrix();
+  p.c = net.c_matrix(true);
+  p.b = net.b_matrix();
+  p.net_node_begin = {0, 2, 4, 6};
+  return p;
+}
+
+CanonicalKey canonical_of(const Pencil& p, double tol) {
+  SympvlOptions mor;
+  mor.max_order = 8;
+  return canonical_cluster_fingerprint(p.g, p.c, p.b, p.net_node_begin, tol,
+                                       mor, /*certify=*/false,
+                                       /*cert_rel_tol=*/0.02, /*cert_freqs=*/5,
+                                       /*s_min=*/1e8, /*s_max=*/1e11);
+}
+
+ClusterFingerprint exact_of(const Pencil& p) {
+  SympvlOptions mor;
+  mor.max_order = 8;
+  return cluster_fingerprint(p.g, p.c, p.b, mor, /*certify=*/false,
+                             /*cert_rel_tol=*/0.02, /*cert_freqs=*/5,
+                             /*s_min=*/1e8, /*s_max=*/1e11);
+}
+
+TEST(CanonicalKey, InvariantToAggressorEnumerationOrder) {
+  const Pencil fwd = make_pencil(false);
+  const Pencil rev = make_pencil(true);
+  // Reordering aggressors renumbers nodes: the exact fingerprints differ
+  // by design...
+  EXPECT_NE(exact_of(fwd), exact_of(rev));
+  // ...but the canonical keys collide, and the recorded aggressor orders
+  // compose into the permutation between the two enumerations.
+  const CanonicalKey kf = canonical_of(fwd, 0.0);
+  const CanonicalKey kr = canonical_of(rev, 0.0);
+  EXPECT_EQ(kf.key, kr.key);
+  ASSERT_EQ(kf.agg_order.size(), 2u);
+  ASSERT_EQ(kr.agg_order.size(), 2u);
+  // The same canonical slot names aggressor A in both pencils: net 1 in
+  // the forward enumeration, net 2 in the reversed one.
+  EXPECT_NE(kf.agg_order, kr.agg_order);
+}
+
+TEST(CanonicalKey, QuantizationAbsorbsSubToleranceSkewOnly) {
+  const Pencil base = make_pencil(false);
+  const Pencil tiny = make_pencil(false, /*skew=*/1e-9);
+  const Pencil big = make_pencil(false, /*skew=*/0.2);
+  // Exact keys see every bit.
+  EXPECT_NE(exact_of(base), exact_of(tiny));
+  // A sub-tolerance skew collides under quantization; a 20% skew cannot.
+  EXPECT_EQ(canonical_of(base, 1e-6).key, canonical_of(tiny, 1e-6).key);
+  EXPECT_NE(canonical_of(base, 1e-6).key, canonical_of(big, 1e-6).key);
+  // tol <= 0 keeps exact bits (permutation invariance only).
+  EXPECT_NE(canonical_of(base, 0.0).key, canonical_of(tiny, 0.0).key);
+}
+
+// ---------------------------------------------------------------------------
+// Model-cache canonical index.
+
+std::shared_ptr<CachedReducedModel> dummy_payload(std::size_t bytes,
+                                                  std::size_t order) {
+  auto payload = std::make_shared<CachedReducedModel>();
+  payload->model.t = DenseMatrix(order, order);
+  payload->bytes = bytes;
+  return payload;
+}
+
+ClusterFingerprint key_of(std::uint64_t n) {
+  return ClusterFingerprint{n, n * 0x9e37u + 1};
+}
+
+TEST(ModelCacheCanonical, LookupInsertAndVerdictCounters) {
+  ModelCache cache(1 << 20, 4);
+  EXPECT_FALSE(cache.canonical_lookup(key_of(1)).has_value());
+  cache.canonical_insert(key_of(1), {2, 1}, dummy_payload(100, 4));
+  const auto hit = cache.canonical_lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->payload->model.order(), 4u);
+  EXPECT_EQ(hit->agg_order, (std::vector<std::size_t>{2, 1}));
+  // The caller reports the certificate verdict; the cache only counts.
+  cache.count_canonical_hit();
+  cache.count_canonical_cert_reject();
+  const ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.canonical_hits, 1u);
+  EXPECT_EQ(s.canonical_cert_rejects, 1u);
+  EXPECT_EQ(s.canonical_entries, 1u);
+}
+
+TEST(ModelCacheCanonical, FirstInsertWins) {
+  ModelCache cache(1 << 20, 1);
+  cache.canonical_insert(key_of(7), {1, 2}, dummy_payload(100, 4));
+  cache.canonical_insert(key_of(7), {2, 1}, dummy_payload(100, 6));
+  const auto hit = cache.canonical_lookup(key_of(7));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->payload->model.order(), 4u);
+  EXPECT_EQ(hit->agg_order, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ModelCacheStats, SnapshotsStayConsistentUnderConcurrency) {
+  // The stats race regression: writers hammer lookup/insert across
+  // shards while a reader loops stats(). Snapshots must be internally
+  // consistent (monotone counters, entries bounded by insertions) and
+  // the final tally must balance exactly — per-shard counters under the
+  // shard mutex, stats() locking all shards, make this TSan-clean.
+  ModelCache cache(1 << 20, 4);
+  constexpr int kWriters = 4;
+  constexpr int kLookupsPerWriter = 4000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    ModelCache::Stats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      const ModelCache::Stats s = cache.stats();
+      EXPECT_GE(s.hits, prev.hits);
+      EXPECT_GE(s.misses, prev.misses);
+      EXPECT_GE(s.insertions, prev.insertions);
+      EXPECT_LE(s.entries, s.insertions);
+      prev = s;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kLookupsPerWriter; ++i) {
+        const auto key = key_of(static_cast<std::uint64_t>(
+            (w * kLookupsPerWriter + i) % 64));
+        if (cache.lookup(key) == nullptr)
+          cache.insert(key, dummy_payload(64, 2));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  const ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::size_t>(kWriters) * kLookupsPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier-level equivalences.
+
+class BatchVerifyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new CellLibrary(kTech);
+    CharacterizeOptions copt;
+    copt.iv_grid = 11;
+    chars_ = new CharacterizedLibrary(*lib_, copt);
+    extractor_ = new Extractor(kTech);
+    DspChipOptions chip_opt;
+    chip_opt.net_count = 90;
+    chip_opt.tracks = 9;
+    chip_opt.replicate_rows = 3;
+    design_ = new ChipDesign(generate_dsp_chip(*lib_, chip_opt));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete chars_;
+    delete lib_;
+    delete extractor_;
+    design_ = nullptr;
+    chars_ = nullptr;
+    lib_ = nullptr;
+    extractor_ = nullptr;
+  }
+
+  static VerifierOptions fast_options() {
+    VerifierOptions options;
+    options.glitch.align_aggressors = false;
+    options.glitch.tstop = 3e-9;
+    return options;
+  }
+
+  static std::string temp_path(const char* name) {
+    return ::testing::TempDir() + name;
+  }
+
+  /// Bitwise equality of every result field (test_pipeline.cpp's
+  /// doctrine); cache statistics are allowed to differ, findings not.
+  static void expect_reports_equal(const VerificationReport& a,
+                                   const VerificationReport& b) {
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+      SCOPED_TRACE("finding " + std::to_string(i));
+      const VictimFinding& x = a.findings[i];
+      const VictimFinding& y = b.findings[i];
+      EXPECT_EQ(x.net, y.net);
+      EXPECT_EQ(x.peak, y.peak);  // bitwise: no tolerance
+      EXPECT_EQ(x.peak_fraction, y.peak_fraction);
+      EXPECT_EQ(x.violation, y.violation);
+      EXPECT_EQ(x.status, y.status);
+      EXPECT_EQ(x.retries, y.retries);
+      EXPECT_EQ(x.error_code, y.error_code);
+      EXPECT_EQ(x.error, y.error);
+      EXPECT_EQ(x.aggressors_analyzed, y.aggressors_analyzed);
+      EXPECT_EQ(x.reduced_order, y.reduced_order);
+      EXPECT_EQ(x.driver_rms_current, y.driver_rms_current);
+      EXPECT_EQ(x.em_violation, y.em_violation);
+      EXPECT_EQ(x.certified, y.certified);
+      EXPECT_EQ(x.cert_max_rel_err, y.cert_max_rel_err);
+      EXPECT_EQ(x.cert_order_escalations, y.cert_order_escalations);
+      EXPECT_EQ(x.audited, y.audited);
+      EXPECT_EQ(x.audit_pass, y.audit_pass);
+    }
+    EXPECT_EQ(a.victims_eligible, b.victims_eligible);
+    EXPECT_EQ(a.victims_analyzed, b.victims_analyzed);
+    EXPECT_EQ(a.victims_screened_out, b.victims_screened_out);
+    EXPECT_EQ(a.victims_retried, b.victims_retried);
+    EXPECT_EQ(a.victims_fallback, b.victims_fallback);
+    EXPECT_EQ(a.victims_failed, b.victims_failed);
+    EXPECT_EQ(a.victims_certified, b.victims_certified);
+    EXPECT_EQ(a.victims_accuracy_bound, b.victims_accuracy_bound);
+    EXPECT_EQ(a.violations, b.violations);
+  }
+
+  static CellLibrary* lib_;
+  static CharacterizedLibrary* chars_;
+  static Extractor* extractor_;
+  static ChipDesign* design_;
+};
+
+CellLibrary* BatchVerifyFixture::lib_ = nullptr;
+CharacterizedLibrary* BatchVerifyFixture::chars_ = nullptr;
+Extractor* BatchVerifyFixture::extractor_ = nullptr;
+ChipDesign* BatchVerifyFixture::design_ = nullptr;
+
+TEST_F(BatchVerifyFixture, BatchedRunBitIdenticalToScalarAtEveryWidth) {
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport scalar = verifier.verify(*design_, fast_options());
+  for (std::size_t width : {4u, 16u}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    VerifierOptions batched_opts = fast_options();
+    batched_opts.batch_width = width;
+    const VerificationReport batched =
+        verifier.verify(*design_, batched_opts);
+    EXPECT_GT(batched.batched_victims, 0u);
+    expect_reports_equal(scalar, batched);
+  }
+}
+
+TEST_F(BatchVerifyFixture, BatchedThreadedAndCachedAgreeWithScalar) {
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport scalar = verifier.verify(*design_, fast_options());
+
+  VerifierOptions batched = fast_options();
+  batched.batch_width = 8;
+  batched.model_cache_mb = 8.0;
+  batched.threads = 4;
+  const VerificationReport threaded = verifier.verify(*design_, batched);
+  EXPECT_GT(threaded.batched_victims, 0u);
+  EXPECT_GT(threaded.model_cache_hits, 0u);
+  expect_reports_equal(scalar, threaded);
+}
+
+TEST_F(BatchVerifyFixture, BatchedJournalResumesBitIdentical) {
+  VerifierOptions options = fast_options();
+  options.batch_width = 8;
+  options.journal_path = temp_path("batch_journal.xtvj");
+  std::remove(options.journal_path.c_str());
+
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport full = verifier.verify(*design_, options);
+  EXPECT_GT(full.batched_victims, 0u);
+
+  // Resume against the complete batched journal; and a scalar resume of
+  // the same journal must also merge cleanly — batch_width is not part
+  // of the options hash, exactly like threads.
+  VerifierOptions resume_opts = options;
+  resume_opts.resume = true;
+  resume_opts.batch_width = 1;
+  const VerificationReport resumed = verifier.verify(*design_, resume_opts);
+  expect_reports_equal(full, resumed);
+  std::remove(options.journal_path.c_str());
+}
+
+TEST_F(BatchVerifyFixture, LaneFaultFallsBackWithoutChangingFindings) {
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport scalar = verifier.verify(*design_, fast_options());
+
+  VerifierOptions batched = fast_options();
+  batched.batch_width = 8;
+  FaultInjector::instance().reset();
+  FaultInjector::instance().arm(FaultSite::kBatchLane, /*period=*/3);
+  const VerificationReport faulted = verifier.verify(*design_, batched);
+  FaultInjector::instance().reset();
+  EXPECT_GT(faulted.batch_lane_fallbacks, 0u);
+  expect_reports_equal(scalar, faulted);
+}
+
+TEST_F(BatchVerifyFixture, CanonicalCacheReusesAcrossSkewedReplicas) {
+  // Replicated rows with a sub-tolerance receiver-load skew: exact keys
+  // never re-match across rows, the canonical index does — and every
+  // reuse passed the certificate gate against the requester's pencil.
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 90;
+  chip_opt.tracks = 9;
+  chip_opt.replicate_rows = 3;
+  chip_opt.cluster_repeat_skew = 1e-8;
+  const ChipDesign skewed = generate_dsp_chip(*lib_, chip_opt);
+
+  VerifierOptions exact_opts = fast_options();
+  exact_opts.model_cache_mb = 8.0;
+  VerifierOptions canon_opts = exact_opts;
+  canon_opts.canonical_cache = true;
+  canon_opts.canonical_cache_tol = 1e-6;
+
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport exact = verifier.verify(skewed, exact_opts);
+  const VerificationReport canon = verifier.verify(skewed, canon_opts);
+  // The canonical index recovers certified reuse the exact keys lost to
+  // the skew: its hit count must at least match (in practice dwarf) the
+  // exact-only run's.
+  EXPECT_GT(canon.canonical_hits, 0u);
+  EXPECT_GE(canon.model_cache_hits + canon.canonical_hits,
+            exact.model_cache_hits);
+  EXPECT_EQ(canon.victims_analyzed, exact.victims_analyzed);
+}
+
+TEST_F(BatchVerifyFixture, CanonicalCertRejectFallsBackToFreshReduce) {
+  // An unpassably tight certificate tolerance turns every canonical
+  // candidate into a reject: the run must count the rejects, reuse
+  // nothing tolerantly, and produce findings bit-identical to a plain
+  // exact-cache run — reject means miss, never a degraded result.
+  DspChipOptions chip_opt;
+  chip_opt.net_count = 90;
+  chip_opt.tracks = 9;
+  chip_opt.replicate_rows = 3;
+  chip_opt.cluster_repeat_skew = 1e-8;
+  const ChipDesign skewed = generate_dsp_chip(*lib_, chip_opt);
+
+  VerifierOptions exact_opts = fast_options();
+  exact_opts.model_cache_mb = 8.0;
+  exact_opts.cert_rel_tol = 1e-15;  // nothing certifies this tightly
+  VerifierOptions canon_opts = exact_opts;
+  canon_opts.canonical_cache = true;
+  canon_opts.canonical_cache_tol = 1e-6;
+
+  ChipVerifier verifier(*extractor_, *chars_);
+  const VerificationReport exact = verifier.verify(skewed, exact_opts);
+  const VerificationReport canon = verifier.verify(skewed, canon_opts);
+  EXPECT_GT(canon.canonical_cert_rejects, 0u);
+  EXPECT_EQ(canon.canonical_hits, 0u);
+  expect_reports_equal(exact, canon);
+}
+
+TEST_F(BatchVerifyFixture, OptionsHashCoversCanonicalButNotBatchWidth) {
+  VerifierOptions a = fast_options();
+  VerifierOptions b = a;
+  b.canonical_cache = true;
+  EXPECT_NE(options_result_hash(a), options_result_hash(b));
+  VerifierOptions c = b;
+  c.canonical_cache_tol = 1e-3;
+  EXPECT_NE(options_result_hash(b), options_result_hash(c));
+  // batch_width only schedules (like threads): same hash, so journals
+  // written at any width resume under any other.
+  VerifierOptions d = a;
+  d.batch_width = 16;
+  EXPECT_EQ(options_result_hash(a), options_result_hash(d));
+}
+
+// ---------------------------------------------------------------------------
+// chipgen skew.
+
+TEST(ClusterRepeatSkew, DeterministicBoundedAndOffByDefault) {
+  const Technology tech = Technology::default_250nm();
+  CellLibrary lib(tech);
+  DspChipOptions opt;
+  opt.net_count = 60;
+  opt.tracks = 6;
+  opt.bus_count = 0;
+  opt.replicate_rows = 2;
+  const ChipDesign plain = generate_dsp_chip(lib, opt);
+
+  DspChipOptions skewed_opt = opt;
+  skewed_opt.cluster_repeat_skew = 0.05;
+  const ChipDesign s1 = generate_dsp_chip(lib, skewed_opt);
+  const ChipDesign s2 = generate_dsp_chip(lib, skewed_opt);
+
+  ASSERT_EQ(s1.nets.size(), plain.nets.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < s1.nets.size(); ++i) {
+    // Deterministic in the seed: two generations agree bitwise.
+    EXPECT_EQ(s1.nets[i].receiver_cap, s2.nets[i].receiver_cap);
+    // Bounded multiplicative jitter around the unskewed load.
+    const double ratio = s1.nets[i].receiver_cap / plain.nets[i].receiver_cap;
+    EXPECT_GE(ratio, 1.0 - skewed_opt.cluster_repeat_skew);
+    EXPECT_LE(ratio, 1.0 + skewed_opt.cluster_repeat_skew);
+    if (s1.nets[i].receiver_cap != plain.nets[i].receiver_cap)
+      any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+
+  // Replica rows are no longer bit-identical to row 0 under skew.
+  const std::size_t n0 = plain.nets.size() / 2;
+  bool rows_differ = false;
+  for (std::size_t i = 0; i < n0; ++i)
+    if (s1.nets[i].receiver_cap != s1.nets[n0 + i].receiver_cap)
+      rows_differ = true;
+  EXPECT_TRUE(rows_differ);
+}
+
+}  // namespace
+}  // namespace xtv
